@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section VI-E ablation: GPU scratchpad replacement policy.
+ *
+ * The paper reports robustness when swapping the default LRU for
+ * random or LFU eviction. We sweep all four implemented policies and
+ * report hit rate and steady-state cycle time per locality class.
+ */
+
+#include <iostream>
+
+#include "common/workload.h"
+#include "metrics/table_printer.h"
+#include "sys/scratchpipe_sys.h"
+
+using namespace sp;
+
+int
+main()
+{
+    bench::printBanner("Ablation (Section VI-E): replacement policy",
+                       "paper: LRU (default) vs Random vs LFU -- "
+                       "ScratchPipe is robust to the choice");
+
+    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
+    metrics::TablePrinter table({"locality", "policy", "hit_rate",
+                                 "cycle_ms", "vs_LRU"});
+
+    for (auto locality : data::kAllLocalities) {
+        const bench::Workload workload = bench::makeWorkload(locality);
+        double lru_cycle = 0.0;
+        for (auto policy :
+             {cache::PolicyKind::Lru, cache::PolicyKind::Lfu,
+              cache::PolicyKind::Random, cache::PolicyKind::Fifo}) {
+            sys::ScratchPipeOptions options;
+            options.cache_fraction = 0.10;
+            options.policy = policy;
+            sys::ScratchPipeSystem system(workload.model, hw, options);
+            const auto result =
+                system.simulate(*workload.dataset, *workload.stats,
+                                workload.measure, workload.warmup);
+            if (policy == cache::PolicyKind::Lru)
+                lru_cycle = result.seconds_per_iteration;
+            table.addRow(
+                {data::localityName(locality), cache::policyName(policy),
+                 metrics::TablePrinter::num(100.0 * result.hit_rate, 1) +
+                     "%",
+                 bench::ms(result.seconds_per_iteration),
+                 metrics::TablePrinter::num(
+                     result.seconds_per_iteration / lru_cycle, 3) + "x"});
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\npaper shape check: policy choice moves the hit rate "
+                 "slightly but never the conclusion -- the always-hit "
+                 "guarantee and pipeline structure dominate.\n";
+    return 0;
+}

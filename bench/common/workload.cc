@@ -1,0 +1,74 @@
+#include "common/workload.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "metrics/table_printer.h"
+
+namespace sp::bench
+{
+
+namespace
+{
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr)
+        return fallback;
+    const long long parsed = std::atoll(value);
+    return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+} // namespace
+
+uint64_t
+warmupIterations()
+{
+    return envOr("SP_BENCH_WARMUP", 5);
+}
+
+uint64_t
+measureIterations()
+{
+    return envOr("SP_BENCH_MEASURE", 10);
+}
+
+Workload
+makeWorkload(data::Locality locality, const sys::ModelConfig *base)
+{
+    Workload workload;
+    workload.model =
+        base != nullptr ? *base : sys::ModelConfig::paperDefault();
+    workload.model.trace.locality = locality;
+    workload.warmup = warmupIterations();
+    workload.measure = measureIterations();
+
+    const uint64_t batches =
+        workload.warmup + workload.measure + 2; // +2 for look-ahead
+    workload.dataset = std::make_unique<data::TraceDataset>(
+        workload.model.trace, batches);
+    workload.stats = std::make_unique<sys::BatchStats>(
+        *workload.dataset, workload.warmup + workload.measure);
+    return workload;
+}
+
+void
+printBanner(const std::string &title, const std::string &reference)
+{
+    std::cout << "\n=== " << title << " ===\n"
+              << reference << "\n"
+              << "geometry: 8 tables x 10M rows x 128-dim unless noted; "
+              << "batch 2048; 20 lookups/table\n"
+              << "warmup " << warmupIterations() << " iters, measuring "
+              << measureIterations() << " iters\n\n";
+}
+
+std::string
+ms(double seconds, int precision)
+{
+    return metrics::TablePrinter::num(seconds * 1e3, precision);
+}
+
+} // namespace sp::bench

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared setup for the figure/table reproduction binaries.
+ *
+ * Every bench binary regenerates one of the paper's evaluation
+ * artifacts at the Section V geometry (8 tables x 10M rows x 128-dim,
+ * batch 2048, 20 lookups/table). A Workload bundles the trace, the
+ * shared per-batch statistics, and the warm-up/measure split: the
+ * dynamic cache systems run `warmup` batches to reach steady state
+ * (mirroring the paper's steady-state measurements) and are measured
+ * over the following `measure` batches.
+ *
+ * Iteration counts honour SP_BENCH_WARMUP / SP_BENCH_MEASURE so the
+ * whole suite can be sped up or made more precise from the shell.
+ */
+
+#ifndef SP_BENCH_COMMON_WORKLOAD_H
+#define SP_BENCH_COMMON_WORKLOAD_H
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "sim/hardware_config.h"
+#include "sys/batch_stats.h"
+#include "sys/factory.h"
+#include "sys/system_config.h"
+
+namespace sp::bench
+{
+
+/** Warm-up batches before measurement (default 25). */
+uint64_t warmupIterations();
+
+/** Measured batches (default 15). */
+uint64_t measureIterations();
+
+/** One locality's trace + statistics at a given model geometry. */
+struct Workload
+{
+    sys::ModelConfig model;
+    std::unique_ptr<data::TraceDataset> dataset;
+    std::unique_ptr<sys::BatchStats> stats;
+    uint64_t warmup = 0;
+    uint64_t measure = 0;
+
+    /** Simulate one system over this workload. */
+    sys::RunResult
+    run(sys::SystemKind kind, const sim::HardwareConfig &hardware,
+        double cache_fraction) const
+    {
+        return sys::simulateSystem(kind, model, hardware, cache_fraction,
+                                   *dataset, *stats, measure, warmup);
+    }
+};
+
+/**
+ * Build a paper-geometry workload for `locality`. Pass `base` to
+ * override the geometry (dimension/lookup/batch sweeps).
+ */
+Workload makeWorkload(data::Locality locality,
+                      const sys::ModelConfig *base = nullptr);
+
+/** Print the standard bench banner (figure id + paper reference). */
+void printBanner(const std::string &title, const std::string &reference);
+
+/** Seconds -> "12.34" milliseconds string. */
+std::string ms(double seconds, int precision = 2);
+
+} // namespace sp::bench
+
+#endif // SP_BENCH_COMMON_WORKLOAD_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 13: end-to-end speedup of all four design points, normalized
+ * to the static-cache baseline at the same cache size, across cache
+ * sizes 2-10% and the four locality classes. The paper's headline
+ * numbers -- ScratchPipe avg 2.8x (max 4.2x) over static caching and
+ * avg 5.1x (max 6.6x) over the no-cache hybrid -- come from this
+ * sweep; the summary lines recompute both aggregates.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/workload.h"
+#include "metrics/table_printer.h"
+
+using namespace sp;
+
+int
+main()
+{
+    bench::printBanner(
+        "Figure 13: end-to-end speedup (normalized to static cache)",
+        "paper: Fig. 13 -- Hybrid / Static / Straw-man / ScratchPipe");
+
+    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
+    const std::vector<double> fractions = {0.02, 0.04, 0.06, 0.08, 0.10};
+    metrics::TablePrinter table({"locality", "cache", "hybrid",
+                                 "static", "strawman", "scratchpipe",
+                                 "sp_cycle_ms"});
+
+    double sum_vs_static = 0.0, max_vs_static = 0.0;
+    double sum_vs_hybrid = 0.0, max_vs_hybrid = 0.0;
+    int points = 0;
+
+    for (auto locality : data::kAllLocalities) {
+        const bench::Workload workload = bench::makeWorkload(locality);
+        const double t_hybrid =
+            workload.run(sys::SystemKind::Hybrid, hw, 0.0)
+                .seconds_per_iteration;
+        for (double fraction : fractions) {
+            const double t_static =
+                workload.run(sys::SystemKind::StaticCache, hw, fraction)
+                    .seconds_per_iteration;
+            const double t_straw =
+                workload.run(sys::SystemKind::Strawman, hw, fraction)
+                    .seconds_per_iteration;
+            const auto sp =
+                workload.run(sys::SystemKind::ScratchPipe, hw, fraction);
+            const double t_sp = sp.seconds_per_iteration;
+
+            table.addRow(
+                {data::localityName(locality),
+                 metrics::TablePrinter::num(100.0 * fraction, 0) + "%",
+                 metrics::TablePrinter::num(t_static / t_hybrid, 2),
+                 "1.00",
+                 metrics::TablePrinter::num(t_static / t_straw, 2),
+                 metrics::TablePrinter::num(t_static / t_sp, 2),
+                 bench::ms(t_sp)});
+
+            sum_vs_static += t_static / t_sp;
+            max_vs_static = std::max(max_vs_static, t_static / t_sp);
+            sum_vs_hybrid += t_hybrid / t_sp;
+            max_vs_hybrid = std::max(max_vs_hybrid, t_hybrid / t_sp);
+            ++points;
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\nScratchPipe vs static cache: avg "
+              << metrics::TablePrinter::num(sum_vs_static / points, 2)
+              << "x, max "
+              << metrics::TablePrinter::num(max_vs_static, 2)
+              << "x   (paper: avg 2.8x, max 4.2x)\n"
+              << "ScratchPipe vs hybrid CPU-GPU: avg "
+              << metrics::TablePrinter::num(sum_vs_hybrid / points, 2)
+              << "x, max "
+              << metrics::TablePrinter::num(max_vs_hybrid, 2)
+              << "x   (paper: avg 5.1x, max 6.6x)\n";
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * spsim: command-line driver for the system models.
+ *
+ * Run any of the five systems at any geometry/locality/cache size from
+ * flags and get the per-iteration latency breakdown, hit rate, energy
+ * and training cost -- the whole evaluation harness as one tool.
+ *
+ *   spsim --system scratchpipe --locality low --cache 0.05
+ *   spsim --system static --locality high --cache 0.02 --dim 256
+ *   spsim --system multigpu --batch 4096 --iterations 20
+ */
+
+#include <iostream>
+
+#include "common/args.h"
+#include "common/logging.h"
+#include "metrics/cost.h"
+#include "metrics/energy.h"
+#include "metrics/table_printer.h"
+#include "sys/factory.h"
+
+using namespace sp;
+
+namespace
+{
+
+sys::SystemKind
+systemFromName(const std::string &name)
+{
+    if (name == "hybrid")
+        return sys::SystemKind::Hybrid;
+    if (name == "static")
+        return sys::SystemKind::StaticCache;
+    if (name == "strawman")
+        return sys::SystemKind::Strawman;
+    if (name == "scratchpipe")
+        return sys::SystemKind::ScratchPipe;
+    if (name == "multigpu")
+        return sys::SystemKind::MultiGpu;
+    fatal("unknown system '", name,
+          "' (hybrid/static/strawman/scratchpipe/multigpu)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("spsim: simulate RecSys training systems on the "
+                   "modeled Xeon+V100 testbed");
+    args.addString("system", "scratchpipe",
+                   "hybrid|static|strawman|scratchpipe|multigpu");
+    args.addString("locality", "medium", "random|low|medium|high");
+    args.addDouble("cache", 0.10, "GPU cache fraction of each table");
+    args.addInt("tables", 8, "number of embedding tables");
+    args.addInt("rows", 10'000'000, "rows per table");
+    args.addInt("dim", 128, "embedding dimension");
+    args.addInt("lookups", 20, "gathers per table per sample");
+    args.addInt("batch", 2048, "mini-batch size");
+    args.addInt("iterations", 10, "measured iterations");
+    args.addInt("warmup", 5, "warm-up iterations");
+    args.addInt("seed", 42, "trace seed");
+    args.addBool("csv", "print CSV instead of an aligned table");
+
+    try {
+        if (!args.parse(argc, argv)) {
+            std::cout << args.usage();
+            return 0;
+        }
+
+        sys::ModelConfig model = sys::ModelConfig::paperDefault();
+        model.trace.num_tables =
+            static_cast<size_t>(args.getInt("tables"));
+        model.trace.rows_per_table =
+            static_cast<uint64_t>(args.getInt("rows"));
+        model.trace.lookups_per_table =
+            static_cast<size_t>(args.getInt("lookups"));
+        model.trace.batch_size =
+            static_cast<size_t>(args.getInt("batch"));
+        model.trace.locality =
+            data::localityFromName(args.getString("locality"));
+        model.trace.seed = static_cast<uint64_t>(args.getInt("seed"));
+        model.embedding_dim = static_cast<size_t>(args.getInt("dim"));
+        model.validate();
+
+        const uint64_t warmup =
+            static_cast<uint64_t>(args.getInt("warmup"));
+        const uint64_t iterations =
+            static_cast<uint64_t>(args.getInt("iterations"));
+        const auto kind = systemFromName(args.getString("system"));
+        const sim::HardwareConfig hw =
+            sim::HardwareConfig::paperTestbed();
+
+        std::cout << "generating trace (" << (warmup + iterations + 2)
+                  << " batches of "
+                  << model.trace.idsPerBatch() << " IDs)...\n";
+        data::TraceDataset dataset(model.trace, warmup + iterations + 2);
+        sys::BatchStats stats(dataset, warmup + iterations);
+
+        const auto result =
+            sys::simulateSystem(kind, model, hw, args.getDouble("cache"),
+                                dataset, stats, iterations, warmup);
+
+        metrics::TablePrinter table({"metric", "value"});
+        table.addRow({"system", result.system_name});
+        table.addRow({"iteration (ms)",
+                      metrics::TablePrinter::num(
+                          1e3 * result.seconds_per_iteration, 3)});
+        for (const auto &stage : result.breakdown.stages()) {
+            table.addRow({"  " + stage.name + " (ms)",
+                          metrics::TablePrinter::num(
+                              1e3 * stage.seconds, 3)});
+        }
+        if (result.hit_rate >= 0.0) {
+            table.addRow({"hit rate",
+                          metrics::TablePrinter::num(
+                              100.0 * result.hit_rate, 2) + "%"});
+        }
+        if (!result.bottleneck.empty())
+            table.addRow({"bottleneck", result.bottleneck});
+        table.addRow({"GPU bytes (GB)",
+                      metrics::TablePrinter::num(result.gpu_bytes / 1e9,
+                                                 2)});
+
+        const metrics::EnergyModel energy(hw);
+        table.addRow({"energy (J/iter)",
+                      metrics::TablePrinter::num(
+                          energy.iterationEnergy(result.busy), 2)});
+        const auto instance = kind == sys::SystemKind::MultiGpu
+                                  ? metrics::AwsInstance::p3_16xlarge()
+                                  : metrics::AwsInstance::p3_2xlarge();
+        table.addRow(
+            {"$ / 1M iters (" + instance.name + ")",
+             metrics::TablePrinter::num(
+                 metrics::trainingCost(
+                     instance, result.seconds_per_iteration, 1'000'000),
+                 2)});
+
+        if (args.getBool("csv"))
+            table.printCsv(std::cout);
+        else
+            table.print(std::cout);
+    } catch (const FatalError &error) {
+        std::cerr << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

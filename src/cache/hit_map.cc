@@ -1,0 +1,144 @@
+#include "cache/hit_map.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace sp::cache
+{
+
+HitMap::HitMap(size_t expected_entries)
+{
+    size_t buckets = std::bit_ceil(std::max<size_t>(
+        16, expected_entries * 2));
+    entries_.assign(buckets, kEmptyEntry);
+    mask_ = buckets - 1;
+}
+
+uint32_t
+HitMap::hashKey(uint32_t key)
+{
+    // Finalizer of MurmurHash3: good avalanche for sequential IDs.
+    uint32_t h = key;
+    h ^= h >> 16;
+    h *= 0x85ebca6bu;
+    h ^= h >> 13;
+    h *= 0xc2b2ae35u;
+    h ^= h >> 16;
+    return h;
+}
+
+size_t
+HitMap::bucketFor(uint32_t key) const
+{
+    return hashKey(key) & mask_;
+}
+
+void
+HitMap::prefetch(uint32_t key) const
+{
+    __builtin_prefetch(entries_.data() + (hashKey(key) & mask_));
+}
+
+uint32_t
+HitMap::find(uint32_t key) const
+{
+    panicIf(key == kEmptyKey, "HitMap does not support key 0xffffffff");
+    size_t bucket = bucketFor(key);
+    for (;;) {
+        const uint64_t entry = entries_[bucket];
+        if (entry == kEmptyEntry)
+            return kNotFound;
+        if (static_cast<uint32_t>(entry >> 32) == key)
+            return static_cast<uint32_t>(entry);
+        bucket = (bucket + 1) & mask_;
+    }
+}
+
+void
+HitMap::insert(uint32_t key, uint32_t slot)
+{
+    panicIf(key == kEmptyKey, "HitMap does not support key 0xffffffff");
+    if ((size_ + 1) * 10 >= entries_.size() * 7)
+        grow();
+    size_t bucket = bucketFor(key);
+    while (entries_[bucket] != kEmptyEntry) {
+        panicIf(static_cast<uint32_t>(entries_[bucket] >> 32) == key,
+                "HitMap::insert of already-present key ", key);
+        bucket = (bucket + 1) & mask_;
+    }
+    entries_[bucket] = (static_cast<uint64_t>(key) << 32) | slot;
+    ++size_;
+}
+
+void
+HitMap::erase(uint32_t key)
+{
+    panicIf(key == kEmptyKey, "HitMap does not support key 0xffffffff");
+    size_t bucket = bucketFor(key);
+    while (static_cast<uint32_t>(entries_[bucket] >> 32) != key) {
+        panicIf(entries_[bucket] == kEmptyEntry,
+                "HitMap::erase of absent key ", key);
+        bucket = (bucket + 1) & mask_;
+    }
+
+    // Backward-shift deletion: close the probe chain without
+    // tombstones so load factor never degrades.
+    size_t hole = bucket;
+    size_t probe = (hole + 1) & mask_;
+    while (entries_[probe] != kEmptyEntry) {
+        const size_t home =
+            bucketFor(static_cast<uint32_t>(entries_[probe] >> 32));
+        // The entry at `probe` can fill the hole if its home bucket
+        // does not lie (cyclically) between hole (exclusive) and
+        // probe (inclusive).
+        const bool can_move =
+            ((probe - home) & mask_) >= ((probe - hole) & mask_);
+        if (can_move) {
+            entries_[hole] = entries_[probe];
+            hole = probe;
+        }
+        probe = (probe + 1) & mask_;
+    }
+    entries_[hole] = kEmptyEntry;
+    --size_;
+}
+
+void
+HitMap::clear()
+{
+    std::fill(entries_.begin(), entries_.end(), kEmptyEntry);
+    size_ = 0;
+}
+
+void
+HitMap::forEach(const std::function<void(uint32_t, uint32_t)> &fn) const
+{
+    for (const uint64_t entry : entries_) {
+        if (entry != kEmptyEntry)
+            fn(static_cast<uint32_t>(entry >> 32),
+               static_cast<uint32_t>(entry));
+    }
+}
+
+size_t
+HitMap::memoryBytes() const
+{
+    return entries_.capacity() * sizeof(uint64_t);
+}
+
+void
+HitMap::grow()
+{
+    std::vector<uint64_t> old_entries = std::move(entries_);
+    entries_.assign(old_entries.size() * 2, kEmptyEntry);
+    mask_ = entries_.size() - 1;
+    size_ = 0;
+    for (const uint64_t entry : old_entries) {
+        if (entry != kEmptyEntry)
+            insert(static_cast<uint32_t>(entry >> 32),
+                   static_cast<uint32_t>(entry));
+    }
+}
+
+} // namespace sp::cache

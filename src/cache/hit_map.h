@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The (key, value) store of the GPU embedding cache.
+ *
+ * The paper's Hit-Map maps a sparse feature ID (key) to the index of
+ * the cached embedding inside the Storage array (value); querying it
+ * classifies each lookup as hit or miss (Section IV-D). This is the
+ * hot structure of the whole runtime -- it sees every sparse ID of
+ * every mini-batch -- so it is a purpose-built open-addressing table:
+ * linear probing, power-of-two capacity, tombstone-free deletion via
+ * backward-shift, uint32 keys and values, zero allocation per op.
+ */
+
+#ifndef SP_CACHE_HIT_MAP_H
+#define SP_CACHE_HIT_MAP_H
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sp::cache
+{
+
+/** Open-addressing hash map: sparse ID -> Storage slot. */
+class HitMap
+{
+  public:
+    /** Sentinel returned by find() on miss. */
+    static constexpr uint32_t kNotFound = 0xffffffffu;
+
+    /** @param expected_entries sizing hint (grows as needed). */
+    explicit HitMap(size_t expected_entries = 64);
+
+    /** Number of live entries. */
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Slot for `key`, or kNotFound. */
+    uint32_t find(uint32_t key) const;
+
+    /** True if `key` is present. */
+    bool contains(uint32_t key) const { return find(key) != kNotFound; }
+
+    /**
+     * Insert key -> slot. The key must not already be present
+     * (the cache controller never double-inserts); panics otherwise.
+     */
+    void insert(uint32_t key, uint32_t slot);
+
+    /** Remove `key`; panics if absent (controller invariant). */
+    void erase(uint32_t key);
+
+    /** Remove all entries. */
+    void clear();
+
+    /** Visit every (key, slot) pair (unspecified order). */
+    void forEach(const std::function<void(uint32_t, uint32_t)> &fn) const;
+
+    /** Current bucket count (power of two). */
+    size_t capacity() const { return entries_.size(); }
+
+    /**
+     * Hint the cache hierarchy that `key` will be probed shortly.
+     * The controller's scan loops issue this a few IDs ahead; probe
+     * latency is the dominant cost of planning at paper scale.
+     */
+    void prefetch(uint32_t key) const;
+
+    /** Approximate heap bytes used (overhead accounting, §VI-D). */
+    size_t memoryBytes() const;
+
+  private:
+    static constexpr uint32_t kEmptyKey = 0xffffffffu;
+    // Key and value pack into one 64-bit entry (key in the high word)
+    // so every probe costs a single cache line touch.
+    static constexpr uint64_t kEmptyEntry = 0xffffffff00000000ull;
+
+    static uint32_t hashKey(uint32_t key);
+    size_t bucketFor(uint32_t key) const;
+    void grow();
+
+    std::vector<uint64_t> entries_;
+    size_t size_ = 0;
+    size_t mask_ = 0;
+};
+
+} // namespace sp::cache
+
+#endif // SP_CACHE_HIT_MAP_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Victim-selection policies for the dynamic GPU embedding cache.
+ *
+ * The ScratchPipe [Plan] stage asks for a victim slot whose Hold mask
+ * is zero; the policy decides *which* of the eligible slots to evict.
+ * The paper defaults to LRU and reports robustness under Random and
+ * LFU (Section VI-E), so all three are implemented (plus FIFO) behind
+ * one interface. chooseVictim takes an eligibility predicate -- the
+ * hold-mask check -- and must never return an ineligible slot.
+ */
+
+#ifndef SP_CACHE_REPLACEMENT_H
+#define SP_CACHE_REPLACEMENT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace sp::cache
+{
+
+/** Which victim-selection policy a cache uses. */
+enum class PolicyKind
+{
+    Lru,
+    Lfu,
+    Random,
+    Fifo,
+};
+
+const char *policyName(PolicyKind kind);
+PolicyKind policyFromName(const std::string &name);
+
+/** Interface shared by all replacement policies. */
+class ReplacementPolicy
+{
+  public:
+    /** Returned when no eligible victim exists. */
+    static constexpr uint32_t kNoVictim = 0xffffffffu;
+
+    virtual ~ReplacementPolicy() = default;
+
+    /** Reset all state for a cache with `num_slots` slots. */
+    virtual void reset(uint32_t num_slots) = 0;
+
+    /** Record a reference to `slot` (hit or new insertion). */
+    virtual void touch(uint32_t slot) = 0;
+
+    /**
+     * Pick an eviction victim among slots where eligible(slot) is
+     * true. Returns kNoVictim when every slot is ineligible (the
+     * capacity-bound failure the controller turns into fatal()).
+     */
+    virtual uint32_t
+    chooseVictim(const std::function<bool(uint32_t)> &eligible) = 0;
+
+    virtual PolicyKind kind() const = 0;
+};
+
+/** Construct a policy instance. `seed` feeds the Random policy. */
+std::unique_ptr<ReplacementPolicy> makePolicy(PolicyKind kind,
+                                              uint64_t seed = 1);
+
+} // namespace sp::cache
+
+#endif // SP_CACHE_REPLACEMENT_H

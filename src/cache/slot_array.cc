@@ -1,0 +1,35 @@
+#include "cache/slot_array.h"
+
+#include "common/logging.h"
+
+namespace sp::cache
+{
+
+SlotArray::SlotArray(uint32_t num_slots, size_t dim, Backing backing)
+    : num_slots_(num_slots), dim_(dim), backing_(backing)
+{
+    fatalIf(num_slots == 0, "SlotArray needs at least one slot");
+    fatalIf(dim == 0, "SlotArray dimension must be positive");
+    if (backing_ == Backing::Dense)
+        data_.assign(static_cast<size_t>(num_slots) * dim, 0.0f);
+}
+
+float *
+SlotArray::slot(uint32_t index)
+{
+    panicIf(!isDense(), "slot access on phantom SlotArray");
+    panicIf(index >= num_slots_, "slot ", index, " out of range (",
+            num_slots_, " slots)");
+    return data_.data() + static_cast<size_t>(index) * dim_;
+}
+
+const float *
+SlotArray::slot(uint32_t index) const
+{
+    panicIf(!isDense(), "slot access on phantom SlotArray");
+    panicIf(index >= num_slots_, "slot ", index, " out of range (",
+            num_slots_, " slots)");
+    return data_.data() + static_cast<size_t>(index) * dim_;
+}
+
+} // namespace sp::cache

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Static top-N GPU embedding cache (the Yin et al. baseline).
+ *
+ * The cache is filled once with the N most frequently accessed rows of
+ * a table and never evicts (paper Fig. 4(b)). Queries split a batch's
+ * sparse IDs into hit IDs (serviced from GPU memory) and missed IDs
+ * (serviced from the CPU embedding table); both halves are trained in
+ * place, so the cache additionally exposes slot-level access to its
+ * dense storage for the functional engine.
+ */
+
+#ifndef SP_CACHE_STATIC_CACHE_H
+#define SP_CACHE_STATIC_CACHE_H
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cache/hit_map.h"
+#include "cache/slot_array.h"
+#include "emb/embedding_table.h"
+
+namespace sp::cache
+{
+
+/** Hit/miss split of one batch's sparse IDs, preserving trace order. */
+struct QuerySplit
+{
+    /** hit_mask[i] is true iff ids[i] hit the cache. */
+    std::vector<bool> hit_mask;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Never-evicting cache of the top-N hottest rows of one table. */
+class StaticCache
+{
+  public:
+    /**
+     * @param cached_rows Row IDs to cache (e.g. the first k entries of
+     *                    AccessStats::rankedRows); slot i holds
+     *                    cached_rows[i].
+     * @param dim Embedding dimension.
+     * @param backing Dense for functional runs, Phantom for timing.
+     */
+    StaticCache(std::span<const uint32_t> cached_rows, size_t dim,
+                SlotArray::Backing backing = SlotArray::Backing::Dense);
+
+    uint32_t numSlots() const { return storage_.numSlots(); }
+    size_t dim() const { return storage_.dim(); }
+
+    /** Classify each ID of a batch as hit or miss. */
+    QuerySplit query(std::span<const uint32_t> ids) const;
+
+    /** Slot for `id`, or HitMap::kNotFound. */
+    uint32_t slotFor(uint32_t id) const { return map_.find(id); }
+
+    /** Copy the cached rows' current values from a dense table. */
+    void fillFrom(const emb::EmbeddingTable &table);
+
+    /** Write every cached row's value back into a dense table. */
+    void flushTo(emb::EmbeddingTable &table) const;
+
+    /** Row accessor over cached IDs (panics on non-cached IDs). */
+    class Accessor : public emb::RowAccessor
+    {
+      public:
+        explicit Accessor(StaticCache &cache) : cache_(cache) {}
+        float *row(uint32_t id) override;
+        const float *row(uint32_t id) const override;
+        size_t dim() const override { return cache_.dim(); }
+
+      private:
+        StaticCache &cache_;
+    };
+
+    Accessor accessor() { return Accessor(*this); }
+
+    /** The cached row ID held by a slot. */
+    uint32_t rowOfSlot(uint32_t slot) const;
+
+  private:
+    std::vector<uint32_t> cached_rows_;
+    HitMap map_;
+    SlotArray storage_;
+};
+
+} // namespace sp::cache
+
+#endif // SP_CACHE_STATIC_CACHE_H

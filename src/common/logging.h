@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * fatal(): the run cannot continue because of a user-level error (bad
+ * configuration, impossible parameter combination). Throws
+ * sp::FatalError so callers (and tests) can observe it.
+ *
+ * panic(): an internal invariant was violated -- a bug in this library,
+ * never the user's fault. Also throws, with a distinct type, so the
+ * property tests can assert that specific hazards are caught.
+ */
+
+#ifndef SP_COMMON_LOGGING_H
+#define SP_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sp
+{
+
+/** Raised by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Raised by panic(): an internal invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Abort the run due to a user-level error (bad config, bad args). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Abort the run due to an internal invariant violation (library bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Check a condition that is the user's responsibility. */
+template <typename... Args>
+void
+fatalIf(bool cond, const Args &...args)
+{
+    if (cond)
+        fatal(args...);
+}
+
+/** Check an internal invariant. */
+template <typename... Args>
+void
+panicIf(bool cond, const Args &...args)
+{
+    if (cond)
+        panic(args...);
+}
+
+} // namespace sp
+
+#endif // SP_COMMON_LOGGING_H

@@ -1,0 +1,194 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sp::core
+{
+
+ScratchPipeController::ScratchPipeController(const ControllerConfig &config)
+    : config_(config), map_(config.num_slots),
+      holds_(config.num_slots, config.past_window, config.future_window),
+      policy_(cache::makePolicy(config.policy, config.policy_seed)),
+      storage_(config.num_slots, config.dim, config.backing),
+      slot_key_(config.num_slots, kNoKey)
+{
+    fatalIf(config.num_slots == 0,
+            "ScratchPipe controller needs at least one slot");
+    fatalIf(config.dim == 0, "embedding dimension must be positive");
+    policy_->reset(config.num_slots);
+
+    if (config.warm_start) {
+        fatalIf(storage_.isDense(),
+                "warm_start requires phantom Storage (no values exist "
+                "for the pre-resident rows)");
+        fatalIf(config.num_slots > (1ull << 31),
+                "warm_start slot count out of row-ID range");
+        // Resident set = rows 0..num_slots-1 (the hottest ranks).
+        // Touch order makes slot 0 the MRU end, matching where a long
+        // LRU run on a rank-ordered Zipf trace converges.
+        for (uint32_t slot = config.num_slots; slot-- > 0;) {
+            map_.insert(slot, slot);
+            slot_key_[slot] = slot;
+            policy_->touch(slot);
+        }
+    }
+}
+
+PlanResult
+ScratchPipeController::plan(
+    std::span<const uint32_t> current_ids,
+    std::span<const std::span<const uint32_t>> future_ids)
+{
+    PlanResult result;
+
+    // Step B of Algorithm 1: slide the window.
+    holds_.advance();
+
+    // Build the protected superset *before* any victim is chosen
+    // (Section IV-C: the window's IDs are "ruled out from cache
+    // eviction candidates"). Algorithm 1's listing interleaves hit
+    // marking with victim selection; marking the current batch's
+    // resident rows and the future window first is the order that
+    // actually removes RAW-4 -- otherwise an early miss could evict a
+    // row a later lookup of this very window still needs.
+    //
+    // With future_window >= 2 the current pre-mark pass is redundant:
+    // every resident row of this batch was already future-marked by
+    // the previous two plans (each scanned this batch at distance 1
+    // and 2 *before* selecting its own victims), or current-marked by
+    // the plan that inserted it within the past window. Narrower
+    // windows (the straw-man's 0) lack that cover, so the pass stays.
+    // Probe latency against the multi-MB Hit-Map dominates planning
+    // at paper scale; each scan loop prefetches a few IDs ahead.
+    constexpr size_t kPrefetch = 12;
+    if (config_.future_window < 2) {
+        for (size_t i = 0; i < current_ids.size(); ++i) {
+            if (i + kPrefetch < current_ids.size())
+                map_.prefetch(current_ids[i + kPrefetch]);
+            const uint32_t slot = map_.find(current_ids[i]);
+            if (slot != cache::HitMap::kNotFound)
+                holds_.markCurrent(slot);
+        }
+    }
+    const uint32_t window =
+        std::min<uint32_t>(config_.future_window,
+                           static_cast<uint32_t>(future_ids.size()));
+    for (uint32_t d = 1; d <= window; ++d) {
+        const auto ids = future_ids[d - 1];
+        for (size_t i = 0; i < ids.size(); ++i) {
+            if (i + kPrefetch < ids.size())
+                map_.prefetch(ids[i + kPrefetch]);
+            const uint32_t slot = map_.find(ids[i]);
+            if (slot != cache::HitMap::kNotFound)
+                holds_.markFuture(slot, d);
+        }
+    }
+
+    // Step C: classify the current batch and assign victims to misses.
+    for (size_t i = 0; i < current_ids.size(); ++i) {
+        if (i + kPrefetch < current_ids.size())
+            map_.prefetch(current_ids[i + kPrefetch]);
+        const uint32_t id = current_ids[i];
+        uint32_t slot = map_.find(id);
+        if (slot != cache::HitMap::kNotFound) {
+            ++result.hits;
+            policy_->touch(slot);
+            holds_.markCurrent(slot);
+            continue;
+        }
+
+        ++result.misses;
+        const uint32_t victim = policy_->chooseVictim(
+            [this](uint32_t s) { return !holds_.isHeld(s); });
+        fatalIf(victim == cache::ReplacementPolicy::kNoVictim,
+                "scratchpad under-provisioned: all ", config_.num_slots,
+                " slots are held by in-flight mini-batches; provision at "
+                "least the worst-case window working set (paper §VI-D)");
+
+        const uint32_t old_key = slot_key_[victim];
+        if (old_key != kNoKey) {
+            map_.erase(old_key);
+            result.evictions.push_back(EvictOp{old_key, victim});
+        }
+        map_.insert(id, victim);
+        slot_key_[victim] = id;
+        result.fills.push_back(FillOp{id, victim});
+        policy_->touch(victim);
+        holds_.markCurrent(victim);
+    }
+
+    ++stats_.plans;
+    stats_.hits += result.hits;
+    stats_.misses += result.misses;
+    stats_.fills += result.fills.size();
+    stats_.evictions += result.evictions.size();
+    return result;
+}
+
+bool
+ScratchPipeController::isResident(uint32_t id) const
+{
+    return map_.contains(id);
+}
+
+uint32_t
+ScratchPipeController::slotOf(uint32_t id) const
+{
+    const uint32_t slot = map_.find(id);
+    panicIf(slot == cache::HitMap::kNotFound,
+            "ID ", id, " is not resident in the scratchpad");
+    return slot;
+}
+
+float *
+ScratchPipeController::Accessor::row(uint32_t id)
+{
+    return controller_.storage_.slot(controller_.slotOf(id));
+}
+
+const float *
+ScratchPipeController::Accessor::row(uint32_t id) const
+{
+    return controller_.storage_.slot(controller_.slotOf(id));
+}
+
+void
+ScratchPipeController::flushTo(emb::EmbeddingTable &table) const
+{
+    panicIf(table.dim() != config_.dim,
+            "dimension mismatch flushing scratchpad");
+    map_.forEach([this, &table](uint32_t key, uint32_t slot) {
+        std::memcpy(table.row(key), storage_.slot(slot),
+                    storage_.rowBytes());
+    });
+}
+
+void
+ScratchPipeController::forEachResident(
+    const std::function<void(uint32_t, uint32_t)> &fn) const
+{
+    map_.forEach(fn);
+}
+
+uint32_t
+ScratchPipeController::worstCaseSlots(uint32_t past_window,
+                                      uint32_t future_window,
+                                      size_t ids_per_batch)
+{
+    // Every batch in the window (past + current + future) may pin a
+    // fully distinct set of IDs.
+    const uint64_t batches = past_window + 1ull + future_window;
+    return static_cast<uint32_t>(batches * ids_per_batch);
+}
+
+size_t
+ScratchPipeController::metadataBytes() const
+{
+    return map_.memoryBytes() + holds_.memoryBytes() +
+           slot_key_.capacity() * sizeof(uint32_t);
+}
+
+} // namespace sp::core

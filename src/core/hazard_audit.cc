@@ -1,0 +1,91 @@
+#include "core/hazard_audit.h"
+
+#include "common/logging.h"
+
+namespace sp::core
+{
+
+void
+HazardAuditor::beginCycle(uint64_t cycle)
+{
+    panicIf(in_cycle_, "beginCycle without endCycle");
+    current_cycle_ = cycle;
+    in_cycle_ = true;
+    tables_.clear();
+}
+
+HazardAuditor::TableAccesses &
+HazardAuditor::tableAccess(size_t table)
+{
+    panicIf(!in_cycle_, "hazard access recorded outside a cycle");
+    return tables_[table];
+}
+
+void
+HazardAuditor::collectReadsVictimSlot(size_t table, uint32_t slot)
+{
+    tableAccess(table).victim_slot_reads.insert(slot);
+    ++checked_;
+}
+
+void
+HazardAuditor::insertWritesSlot(size_t table, uint32_t slot)
+{
+    tableAccess(table).insert_slot_writes.insert(slot);
+    ++checked_;
+}
+
+void
+HazardAuditor::trainWritesSlot(size_t table, uint32_t slot)
+{
+    tableAccess(table).train_slot_writes.insert(slot);
+    ++checked_;
+}
+
+void
+HazardAuditor::collectReadsCpuRow(size_t table, uint32_t row)
+{
+    tableAccess(table).collect_row_reads.insert(row);
+    ++checked_;
+}
+
+void
+HazardAuditor::insertWritesCpuRow(size_t table, uint32_t row)
+{
+    tableAccess(table).insert_row_writes.insert(row);
+    ++checked_;
+}
+
+void
+HazardAuditor::endCycle()
+{
+    panicIf(!in_cycle_, "endCycle without beginCycle");
+    for (const auto &[table, access] : tables_) {
+        for (uint32_t slot : access.victim_slot_reads) {
+            panicIf(access.train_slot_writes.count(slot) > 0,
+                    "RAW-2 hazard: cycle ", current_cycle_, " table ",
+                    table, " slot ", slot,
+                    " read as victim while [Train] writes it");
+            panicIf(access.insert_slot_writes.count(slot) > 0,
+                    "RAW-3 hazard: cycle ", current_cycle_, " table ",
+                    table, " slot ", slot,
+                    " read as victim while [Insert] fills it");
+        }
+        for (uint32_t slot : access.insert_slot_writes) {
+            panicIf(access.train_slot_writes.count(slot) > 0,
+                    "WAW hazard: cycle ", current_cycle_, " table ",
+                    table, " slot ", slot,
+                    " written by both [Insert] and [Train]");
+        }
+        for (uint32_t row : access.collect_row_reads) {
+            panicIf(access.insert_row_writes.count(row) > 0,
+                    "RAW-4 hazard: cycle ", current_cycle_, " table ",
+                    table, " CPU row ", row,
+                    " gathered while [Insert] writes it back");
+        }
+    }
+    in_cycle_ = false;
+    ++cycles_;
+}
+
+} // namespace sp::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Runtime auditor for the pipeline's RAW hazard freedom.
+ *
+ * The paper's correctness argument (Section IV-C) is that the Hold
+ * masks make all concurrently executing stages touch disjoint
+ * locations. The auditor turns that argument into a checked property:
+ * the functional pipeline reports every scratchpad-slot and CPU-row
+ * access of every stage, tagged by pipeline cycle, and at the end of
+ * each cycle the auditor verifies the disjointness relations:
+ *
+ *   RAW-2/3: slots written by [Train]/[Insert] are never read as
+ *            eviction victims by [Collect] in the same cycle;
+ *   WAW:     [Train] and [Insert] never write the same slot in the
+ *            same cycle;
+ *   RAW-4:   CPU rows written back by [Insert] are never read by
+ *            [Collect] in the same cycle.
+ *
+ * Violations panic() -- the property tests assert both that correct
+ * windows never panic and that deliberately shrunk windows do.
+ */
+
+#ifndef SP_CORE_HAZARD_AUDIT_H
+#define SP_CORE_HAZARD_AUDIT_H
+
+#include <cstdint>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sp::core
+{
+
+/** Per-cycle access recorder and disjointness checker. */
+class HazardAuditor
+{
+  public:
+    /** Start recording a new pipeline cycle. */
+    void beginCycle(uint64_t cycle);
+
+    /** [Collect] reads this slot as an eviction victim. */
+    void collectReadsVictimSlot(size_t table, uint32_t slot);
+
+    /** [Insert] fills this slot with a prefetched row. */
+    void insertWritesSlot(size_t table, uint32_t slot);
+
+    /** [Train] scatter-updates this slot. */
+    void trainWritesSlot(size_t table, uint32_t slot);
+
+    /** [Collect] gathers this CPU-table row (a miss fetch). */
+    void collectReadsCpuRow(size_t table, uint32_t row);
+
+    /** [Insert] writes this CPU-table row back (a dirty eviction). */
+    void insertWritesCpuRow(size_t table, uint32_t row);
+
+    /** Run the disjointness checks for the recorded cycle. */
+    void endCycle();
+
+    /** Total accesses checked so far (test introspection). */
+    uint64_t checkedAccesses() const { return checked_; }
+
+    /** Cycles audited so far. */
+    uint64_t cyclesAudited() const { return cycles_; }
+
+  private:
+    struct TableAccesses
+    {
+        std::unordered_set<uint32_t> victim_slot_reads;
+        std::unordered_set<uint32_t> insert_slot_writes;
+        std::unordered_set<uint32_t> train_slot_writes;
+        std::unordered_set<uint32_t> collect_row_reads;
+        std::unordered_set<uint32_t> insert_row_writes;
+    };
+
+    TableAccesses &tableAccess(size_t table);
+
+    uint64_t current_cycle_ = 0;
+    bool in_cycle_ = false;
+    uint64_t checked_ = 0;
+    uint64_t cycles_ = 0;
+    std::unordered_map<size_t, TableAccesses> tables_;
+};
+
+} // namespace sp::core
+
+#endif // SP_CORE_HAZARD_AUDIT_H

@@ -1,0 +1,106 @@
+#include "data/access_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace sp::data
+{
+
+AccessStats::AccessStats(size_t num_tables, uint64_t rows_per_table)
+    : rows_per_table_(rows_per_table)
+{
+    fatalIf(num_tables == 0, "AccessStats needs at least one table");
+    counts_.resize(num_tables);
+    for (auto &c : counts_)
+        c.assign(rows_per_table, 0);
+}
+
+void
+AccessStats::addBatch(const MiniBatch &batch)
+{
+    panicIf(batch.numTables() != counts_.size(),
+            "batch has ", batch.numTables(), " tables, stats track ",
+            counts_.size());
+    for (size_t t = 0; t < counts_.size(); ++t) {
+        auto &table_counts = counts_[t];
+        for (uint32_t id : batch.table_ids[t]) {
+            panicIf(id >= rows_per_table_, "ID ", id,
+                    " out of range for table with ", rows_per_table_,
+                    " rows");
+            ++table_counts[id];
+        }
+    }
+}
+
+void
+AccessStats::addDataset(const TraceDataset &dataset)
+{
+    for (uint64_t b = 0; b < dataset.numBatches(); ++b)
+        addBatch(dataset.batch(b));
+}
+
+uint64_t
+AccessStats::totalAccesses(size_t table) const
+{
+    panicIf(table >= counts_.size(), "table index out of range");
+    return std::accumulate(counts_[table].begin(), counts_[table].end(),
+                           uint64_t{0});
+}
+
+const std::vector<uint64_t> &
+AccessStats::counts(size_t table) const
+{
+    panicIf(table >= counts_.size(), "table index out of range");
+    return counts_[table];
+}
+
+std::vector<uint64_t>
+AccessStats::sortedCounts(size_t table) const
+{
+    std::vector<uint64_t> sorted = counts(table);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    return sorted;
+}
+
+double
+AccessStats::coverage(size_t table, double top_fraction) const
+{
+    fatalIf(top_fraction < 0.0 || top_fraction > 1.0,
+            "top_fraction must be in [0,1], got ", top_fraction);
+    const auto sorted = sortedCounts(table);
+    const uint64_t total = totalAccesses(table);
+    if (total == 0)
+        return 0.0;
+    const size_t top = static_cast<size_t>(
+        top_fraction * static_cast<double>(sorted.size()));
+    uint64_t captured = 0;
+    for (size_t i = 0; i < top; ++i)
+        captured += sorted[i];
+    return static_cast<double>(captured) / static_cast<double>(total);
+}
+
+std::vector<uint32_t>
+AccessStats::rankedRows(size_t table) const
+{
+    const auto &table_counts = counts(table);
+    std::vector<uint32_t> order(table_counts.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&table_counts](uint32_t a, uint32_t b) {
+                         return table_counts[a] > table_counts[b];
+                     });
+    return order;
+}
+
+uint64_t
+AccessStats::uniqueRows(size_t table) const
+{
+    const auto &table_counts = counts(table);
+    return static_cast<uint64_t>(
+        std::count_if(table_counts.begin(), table_counts.end(),
+                      [](uint64_t c) { return c > 0; }));
+}
+
+} // namespace sp::data

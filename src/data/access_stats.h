@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Access-frequency statistics over traces.
+ *
+ * Backs two figures: the sorted access-count curves of Fig. 3 and the
+ * hit-rate-vs-cache-size sweeps of Fig. 6 (via coverage()). Also
+ * supplies the frequency ranking the static top-N cache of Yin et al.
+ * is built from.
+ */
+
+#ifndef SP_DATA_ACCESS_STATS_H
+#define SP_DATA_ACCESS_STATS_H
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace sp::data
+{
+
+/** Per-table access histogram accumulated over mini-batches. */
+class AccessStats
+{
+  public:
+    /**
+     * @param num_tables Tables to track.
+     * @param rows_per_table Rows per table (histogram width).
+     */
+    AccessStats(size_t num_tables, uint64_t rows_per_table);
+
+    /** Accumulate every sparse ID of one mini-batch. */
+    void addBatch(const MiniBatch &batch);
+
+    /** Accumulate an entire dataset. */
+    void addDataset(const TraceDataset &dataset);
+
+    /** Total accesses recorded for table t. */
+    uint64_t totalAccesses(size_t table) const;
+
+    /** Raw per-row counts for table t. */
+    const std::vector<uint64_t> &counts(size_t table) const;
+
+    /** Access counts of table t sorted descending (Fig. 3 curves). */
+    std::vector<uint64_t> sortedCounts(size_t table) const;
+
+    /**
+     * Fraction of accesses captured by the `top_fraction` most
+     * frequently accessed rows of table t (Fig. 6 / static-cache hit
+     * rate upper bound).
+     */
+    double coverage(size_t table, double top_fraction) const;
+
+    /**
+     * Row IDs of table t ranked by descending access count; the first
+     * k entries are the static cache contents for capacity k.
+     */
+    std::vector<uint32_t> rankedRows(size_t table) const;
+
+    /** Number of distinct rows of table t that were ever accessed. */
+    uint64_t uniqueRows(size_t table) const;
+
+  private:
+    uint64_t rows_per_table_;
+    std::vector<std::vector<uint64_t>> counts_;
+};
+
+} // namespace sp::data
+
+#endif // SP_DATA_ACCESS_STATS_H

@@ -1,0 +1,157 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace sp::data
+{
+
+namespace
+{
+
+constexpr uint64_t kMagic = 0x5343525450495045ull; // "SCRTPIPE"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ofstream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::ifstream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+}
+
+} // namespace
+
+TraceDataset::TraceDataset(const TraceConfig &config, uint64_t num_batches)
+    : config_(config), generator_(config)
+{
+    fatalIf(num_batches == 0, "dataset needs at least one batch");
+    batches_.reserve(num_batches);
+    for (uint64_t i = 0; i < num_batches; ++i)
+        batches_.push_back(generator_.makeBatch(i));
+}
+
+TraceDataset::TraceDataset(const TraceConfig &config,
+                           std::vector<MiniBatch> batches)
+    : config_(config), generator_(config), batches_(std::move(batches))
+{
+    fatalIf(batches_.empty(), "dataset needs at least one batch");
+}
+
+const MiniBatch &
+TraceDataset::batch(uint64_t index) const
+{
+    panicIf(index >= batches_.size(), "batch index ", index,
+            " out of range (", batches_.size(), " batches)");
+    return batches_[index];
+}
+
+const MiniBatch *
+TraceDataset::lookAhead(uint64_t index, uint64_t distance) const
+{
+    const uint64_t target = index + distance;
+    if (target >= batches_.size())
+        return nullptr;
+    return &batches_[target];
+}
+
+tensor::Matrix
+TraceDataset::denseFeatures(uint64_t index) const
+{
+    return generator_.makeDenseFeatures(index);
+}
+
+tensor::Matrix
+TraceDataset::labels(uint64_t index) const
+{
+    return generator_.makeLabels(index);
+}
+
+void
+TraceDataset::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    fatalIf(!os, "cannot open '", path, "' for writing");
+
+    writePod(os, kMagic);
+    writePod(os, kVersion);
+    writePod(os, static_cast<uint64_t>(config_.num_tables));
+    writePod(os, config_.rows_per_table);
+    writePod(os, static_cast<uint64_t>(config_.lookups_per_table));
+    writePod(os, static_cast<uint64_t>(config_.batch_size));
+    writePod(os, static_cast<uint64_t>(config_.locality));
+    writePod(os, config_.seed);
+    writePod(os, static_cast<uint64_t>(config_.dense_features));
+    writePod(os, static_cast<uint64_t>(batches_.size()));
+
+    for (const auto &batch : batches_) {
+        writePod(os, batch.index);
+        for (const auto &ids : batch.table_ids) {
+            os.write(reinterpret_cast<const char *>(ids.data()),
+                     static_cast<std::streamsize>(ids.size() *
+                                                  sizeof(uint32_t)));
+        }
+    }
+    fatalIf(!os, "I/O error while writing '", path, "'");
+}
+
+TraceDataset
+TraceDataset::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open '", path, "' for reading");
+
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    readPod(is, magic);
+    readPod(is, version);
+    fatalIf(magic != kMagic, "'", path, "' is not a ScratchPipe trace");
+    fatalIf(version != kVersion, "unsupported trace version ", version);
+
+    TraceConfig config;
+    uint64_t num_tables = 0, lookups = 0, batch_size = 0, locality = 0;
+    uint64_t dense = 0, num_batches = 0;
+    readPod(is, num_tables);
+    readPod(is, config.rows_per_table);
+    readPod(is, lookups);
+    readPod(is, batch_size);
+    readPod(is, locality);
+    readPod(is, config.seed);
+    readPod(is, dense);
+    readPod(is, num_batches);
+    config.num_tables = num_tables;
+    config.lookups_per_table = lookups;
+    config.batch_size = batch_size;
+    config.locality = static_cast<Locality>(locality);
+    config.dense_features = dense;
+
+    std::vector<MiniBatch> batches;
+    batches.reserve(num_batches);
+    const size_t ids_per_table = config.idsPerTable();
+    for (uint64_t b = 0; b < num_batches; ++b) {
+        MiniBatch batch;
+        readPod(is, batch.index);
+        batch.batch_size = config.batch_size;
+        batch.lookups_per_table = config.lookups_per_table;
+        batch.table_ids.resize(config.num_tables);
+        for (auto &ids : batch.table_ids) {
+            ids.resize(ids_per_table);
+            is.read(reinterpret_cast<char *>(ids.data()),
+                    static_cast<std::streamsize>(ids.size() *
+                                                 sizeof(uint32_t)));
+        }
+        batches.push_back(std::move(batch));
+    }
+    fatalIf(!is, "I/O error while reading '", path, "'");
+    return TraceDataset(config, std::move(batches));
+}
+
+} // namespace sp::data

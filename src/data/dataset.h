@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Materialised training dataset with look-ahead.
+ *
+ * TraceDataset owns a window of pre-generated mini-batches and exposes
+ * the capability the paper builds on: any consumer may inspect not only
+ * the current mini-batch's sparse IDs but those of *future* batches
+ * (the dataset is recorded ahead of time). The ScratchPipe [Plan] stage
+ * uses lookAhead() to build its future window; the baseline systems
+ * simply iterate.
+ *
+ * Datasets can be saved to and loaded from a compact binary format so
+ * experiments can be re-run on the exact same trace.
+ */
+
+#ifndef SP_DATA_DATASET_H
+#define SP_DATA_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/trace.h"
+
+namespace sp::data
+{
+
+/** A fixed-length, fully materialised trace of mini-batches. */
+class TraceDataset
+{
+  public:
+    /** Generate `num_batches` mini-batches from `config`. */
+    TraceDataset(const TraceConfig &config, uint64_t num_batches);
+
+    /** Construct from pre-built batches (used by the loader). */
+    TraceDataset(const TraceConfig &config,
+                 std::vector<MiniBatch> batches);
+
+    const TraceConfig &config() const { return config_; }
+    uint64_t numBatches() const { return batches_.size(); }
+
+    /** The mini-batch at position `index` (0-based). */
+    const MiniBatch &batch(uint64_t index) const;
+
+    /**
+     * Look-ahead access: the mini-batch `distance` iterations after
+     * `index`, or nullptr when that runs past the end of the trace.
+     * distance 0 is the batch itself.
+     */
+    const MiniBatch *lookAhead(uint64_t index, uint64_t distance) const;
+
+    /** Dense features for batch `index` (functional runs). */
+    tensor::Matrix denseFeatures(uint64_t index) const;
+
+    /** Labels for batch `index` (functional runs). */
+    tensor::Matrix labels(uint64_t index) const;
+
+    /** Serialise to a binary file; fatal() on I/O errors. */
+    void save(const std::string &path) const;
+
+    /** Load a dataset previously written by save(). */
+    static TraceDataset load(const std::string &path);
+
+  private:
+    TraceConfig config_;
+    TraceGenerator generator_;
+    std::vector<MiniBatch> batches_;
+};
+
+} // namespace sp::data
+
+#endif // SP_DATA_DATASET_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Locality presets for synthetic embedding-access traces.
+ *
+ * The paper evaluates four benchmarks -- Random, Low, Medium, High --
+ * generated from PDFs fit to real datasets (Section V):
+ *
+ *  - Random: uniform access (no locality), the stress floor.
+ *  - Low:    Alibaba User-table-like; top 2% of rows capture only
+ *            ~8.5% of accesses.
+ *  - Medium: MovieLens / Kaggle-Anime-like; intermediate skew.
+ *  - High:   Criteo-like; top 2% of rows capture >80% of accesses.
+ *
+ * We realise each preset as a Zipf exponent chosen so the exact
+ * top-2% coverage at the paper's table size (10M rows) matches the
+ * quoted anchor. zipfTopCoverage() in zipf.h verifies this analytically
+ * (see tests/data).
+ */
+
+#ifndef SP_DATA_LOCALITY_H
+#define SP_DATA_LOCALITY_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sp::data
+{
+
+/** The paper's four trace-locality classes. */
+enum class Locality
+{
+    Random,
+    Low,
+    Medium,
+    High,
+};
+
+/** All presets in the paper's presentation order. */
+inline constexpr std::array<Locality, 4> kAllLocalities = {
+    Locality::Random, Locality::Low, Locality::Medium, Locality::High};
+
+/** Zipf exponent realising the preset (0 for Random). */
+double zipfExponent(Locality locality);
+
+/** Human-readable preset name ("Random", "Low", ...). */
+const char *localityName(Locality locality);
+
+/** Parse a preset name (case-insensitive); fatal() on unknown names. */
+Locality localityFromName(const std::string &name);
+
+/**
+ * Paper-quoted anchor: fraction of accesses captured by the hottest 2%
+ * of rows for this preset (at 10M rows). Used by calibration tests.
+ */
+double expectedTop2PercentCoverage(Locality locality);
+
+} // namespace sp::data
+
+#endif // SP_DATA_LOCALITY_H

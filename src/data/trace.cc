@@ -1,0 +1,136 @@
+#include "data/trace.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sp::data
+{
+
+namespace
+{
+
+// Distinct stream kinds keep ID, dense and label streams independent.
+constexpr uint64_t kStreamIds = 0x1d5;
+constexpr uint64_t kStreamDense = 0xd3e;
+constexpr uint64_t kStreamLabel = 0x1ab;
+
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const TraceConfig &config) : config_(config)
+{
+    fatalIf(config_.num_tables == 0, "trace needs at least one table");
+    fatalIf(config_.rows_per_table == 0, "tables need at least one row");
+    fatalIf(config_.batch_size == 0, "batch size must be positive");
+    fatalIf(config_.lookups_per_table == 0,
+            "lookups per table must be positive");
+    fatalIf(!config_.per_table_exponents.empty() &&
+                config_.per_table_exponents.size() != config_.num_tables,
+            "per_table_exponents must have one entry per table (",
+            config_.num_tables, "), got ",
+            config_.per_table_exponents.size());
+
+    samplers_.reserve(config_.num_tables);
+    for (size_t t = 0; t < config_.num_tables; ++t)
+        samplers_.emplace_back(config_.rows_per_table, tableExponent(t));
+}
+
+double
+TraceGenerator::tableExponent(size_t table) const
+{
+    panicIf(table >= config_.num_tables, "table index out of range");
+    if (!config_.per_table_exponents.empty())
+        return config_.per_table_exponents[table];
+    return zipfExponent(config_.locality);
+}
+
+uint64_t
+TraceGenerator::streamSeed(uint64_t stream_kind, uint64_t table,
+                           uint64_t index) const
+{
+    uint64_t h = config_.seed;
+    h = mix64(h ^ (stream_kind * 0x9e3779b97f4a7c15ull));
+    h = mix64(h ^ (table + 1));
+    h = mix64(h ^ (index + 1));
+    return h;
+}
+
+MiniBatch
+TraceGenerator::makeBatch(uint64_t index) const
+{
+    MiniBatch batch;
+    batch.index = index;
+    batch.batch_size = config_.batch_size;
+    batch.lookups_per_table = config_.lookups_per_table;
+    batch.table_ids.resize(config_.num_tables);
+
+    const size_t ids_per_table = config_.idsPerTable();
+    for (size_t t = 0; t < config_.num_tables; ++t) {
+        tensor::Rng rng(streamSeed(kStreamIds, t, index));
+        auto &ids = batch.table_ids[t];
+        ids.resize(ids_per_table);
+        for (size_t i = 0; i < ids_per_table; ++i)
+            ids[i] = samplers_[t].sample(rng);
+    }
+    return batch;
+}
+
+tensor::Matrix
+TraceGenerator::makeDenseFeatures(uint64_t index) const
+{
+    tensor::Rng rng(streamSeed(kStreamDense, 0, index));
+    tensor::Matrix dense(config_.batch_size, config_.dense_features);
+    dense.fillNormal(rng, 1.0f);
+    return dense;
+}
+
+tensor::Matrix
+TraceGenerator::makeLabels(uint64_t index) const
+{
+    // Hidden CTR model with two learnable components: a fixed +/-1
+    // weighting of the dense features (reachable through the bottom
+    // MLP) and a +/-1 hash of every looked-up row ID (reachable only
+    // through the embedding tables). The label is a Bernoulli draw on
+    // the sigmoid of the combined score, so training has real signal
+    // to extract along both paths.
+    const MiniBatch batch = makeBatch(index);
+    const tensor::Matrix dense = makeDenseFeatures(index);
+    tensor::Rng rng(streamSeed(kStreamLabel, 0, index));
+    tensor::Matrix labels(config_.batch_size, 1);
+
+    const size_t lookups = config_.lookups_per_table;
+    const double id_scale =
+        1.5 / std::sqrt(static_cast<double>(config_.num_tables * lookups));
+    const double dense_scale =
+        1.5 / std::sqrt(static_cast<double>(config_.dense_features));
+    for (size_t i = 0; i < config_.batch_size; ++i) {
+        double score = 0.0;
+        for (size_t t = 0; t < config_.num_tables; ++t) {
+            const auto &ids = batch.table_ids[t];
+            for (size_t l = 0; l < lookups; ++l) {
+                const uint64_t h = mix64(ids[i * lookups + l] + 7919 * t);
+                score += ((h & 1) ? 1.0 : -1.0) * id_scale;
+            }
+        }
+        for (size_t j = 0; j < config_.dense_features; ++j) {
+            const uint64_t h = mix64(config_.seed * 31 + j);
+            score += ((h & 1) ? 1.0 : -1.0) * dense(i, j) * dense_scale;
+        }
+        const double p = 1.0 / (1.0 + std::exp(-score));
+        labels(i, 0) = rng.bernoulli(p) ? 1.0f : 0.0f;
+    }
+    return labels;
+}
+
+} // namespace sp::data

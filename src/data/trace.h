@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Synthetic training-trace generation.
+ *
+ * A trace is the stream of sparse-feature IDs that the training dataset
+ * records for every mini-batch -- the paper's central observation is
+ * that this stream is known ahead of time, so a runtime can look
+ * *forward* through it. TraceGenerator materialises mini-batches of
+ * per-table embedding-row IDs drawn from the locality presets, plus the
+ * dense features and labels needed for functional (real-float) training
+ * runs.
+ *
+ * Generation is deterministic per (seed, table, batch index): batch k
+ * has identical contents no matter in which order batches are produced,
+ * which the look-ahead machinery in dataset.h relies on.
+ */
+
+#ifndef SP_DATA_TRACE_H
+#define SP_DATA_TRACE_H
+
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "data/locality.h"
+#include "data/zipf.h"
+#include "tensor/matrix.h"
+
+namespace sp::data
+{
+
+/** Geometry and distribution of a synthetic trace. */
+struct TraceConfig
+{
+    /** Number of embedding tables (paper default: 8). */
+    size_t num_tables = 8;
+    /** Rows per embedding table (paper default: 10M). */
+    uint64_t rows_per_table = 10'000'000;
+    /** Embedding gathers per table per sample (paper default: 20). */
+    size_t lookups_per_table = 20;
+    /** Mini-batch size (paper default: 2048). */
+    size_t batch_size = 2048;
+    /** Locality preset applied to every table... */
+    Locality locality = Locality::Medium;
+    /** ...unless overridden per table (size must equal num_tables). */
+    std::vector<double> per_table_exponents;
+    /** Master seed; all streams derive from it. */
+    uint64_t seed = 42;
+    /** Number of dense (continuous) features per sample. */
+    size_t dense_features = 13;
+
+    /** Sparse IDs per table per mini-batch (B * L). */
+    size_t idsPerTable() const { return batch_size * lookups_per_table; }
+    /** Sparse IDs per mini-batch across all tables. */
+    size_t idsPerBatch() const { return idsPerTable() * num_tables; }
+};
+
+/** One mini-batch of sparse IDs: the unit the pipeline operates on. */
+struct MiniBatch
+{
+    /** Global batch index within the trace. */
+    uint64_t index = 0;
+    size_t batch_size = 0;
+    size_t lookups_per_table = 0;
+    /**
+     * table_ids[t] holds batch_size * lookups_per_table row IDs for
+     * table t; the IDs for sample i are the contiguous slice
+     * [i*L, (i+1)*L).
+     */
+    std::vector<std::vector<uint32_t>> table_ids;
+
+    size_t numTables() const { return table_ids.size(); }
+};
+
+/** Deterministic generator of mini-batches, dense features and labels. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const TraceConfig &config);
+
+    const TraceConfig &config() const { return config_; }
+
+    /** Materialise mini-batch `index` (deterministic per index). */
+    MiniBatch makeBatch(uint64_t index) const;
+
+    /**
+     * Dense features for batch `index`: batch_size x dense_features,
+     * N(0,1) entries, deterministic per index.
+     */
+    tensor::Matrix makeDenseFeatures(uint64_t index) const;
+
+    /**
+     * Click labels for batch `index`: batch_size x 1 in {0,1}. Labels
+     * are drawn from a hidden model over the batch's sparse IDs so the
+     * task is learnable through the embedding tables.
+     */
+    tensor::Matrix makeLabels(uint64_t index) const;
+
+    /** Zipf exponent in effect for table t. */
+    double tableExponent(size_t table) const;
+
+  private:
+    uint64_t streamSeed(uint64_t stream_kind, uint64_t table,
+                        uint64_t index) const;
+
+    TraceConfig config_;
+    // One sampler per table; sample() is const in effect but the
+    // sampler caches its normaliser, hence mutable.
+    mutable std::vector<ZipfSampler> samplers_;
+};
+
+} // namespace sp::data
+
+#endif // SP_DATA_TRACE_H

@@ -1,0 +1,124 @@
+#include "data/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sp::data
+{
+
+namespace
+{
+
+/** log1p(x)/x, stable near zero. */
+double
+helper1(double x)
+{
+    if (std::fabs(x) > 1e-8)
+        return std::log1p(x) / x;
+    return 1.0 - x * 0.5 + x * x / 3.0;
+}
+
+/** expm1(x)/x, stable near zero. */
+double
+helper2(double x)
+{
+    if (std::fabs(x) > 1e-8)
+        return std::expm1(x) / x;
+    return 1.0 + x * 0.5 * (1.0 + x / 3.0);
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent)
+    : n_(n), exponent_(exponent)
+{
+    fatalIf(n == 0, "ZipfSampler requires at least one element");
+    fatalIf(exponent < 0.0, "ZipfSampler exponent must be >= 0, got ",
+            exponent);
+    if (exponent_ > 0.0) {
+        h_integral_x1_ = hIntegral(1.5) - 1.0;
+        h_integral_n_ = hIntegral(static_cast<double>(n_) + 0.5);
+        s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+    }
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    const double log_x = std::log(x);
+    return helper2((1.0 - exponent_) * log_x) * log_x;
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-exponent_ * std::log(x));
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - exponent_);
+    if (t < -1.0)
+        t = -1.0; // guard against numeric overshoot at the left edge
+    return std::exp(helper1(t) * x);
+}
+
+uint32_t
+ZipfSampler::sample(tensor::Rng &rng)
+{
+    if (exponent_ == 0.0)
+        return static_cast<uint32_t>(rng.uniformInt(n_));
+
+    for (;;) {
+        const double u = h_integral_n_ +
+            rng.uniform() * (h_integral_x1_ - h_integral_n_);
+        const double x = hIntegralInverse(u);
+        uint64_t k = static_cast<uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd))
+            return static_cast<uint32_t>(k - 1);
+    }
+}
+
+double
+ZipfSampler::probability(uint64_t k)
+{
+    panicIf(k >= n_, "probability(", k, ") out of range for n=", n_);
+    if (exponent_ == 0.0)
+        return 1.0 / static_cast<double>(n_);
+    if (normalizer_ == 0.0)
+        normalizer_ = generalizedHarmonic(n_, exponent_);
+    return std::pow(static_cast<double>(k + 1), -exponent_) / normalizer_;
+}
+
+double
+generalizedHarmonic(uint64_t n, double s)
+{
+    // Sum smallest-to-largest terms for accuracy.
+    double total = 0.0;
+    for (uint64_t k = n; k >= 1; --k)
+        total += std::pow(static_cast<double>(k), -s);
+    return total;
+}
+
+double
+zipfTopCoverage(uint64_t n, double s, double top_fraction)
+{
+    fatalIf(top_fraction < 0.0 || top_fraction > 1.0,
+            "top_fraction must be in [0,1], got ", top_fraction);
+    const uint64_t top =
+        static_cast<uint64_t>(top_fraction * static_cast<double>(n));
+    if (top == 0)
+        return 0.0;
+    if (s == 0.0)
+        return static_cast<double>(top) / static_cast<double>(n);
+    return generalizedHarmonic(top, s) / generalizedHarmonic(n, s);
+}
+
+} // namespace sp::data

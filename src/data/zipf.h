@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Zipf-distributed row-ID sampling.
+ *
+ * RecSys embedding-table accesses follow a power law (paper Fig. 3);
+ * the paper's own evaluation generates synthetic traces from PDFs fit
+ * to real datasets (Section V). ZipfSampler draws rank-distributed IDs
+ * with P(rank k) proportional to 1/k^s over k in [1, n] using Hormann &
+ * Derflinger rejection-inversion, which is O(1) per sample for any n
+ * (we need n = 10^7 rows). Exponent 0 degenerates to uniform.
+ *
+ * Returned IDs are zero-based ranks: ID 0 is the hottest row. A
+ * separate optional permutation (see trace.h) breaks the rank==ID
+ * identity when realism matters; the identity mapping makes the
+ * static top-N cache of Yin et al. a simple threshold test.
+ */
+
+#ifndef SP_DATA_ZIPF_H
+#define SP_DATA_ZIPF_H
+
+#include <cstdint>
+
+#include "tensor/rng.h"
+
+namespace sp::data
+{
+
+/** O(1)-per-sample Zipf(n, s) sampler (rejection-inversion). */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of elements (ranks 0..n-1).
+     * @param exponent Zipf exponent s >= 0; 0 means uniform.
+     */
+    ZipfSampler(uint64_t n, double exponent);
+
+    /** Draw a zero-based rank using the supplied generator. */
+    uint32_t sample(tensor::Rng &rng);
+
+    uint64_t numElements() const { return n_; }
+    double exponent() const { return exponent_; }
+
+    /**
+     * Exact probability of rank k (zero-based) under this
+     * distribution. O(n) the first call (computes the normaliser),
+     * O(1) afterwards.
+     */
+    double probability(uint64_t k);
+
+  private:
+    double hIntegral(double x) const;
+    double h(double x) const;
+    double hIntegralInverse(double x) const;
+
+    uint64_t n_;
+    double exponent_;
+    double h_integral_x1_ = 0.0;
+    double h_integral_n_ = 0.0;
+    double s_ = 0.0;
+    double normalizer_ = 0.0; // lazily computed generalized harmonic number
+};
+
+/**
+ * Exact generalized harmonic number H(n, s) = sum_{k=1..n} k^-s.
+ * O(n); used to derive locality anchor points analytically.
+ */
+double generalizedHarmonic(uint64_t n, double s);
+
+/**
+ * Fraction of total access probability captured by the hottest
+ * `top_fraction` of n ranks under Zipf(n, s). Exact (O(n)).
+ */
+double zipfTopCoverage(uint64_t n, double s, double top_fraction);
+
+} // namespace sp::data
+
+#endif // SP_DATA_ZIPF_H

@@ -1,0 +1,83 @@
+#include "emb/traffic.h"
+
+namespace sp::emb
+{
+
+Traffic &
+Traffic::operator+=(const Traffic &other)
+{
+    sparse_read_bytes += other.sparse_read_bytes;
+    sparse_write_bytes += other.sparse_write_bytes;
+    dense_read_bytes += other.dense_read_bytes;
+    dense_write_bytes += other.dense_write_bytes;
+    return *this;
+}
+
+Traffic
+gatherTraffic(uint64_t n, size_t row_bytes)
+{
+    Traffic t;
+    t.sparse_read_bytes = static_cast<double>(n) * row_bytes;
+    t.dense_write_bytes = static_cast<double>(n) * row_bytes;
+    return t;
+}
+
+Traffic
+reduceTraffic(uint64_t n, uint64_t n_out, size_t row_bytes)
+{
+    Traffic t;
+    t.dense_read_bytes = static_cast<double>(n) * row_bytes;
+    t.dense_write_bytes = static_cast<double>(n_out) * row_bytes;
+    return t;
+}
+
+Traffic
+duplicateTraffic(uint64_t n_out, uint64_t n, size_t row_bytes)
+{
+    Traffic t;
+    t.dense_read_bytes = static_cast<double>(n_out) * row_bytes;
+    t.dense_write_bytes = static_cast<double>(n) * row_bytes;
+    return t;
+}
+
+Traffic
+coalesceTraffic(uint64_t n, uint64_t n_unique, size_t row_bytes)
+{
+    Traffic t;
+    // One sort-like pass over the duplicated gradients plus the
+    // coalesced output write.
+    t.dense_read_bytes = static_cast<double>(n) * row_bytes;
+    t.dense_write_bytes =
+        static_cast<double>(n) * row_bytes +
+        static_cast<double>(n_unique) * row_bytes;
+    return t;
+}
+
+Traffic
+scatterTraffic(uint64_t n_unique, size_t row_bytes)
+{
+    Traffic t;
+    // SGD update is a read-modify-write of the target row; gradient
+    // rows stream in.
+    t.sparse_read_bytes = static_cast<double>(n_unique) * row_bytes;
+    t.sparse_write_bytes = static_cast<double>(n_unique) * row_bytes;
+    t.dense_read_bytes = static_cast<double>(n_unique) * row_bytes;
+    return t;
+}
+
+Traffic
+embeddingForwardTraffic(uint64_t n, uint64_t batch, size_t row_bytes)
+{
+    return gatherTraffic(n, row_bytes) + reduceTraffic(n, batch, row_bytes);
+}
+
+Traffic
+embeddingBackwardTraffic(uint64_t n, uint64_t batch, uint64_t n_unique,
+                         size_t row_bytes)
+{
+    return duplicateTraffic(batch, n, row_bytes) +
+           coalesceTraffic(n, n_unique, row_bytes) +
+           scatterTraffic(n_unique, row_bytes);
+}
+
+} // namespace sp::emb

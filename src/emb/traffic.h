@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Exact memory-traffic accounting for embedding primitives.
+ *
+ * The timing model converts byte counts into seconds; these helpers
+ * define, in one place, how many bytes each embedding primitive moves
+ * so all system models charge identical traffic for identical work.
+ *
+ * "Sparse" bytes are moved with random row-granule access (gathers,
+ * scatters into large tables); "dense" bytes stream contiguously
+ * (staging buffers, duplication, sorting). The distinction matters
+ * because effective DRAM bandwidth differs by an order of magnitude
+ * between the two patterns.
+ */
+
+#ifndef SP_EMB_TRAFFIC_H
+#define SP_EMB_TRAFFIC_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sp::emb
+{
+
+/** Byte counters, split by access pattern. */
+struct Traffic
+{
+    double sparse_read_bytes = 0.0;
+    double sparse_write_bytes = 0.0;
+    double dense_read_bytes = 0.0;
+    double dense_write_bytes = 0.0;
+
+    double totalBytes() const
+    {
+        return sparse_read_bytes + sparse_write_bytes + dense_read_bytes +
+               dense_write_bytes;
+    }
+
+    double sparseBytes() const
+    {
+        return sparse_read_bytes + sparse_write_bytes;
+    }
+
+    double denseBytes() const
+    {
+        return dense_read_bytes + dense_write_bytes;
+    }
+
+    Traffic &operator+=(const Traffic &other);
+    friend Traffic operator+(Traffic a, const Traffic &b)
+    {
+        a += b;
+        return a;
+    }
+};
+
+/**
+ * Gather n rows (row_bytes each) from a table into a contiguous
+ * staging buffer: sparse reads + dense writes.
+ */
+Traffic gatherTraffic(uint64_t n, size_t row_bytes);
+
+/**
+ * Reduce n gathered rows down to n_out output vectors: streams the
+ * staging buffer in and the outputs out.
+ */
+Traffic reduceTraffic(uint64_t n, uint64_t n_out, size_t row_bytes);
+
+/**
+ * Duplicate n_out per-sample gradients to n lookup gradients:
+ * streams gradients in, duplicated buffer out.
+ */
+Traffic duplicateTraffic(uint64_t n_out, uint64_t n, size_t row_bytes);
+
+/**
+ * Coalesce n duplicated gradients to n_unique summed rows. Modeled as
+ * one sort-like pass over the duplicated buffer (read + write) plus
+ * the coalesced output write.
+ */
+Traffic coalesceTraffic(uint64_t n, uint64_t n_unique, size_t row_bytes);
+
+/**
+ * SGD scatter of n_unique coalesced gradients into a table:
+ * read-modify-write of each target row plus streaming gradient reads.
+ */
+Traffic scatterTraffic(uint64_t n_unique, size_t row_bytes);
+
+/** Full embedding forward for one table (gather + reduce). */
+Traffic embeddingForwardTraffic(uint64_t n, uint64_t batch,
+                                size_t row_bytes);
+
+/** Full embedding backward for one table (dup + coalesce + scatter). */
+Traffic embeddingBackwardTraffic(uint64_t n, uint64_t batch,
+                                 uint64_t n_unique, size_t row_bytes);
+
+} // namespace sp::emb
+
+#endif // SP_EMB_TRAFFIC_H

@@ -1,0 +1,58 @@
+#include "metrics/breakdown.h"
+
+#include "common/logging.h"
+
+namespace sp::metrics
+{
+
+void
+IterationBreakdown::add(const std::string &name, double seconds)
+{
+    stages_.push_back(StageTime{name, seconds});
+}
+
+double
+IterationBreakdown::get(const std::string &name) const
+{
+    double total = 0.0;
+    for (const auto &stage : stages_) {
+        if (stage.name == name)
+            total += stage.seconds;
+    }
+    return total;
+}
+
+double
+IterationBreakdown::total() const
+{
+    double total = 0.0;
+    for (const auto &stage : stages_)
+        total += stage.seconds;
+    return total;
+}
+
+void
+IterationBreakdown::scale(double factor)
+{
+    for (auto &stage : stages_)
+        stage.seconds *= factor;
+}
+
+void
+IterationBreakdown::accumulate(const IterationBreakdown &other)
+{
+    if (stages_.empty()) {
+        stages_ = other.stages_;
+        return;
+    }
+    panicIf(stages_.size() != other.stages_.size(),
+            "accumulating breakdowns with different stage counts");
+    for (size_t i = 0; i < stages_.size(); ++i) {
+        panicIf(stages_[i].name != other.stages_[i].name,
+                "accumulating breakdowns with mismatched stage '",
+                stages_[i].name, "' vs '", other.stages_[i].name, "'");
+        stages_[i].seconds += other.stages_[i].seconds;
+    }
+}
+
+} // namespace sp::metrics

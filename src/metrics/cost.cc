@@ -1,0 +1,30 @@
+#include "metrics/cost.h"
+
+#include "common/logging.h"
+
+namespace sp::metrics
+{
+
+AwsInstance
+AwsInstance::p3_2xlarge()
+{
+    return AwsInstance{"p3.2xlarge", 3.06, 1};
+}
+
+AwsInstance
+AwsInstance::p3_16xlarge()
+{
+    return AwsInstance{"p3.16xlarge", 24.48, 8};
+}
+
+double
+trainingCost(const AwsInstance &instance, double seconds_per_iteration,
+             uint64_t iterations)
+{
+    fatalIf(seconds_per_iteration < 0.0, "negative iteration time");
+    const double hours =
+        seconds_per_iteration * static_cast<double>(iterations) / 3600.0;
+    return hours * instance.price_per_hour;
+}
+
+} // namespace sp::metrics

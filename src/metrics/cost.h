@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cloud training-cost model (paper Table I).
+ *
+ * Table I is arithmetic: AWS EC2 on-demand price times the time to run
+ * one million training iterations. The instance catalogue carries the
+ * paper's published price points.
+ */
+
+#ifndef SP_METRICS_COST_H
+#define SP_METRICS_COST_H
+
+#include <cstdint>
+#include <string>
+
+namespace sp::metrics
+{
+
+/** One cloud instance offering. */
+struct AwsInstance
+{
+    std::string name;
+    double price_per_hour = 0.0;
+    int gpus = 0;
+
+    /** p3.2xlarge: 1x V100, the single-GPU ScratchPipe host. */
+    static AwsInstance p3_2xlarge();
+    /** p3.16xlarge: 8x V100 NVLink, the multi-GPU comparison. */
+    static AwsInstance p3_16xlarge();
+};
+
+/** Dollars to run `iterations` at `seconds_per_iteration` each. */
+double trainingCost(const AwsInstance &instance,
+                    double seconds_per_iteration, uint64_t iterations);
+
+} // namespace sp::metrics
+
+#endif // SP_METRICS_COST_H

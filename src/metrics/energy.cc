@@ -1,0 +1,35 @@
+#include "metrics/energy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sp::metrics
+{
+
+double
+EnergyModel::iterationEnergy(const BusyTimes &busy) const
+{
+    panicIf(busy.iteration_seconds < 0, "negative iteration time");
+    const double iter = busy.iteration_seconds;
+    const double cpu_busy = std::min(busy.cpu_busy_seconds, iter);
+    const double gpu_busy = std::min(busy.gpu_busy_seconds, iter);
+
+    const double cpu_joules =
+        cpu_busy * config_.cpu_active_watts +
+        (iter - cpu_busy) * config_.cpu_idle_watts;
+    const double gpu_joules =
+        gpu_busy * config_.gpu_active_watts +
+        (iter - gpu_busy) * config_.gpu_idle_watts;
+    return cpu_joules + gpu_joules;
+}
+
+double
+EnergyModel::averagePower(const BusyTimes &busy) const
+{
+    if (busy.iteration_seconds <= 0.0)
+        return 0.0;
+    return iterationEnergy(busy) / busy.iteration_seconds;
+}
+
+} // namespace sp::metrics

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * System energy model (paper Fig. 14).
+ *
+ * The paper measures socket power with pcm-power and GPU power with
+ * nvidia-smi and multiplies by execution time. We do the same with the
+ * modeled times: each component draws active power while busy and idle
+ * power for the rest of the iteration.
+ */
+
+#ifndef SP_METRICS_ENERGY_H
+#define SP_METRICS_ENERGY_H
+
+#include "sim/hardware_config.h"
+
+namespace sp::metrics
+{
+
+/** Busy-time attribution of one iteration. */
+struct BusyTimes
+{
+    /** Wall-clock seconds of the iteration. */
+    double iteration_seconds = 0.0;
+    /** Seconds the CPU side (memory + cores) is busy. */
+    double cpu_busy_seconds = 0.0;
+    /** Seconds the GPU (SMs + HBM) is busy. */
+    double gpu_busy_seconds = 0.0;
+};
+
+/** Active/idle power integration over modeled time. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const sim::HardwareConfig &config)
+        : config_(config)
+    {
+    }
+
+    /** Joules consumed by one iteration. */
+    double iterationEnergy(const BusyTimes &busy) const;
+
+    /** Average watts over one iteration. */
+    double averagePower(const BusyTimes &busy) const;
+
+  private:
+    sim::HardwareConfig config_;
+};
+
+} // namespace sp::metrics
+
+#endif // SP_METRICS_ENERGY_H

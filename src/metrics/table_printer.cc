@@ -1,0 +1,79 @@
+#include "metrics/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sp::metrics
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatalIf(headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != headers_.size(), "row has ", cells.size(),
+            " cells, table has ", headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    size_t total_width = 0;
+    for (size_t w : widths)
+        total_width += w + 2;
+    os << std::string(total_width, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace sp::metrics

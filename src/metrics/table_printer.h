@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aligned-table and CSV printing for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * as rows of numbers; this printer keeps their output format uniform
+ * (an aligned human-readable table plus machine-readable CSV lines).
+ */
+
+#ifndef SP_METRICS_TABLE_PRINTER_H
+#define SP_METRICS_TABLE_PRINTER_H
+
+#include <iosfwd>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sp::metrics
+{
+
+/** Collects rows of string cells and prints them aligned or as CSV. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with fixed precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Print an aligned table to `os`. */
+    void print(std::ostream &os) const;
+
+    /** Print CSV (header + rows) to `os`. */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sp::metrics
+
+#endif // SP_METRICS_TABLE_PRINTER_H

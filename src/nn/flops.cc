@@ -1,0 +1,92 @@
+#include "nn/flops.h"
+
+namespace sp::nn
+{
+
+namespace
+{
+
+std::vector<size_t>
+bottomDims(const DlrmConfig &config)
+{
+    std::vector<size_t> dims;
+    dims.push_back(config.dense_features);
+    dims.insert(dims.end(), config.bottom_hidden.begin(),
+                config.bottom_hidden.end());
+    dims.push_back(config.embedding_dim);
+    return dims;
+}
+
+std::vector<size_t>
+topDims(const DlrmConfig &config)
+{
+    const size_t f = config.num_tables + 1;
+    const size_t interact = config.embedding_dim + f * (f - 1) / 2;
+    std::vector<size_t> dims;
+    dims.push_back(interact);
+    dims.insert(dims.end(), config.top_hidden.begin(),
+                config.top_hidden.end());
+    dims.push_back(1);
+    return dims;
+}
+
+} // namespace
+
+double
+mlpForwardFlops(const std::vector<size_t> &dims, size_t batch)
+{
+    double flops = 0.0;
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+        // GEMM: 2*B*out*in, bias add: B*out, activation: B*out.
+        flops += 2.0 * batch * dims[i] * dims[i + 1];
+        flops += 2.0 * batch * dims[i + 1];
+    }
+    return flops;
+}
+
+double
+mlpBackwardFlops(const std::vector<size_t> &dims, size_t batch)
+{
+    double flops = 0.0;
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+        // dX and dW GEMMs plus db reduction and activation backward.
+        flops += 4.0 * batch * dims[i] * dims[i + 1];
+        flops += 2.0 * batch * dims[i + 1];
+    }
+    return flops;
+}
+
+double
+interactionForwardFlops(size_t num_tables, size_t dim, size_t batch)
+{
+    const double f = static_cast<double>(num_tables + 1);
+    const double pairs = f * (f - 1.0) / 2.0;
+    return 2.0 * batch * pairs * dim;
+}
+
+double
+interactionBackwardFlops(size_t num_tables, size_t dim, size_t batch)
+{
+    // Each pair contributes two axpy passes of length dim.
+    const double f = static_cast<double>(num_tables + 1);
+    const double pairs = f * (f - 1.0) / 2.0;
+    return 4.0 * batch * pairs * dim;
+}
+
+double
+dlrmIterationFlops(const DlrmConfig &config, size_t batch)
+{
+    const auto bottom = bottomDims(config);
+    const auto top = topDims(config);
+    double flops = 0.0;
+    flops += mlpForwardFlops(bottom, batch) +
+             mlpBackwardFlops(bottom, batch);
+    flops += mlpForwardFlops(top, batch) + mlpBackwardFlops(top, batch);
+    flops += interactionForwardFlops(config.num_tables,
+                                     config.embedding_dim, batch);
+    flops += interactionBackwardFlops(config.num_tables,
+                                      config.embedding_dim, batch);
+    return flops;
+}
+
+} // namespace sp::nn

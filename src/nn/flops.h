@@ -1,0 +1,38 @@
+/**
+ * @file
+ * FLOP accounting for the DLRM backend.
+ *
+ * The timing model charges GPU compute time from these counts; they
+ * must therefore match what the functional layers actually execute
+ * (GEMMs dominate; elementwise terms are included for completeness).
+ */
+
+#ifndef SP_NN_FLOPS_H
+#define SP_NN_FLOPS_H
+
+#include <cstddef>
+
+#include "nn/dlrm.h"
+
+namespace sp::nn
+{
+
+/** FLOPs of one MLP forward pass over `batch` samples. */
+double mlpForwardFlops(const std::vector<size_t> &dims, size_t batch);
+
+/** FLOPs of one MLP backward pass (dX + dW + db) over `batch`. */
+double mlpBackwardFlops(const std::vector<size_t> &dims, size_t batch);
+
+/** FLOPs of the dot feature interaction, forward. */
+double interactionForwardFlops(size_t num_tables, size_t dim, size_t batch);
+
+/** FLOPs of the dot feature interaction, backward. */
+double interactionBackwardFlops(size_t num_tables, size_t dim,
+                                size_t batch);
+
+/** Total DLRM backend FLOPs for one iteration (fwd + bwd). */
+double dlrmIterationFlops(const DlrmConfig &config, size_t batch);
+
+} // namespace sp::nn
+
+#endif // SP_NN_FLOPS_H

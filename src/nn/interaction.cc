@@ -1,0 +1,103 @@
+#include "nn/interaction.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sp::nn
+{
+
+FeatureInteraction::FeatureInteraction(size_t num_tables, size_t dim)
+    : num_tables_(num_tables), dim_(dim)
+{
+    fatalIf(dim == 0, "interaction dimension must be positive");
+}
+
+size_t
+FeatureInteraction::outputDim() const
+{
+    const size_t f = num_tables_ + 1;
+    return dim_ + f * (f - 1) / 2;
+}
+
+void
+FeatureInteraction::forward(const tensor::Matrix &bottom,
+                            const std::vector<tensor::Matrix> &embs,
+                            tensor::Matrix &out)
+{
+    panicIf(embs.size() != num_tables_, "interaction expects ",
+            num_tables_, " embedding inputs, got ", embs.size());
+    const size_t batch = bottom.rows();
+    panicIf(bottom.cols() != dim_, "bottom output must be Bx", dim_);
+    for (const auto &e : embs)
+        panicIf(e.rows() != batch || e.cols() != dim_,
+                "every reduced embedding must be ", batch, "x", dim_);
+
+    saved_features_.clear();
+    saved_features_.reserve(num_tables_ + 1);
+    saved_features_.push_back(bottom);
+    for (const auto &e : embs)
+        saved_features_.push_back(e);
+
+    const size_t f = num_tables_ + 1;
+    out.resize(batch, outputDim());
+    for (size_t i = 0; i < batch; ++i) {
+        float *dst = out.row(i);
+        std::memcpy(dst, bottom.row(i), dim_ * sizeof(float));
+        size_t k = dim_;
+        for (size_t a = 0; a < f; ++a) {
+            const float *va = saved_features_[a].row(i);
+            for (size_t b = a + 1; b < f; ++b) {
+                const float *vb = saved_features_[b].row(i);
+                float dot = 0.0f;
+                for (size_t d = 0; d < dim_; ++d)
+                    dot += va[d] * vb[d];
+                dst[k++] = dot;
+            }
+        }
+    }
+}
+
+void
+FeatureInteraction::backward(const tensor::Matrix &dout,
+                             tensor::Matrix &dbottom,
+                             std::vector<tensor::Matrix> &dembs)
+{
+    panicIf(saved_features_.empty(),
+            "interaction backward without a preceding forward");
+    const size_t batch = saved_features_[0].rows();
+    panicIf(dout.rows() != batch || dout.cols() != outputDim(),
+            "interaction backward: dout must be ", batch, "x",
+            outputDim());
+
+    const size_t f = num_tables_ + 1;
+    dbottom.resize(batch, dim_);
+    dembs.resize(num_tables_);
+    for (auto &d : dembs)
+        d.resize(batch, dim_);
+
+    for (size_t i = 0; i < batch; ++i) {
+        const float *g = dout.row(i);
+        // Pass-through part feeds the bottom gradient directly.
+        std::memcpy(dbottom.row(i), g, dim_ * sizeof(float));
+        for (auto &d : dembs)
+            std::memset(d.row(i), 0, dim_ * sizeof(float));
+
+        size_t k = dim_;
+        for (size_t a = 0; a < f; ++a) {
+            const float *va = saved_features_[a].row(i);
+            float *da = a == 0 ? dbottom.row(i) : dembs[a - 1].row(i);
+            for (size_t b = a + 1; b < f; ++b) {
+                const float *vb = saved_features_[b].row(i);
+                float *db = b == 0 ? dbottom.row(i) : dembs[b - 1].row(i);
+                const float gd = g[k++];
+                for (size_t d = 0; d < dim_; ++d) {
+                    da[d] += gd * vb[d];
+                    db[d] += gd * va[d];
+                }
+            }
+        }
+    }
+}
+
+} // namespace sp::nn

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DLRM feature interaction.
+ *
+ * Combines the bottom-MLP output with the per-table reduced embeddings
+ * (paper Fig. 1): the output is the bottom vector concatenated with the
+ * upper-triangle pairwise dot products among all T+1 feature vectors
+ * (bottom output + one reduced embedding per table), matching the DLRM
+ * reference "dot" interaction.
+ *
+ * Output width: D + (T+1 choose 2).
+ */
+
+#ifndef SP_NN_INTERACTION_H
+#define SP_NN_INTERACTION_H
+
+#include <vector>
+#include <cstddef>
+
+#include "tensor/matrix.h"
+
+namespace sp::nn
+{
+
+/** Dot-product feature interaction with full backward support. */
+class FeatureInteraction
+{
+  public:
+    /**
+     * @param num_tables Number of embedding tables T.
+     * @param dim Shared feature dimension D (bottom output and every
+     *            reduced embedding must be B x D).
+     */
+    FeatureInteraction(size_t num_tables, size_t dim);
+
+    size_t outputDim() const;
+
+    /**
+     * @param bottom   B x D bottom-MLP output.
+     * @param embs     T matrices, each B x D (reduced embeddings).
+     * @param out      resized to B x outputDim().
+     */
+    void forward(const tensor::Matrix &bottom,
+                 const std::vector<tensor::Matrix> &embs,
+                 tensor::Matrix &out);
+
+    /**
+     * Backward: dout (B x outputDim()) propagates to dbottom (B x D)
+     * and dembs (T matrices of B x D). Must follow forward() on the
+     * same inputs.
+     */
+    void backward(const tensor::Matrix &dout, tensor::Matrix &dbottom,
+                  std::vector<tensor::Matrix> &dembs);
+
+  private:
+    size_t num_tables_;
+    size_t dim_;
+    // Saved forward inputs (bottom at index 0, tables after).
+    std::vector<tensor::Matrix> saved_features_;
+};
+
+} // namespace sp::nn
+
+#endif // SP_NN_INTERACTION_H

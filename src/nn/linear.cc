@@ -1,0 +1,66 @@
+#include "nn/linear.h"
+
+#include "common/logging.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace sp::nn
+{
+
+Linear::Linear(size_t in_features, size_t out_features, tensor::Rng &rng)
+    : in_features_(in_features), out_features_(out_features),
+      weights_(out_features, in_features), bias_(1, out_features),
+      dweights_(out_features, in_features), dbias_(1, out_features)
+{
+    fatalIf(in_features == 0 || out_features == 0,
+            "Linear layer dimensions must be positive");
+    weights_.fillKaiming(rng, in_features);
+    bias_.fillKaiming(rng, in_features);
+}
+
+void
+Linear::forward(const tensor::Matrix &input, tensor::Matrix &out)
+{
+    panicIf(input.cols() != in_features_, "Linear forward: input has ",
+            input.cols(), " features, layer expects ", in_features_);
+    out.resize(input.rows(), out_features_);
+    tensor::gemmNT(input, weights_, out);
+    tensor::addRowBroadcast(out, bias_);
+}
+
+void
+Linear::backward(const tensor::Matrix &input, const tensor::Matrix &dout,
+                 tensor::Matrix &dinput)
+{
+    panicIf(dout.rows() != input.rows() || dout.cols() != out_features_,
+            "Linear backward: gradient shape mismatch");
+    // dW = dY^T X
+    tensor::gemmTN(dout, input, dweights_);
+    // db = column sums of dY
+    tensor::sumRows(dout, dbias_);
+    // dX = dY W
+    dinput.resize(input.rows(), in_features_);
+    tensor::gemm(dout, weights_, dinput);
+}
+
+void
+Linear::step(float lr)
+{
+    tensor::axpy(-lr, dweights_, weights_);
+    tensor::axpy(-lr, dbias_, bias_);
+}
+
+size_t
+Linear::parameterCount() const
+{
+    return weights_.size() + bias_.size();
+}
+
+bool
+Linear::identical(const Linear &a, const Linear &b)
+{
+    return tensor::Matrix::identical(a.weights_, b.weights_) &&
+           tensor::Matrix::identical(a.bias_, b.bias_);
+}
+
+} // namespace sp::nn

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fully connected layer with SGD state.
+ *
+ * Forward:  Y = X * W^T + b      (X: B x in, W: out x in, b: 1 x out)
+ * Backward: dX = dY * W, dW = dY^T * X, db = column-sum of dY
+ *
+ * Gradients are stored inside the layer between backward() and step();
+ * step() applies plain SGD, matching the paper's training setup.
+ */
+
+#ifndef SP_NN_LINEAR_H
+#define SP_NN_LINEAR_H
+
+#include "tensor/matrix.h"
+#include <cstddef>
+#include "tensor/rng.h"
+
+namespace sp::nn
+{
+
+/** One dense layer: weights, bias, and their gradients. */
+class Linear
+{
+  public:
+    /** Kaiming-uniform initialised (in_features fan-in). */
+    Linear(size_t in_features, size_t out_features, tensor::Rng &rng);
+
+    size_t inFeatures() const { return in_features_; }
+    size_t outFeatures() const { return out_features_; }
+
+    /** Y = X W^T + b. `out` is resized to B x out_features. */
+    void forward(const tensor::Matrix &input, tensor::Matrix &out);
+
+    /**
+     * Compute dW, db (stored) and dX (written to `dinput`). `input`
+     * must be the same matrix passed to the preceding forward().
+     */
+    void backward(const tensor::Matrix &input, const tensor::Matrix &dout,
+                  tensor::Matrix &dinput);
+
+    /** SGD: W -= lr*dW, b -= lr*db. */
+    void step(float lr);
+
+    const tensor::Matrix &weights() const { return weights_; }
+    const tensor::Matrix &bias() const { return bias_; }
+    tensor::Matrix &weights() { return weights_; }
+    tensor::Matrix &bias() { return bias_; }
+    const tensor::Matrix &weightGrads() const { return dweights_; }
+
+    /** Number of trainable parameters. */
+    size_t parameterCount() const;
+
+    /** Bit-identical parameter equality of two layers. */
+    static bool identical(const Linear &a, const Linear &b);
+
+  private:
+    size_t in_features_;
+    size_t out_features_;
+    tensor::Matrix weights_;  // out x in
+    tensor::Matrix bias_;     // 1 x out
+    tensor::Matrix dweights_; // out x in
+    tensor::Matrix dbias_;    // 1 x out
+};
+
+} // namespace sp::nn
+
+#endif // SP_NN_LINEAR_H

@@ -1,0 +1,90 @@
+#include "nn/mlp.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace sp::nn
+{
+
+Mlp::Mlp(const std::vector<size_t> &dims, tensor::Rng &rng,
+         bool relu_output)
+    : dims_(dims), relu_output_(relu_output)
+{
+    fatalIf(dims.size() < 2, "an MLP needs at least two dims (in, out)");
+    layers_.reserve(dims.size() - 1);
+    for (size_t i = 0; i + 1 < dims.size(); ++i)
+        layers_.emplace_back(dims[i], dims[i + 1], rng);
+    pre_act_.resize(layers_.size());
+    post_act_.resize(layers_.size());
+}
+
+void
+Mlp::forward(const tensor::Matrix &input, tensor::Matrix &out)
+{
+    input_copy_ = input;
+    const tensor::Matrix *current = &input_copy_;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i].forward(*current, pre_act_[i]);
+        const bool activate = relu_output_ || i + 1 < layers_.size();
+        if (activate) {
+            post_act_[i].resize(pre_act_[i].rows(), pre_act_[i].cols());
+            tensor::reluForward(pre_act_[i], post_act_[i]);
+        } else {
+            post_act_[i] = pre_act_[i];
+        }
+        current = &post_act_[i];
+    }
+    out = post_act_.back();
+}
+
+void
+Mlp::backward(const tensor::Matrix &dout, tensor::Matrix &dinput)
+{
+    panicIf(post_act_.empty() || post_act_.back().empty(),
+            "Mlp::backward without a preceding forward");
+    tensor::Matrix grad = dout;
+    tensor::Matrix next_grad;
+    for (size_t idx = layers_.size(); idx-- > 0;) {
+        const bool activated = relu_output_ || idx + 1 < layers_.size();
+        if (activated) {
+            next_grad.resize(grad.rows(), grad.cols());
+            tensor::reluBackward(pre_act_[idx], grad, next_grad);
+            grad = next_grad;
+        }
+        const tensor::Matrix &layer_input =
+            idx == 0 ? input_copy_ : post_act_[idx - 1];
+        layers_[idx].backward(layer_input, grad, next_grad);
+        grad = next_grad;
+    }
+    dinput = grad;
+}
+
+void
+Mlp::step(float lr)
+{
+    for (auto &layer : layers_)
+        layer.step(lr);
+}
+
+size_t
+Mlp::parameterCount() const
+{
+    size_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer.parameterCount();
+    return total;
+}
+
+bool
+Mlp::identical(const Mlp &a, const Mlp &b)
+{
+    if (a.layers_.size() != b.layers_.size())
+        return false;
+    for (size_t i = 0; i < a.layers_.size(); ++i) {
+        if (!Linear::identical(a.layers_[i], b.layers_[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace sp::nn

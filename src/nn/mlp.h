@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multi-layer perceptron: Linear layers with ReLU between them.
+ *
+ * The last layer's activation is configurable (none for the top MLP
+ * whose logit feeds the sigmoid/BCE head, ReLU elsewhere), mirroring
+ * the DLRM reference model.
+ */
+
+#ifndef SP_NN_MLP_H
+#define SP_NN_MLP_H
+
+#include <vector>
+#include <cstddef>
+
+#include "nn/linear.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace sp::nn
+{
+
+/** A stack of Linear+ReLU layers (final activation optional). */
+class Mlp
+{
+  public:
+    /**
+     * @param dims Layer widths, e.g. {13, 512, 256, 128} builds three
+     *             Linear layers 13->512->256->128.
+     * @param relu_output Apply ReLU after the last layer too.
+     */
+    Mlp(const std::vector<size_t> &dims, tensor::Rng &rng,
+        bool relu_output = true);
+
+    size_t inputDim() const { return dims_.front(); }
+    size_t outputDim() const { return dims_.back(); }
+    size_t numLayers() const { return layers_.size(); }
+
+    /** Forward pass; stashes activations for backward(). */
+    void forward(const tensor::Matrix &input, tensor::Matrix &out);
+
+    /**
+     * Backward pass from dout to dinput; computes and stores all
+     * weight gradients. Must follow a forward() on the same input.
+     */
+    void backward(const tensor::Matrix &dout, tensor::Matrix &dinput);
+
+    /** SGD update of every layer. */
+    void step(float lr);
+
+    size_t parameterCount() const;
+
+    const std::vector<Linear> &layers() const { return layers_; }
+    std::vector<Linear> &layers() { return layers_; }
+
+    static bool identical(const Mlp &a, const Mlp &b);
+
+  private:
+    std::vector<size_t> dims_;
+    bool relu_output_;
+    std::vector<Linear> layers_;
+    // Saved activations: pre_act_[i] is layer i's Linear output,
+    // post_act_[i] its activation output. post_act_.back() is the MLP
+    // output. inputs_[0] is the forward() input copy.
+    std::vector<tensor::Matrix> pre_act_;
+    std::vector<tensor::Matrix> post_act_;
+    tensor::Matrix input_copy_;
+};
+
+} // namespace sp::nn
+
+#endif // SP_NN_MLP_H

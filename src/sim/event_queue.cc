@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sp::sim
+{
+
+void
+EventQueue::schedule(double when, Callback fn)
+{
+    panicIf(when < now_, "scheduling into the past: ", when, " < ", now_);
+    heap_.push(Event{when, next_sequence_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(double delay, Callback fn)
+{
+    panicIf(delay < 0.0, "negative delay ", delay);
+    schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        return false;
+    // Copy out before pop: the callback may schedule new events.
+    Event event = heap_.top();
+    heap_.pop();
+    now_ = event.when;
+    ++executed_;
+    event.fn();
+    return true;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runNext()) {
+    }
+}
+
+void
+EventQueue::runUntil(double deadline)
+{
+    while (!heap_.empty() && heap_.top().when <= deadline)
+        runNext();
+    if (now_ < deadline)
+        now_ = deadline;
+}
+
+} // namespace sp::sim

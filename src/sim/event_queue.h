@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal discrete-event simulation core.
+ *
+ * The analytic solver in pipeline_solver.h answers steady-state
+ * questions; the event queue supports the few places that need
+ * explicit ordering in virtual time (the per-cycle pipeline walk of
+ * the functional engine and the link-contention tests). Events at the
+ * same timestamp fire in scheduling order (FIFO), which keeps the
+ * functional pipeline deterministic.
+ */
+
+#ifndef SP_SIM_EVENT_QUEUE_H
+#define SP_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sp::sim
+{
+
+/** Time-ordered callback executor with a virtual clock. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current virtual time (seconds). */
+    double now() const { return now_; }
+
+    /** Number of events not yet executed. */
+    size_t pending() const { return heap_.size(); }
+
+    /** Schedule `fn` at absolute virtual time `when` (>= now). */
+    void schedule(double when, Callback fn);
+
+    /** Schedule `fn` `delay` seconds from now. */
+    void scheduleAfter(double delay, Callback fn);
+
+    /** Execute the next event; returns false when the queue is empty. */
+    bool runNext();
+
+    /** Run until no events remain. */
+    void runAll();
+
+    /** Run events with time <= deadline; clock ends at deadline. */
+    void runUntil(double deadline);
+
+    /** Total number of events executed so far. */
+    uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        double when;
+        uint64_t sequence;
+        Callback fn;
+    };
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    double now_ = 0.0;
+    uint64_t next_sequence_ = 0;
+    uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+} // namespace sp::sim
+
+#endif // SP_SIM_EVENT_QUEUE_H

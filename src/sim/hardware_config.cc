@@ -1,0 +1,45 @@
+#include "sim/hardware_config.h"
+
+#include "common/logging.h"
+
+namespace sp::sim
+{
+
+HardwareConfig
+HardwareConfig::paperTestbed()
+{
+    return HardwareConfig{};
+}
+
+void
+HardwareConfig::validate() const
+{
+    fatalIf(cpu_dram_bw <= 0 || gpu_hbm_bw <= 0 || pcie_bw <= 0,
+            "bandwidths must be positive");
+    fatalIf(gpu_fp32_flops <= 0, "GPU FLOPS must be positive");
+    fatalIf(multi_gpu_count < 1, "multi_gpu_count must be >= 1");
+
+    auto check_eff = [](double v, const char *name) {
+        fatalIf(v <= 0.0 || v > 1.0, name,
+                " must be an efficiency in (0, 1], got ", v);
+    };
+    check_eff(cpu_sparse_eff_framework, "cpu_sparse_eff_framework");
+    check_eff(cpu_sparse_eff_runtime, "cpu_sparse_eff_runtime");
+    check_eff(cpu_dense_eff, "cpu_dense_eff");
+    check_eff(gpu_sparse_eff, "gpu_sparse_eff");
+    check_eff(gpu_dense_eff, "gpu_dense_eff");
+    check_eff(gpu_gemm_eff, "gpu_gemm_eff");
+    check_eff(pcie_eff, "pcie_eff");
+    check_eff(nvlink_eff, "nvlink_eff");
+
+    fatalIf(gpu_iteration_overhead < 0 || cpu_stage_overhead < 0 ||
+                pipeline_stage_overhead < 0 ||
+                multi_gpu_iteration_overhead < 0 || pcie_latency < 0 ||
+                collective_latency < 0 || multi_gpu_hot_row_penalty < 0,
+            "overheads must be non-negative");
+    fatalIf(cpu_active_watts < cpu_idle_watts ||
+                gpu_active_watts < gpu_idle_watts,
+            "active power must be >= idle power");
+}
+
+} // namespace sp::sim

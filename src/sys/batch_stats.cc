@@ -1,0 +1,42 @@
+#include "sys/batch_stats.h"
+
+#include "common/logging.h"
+#include "emb/embedding_ops.h"
+
+namespace sp::sys
+{
+
+BatchStats::BatchStats(const data::TraceDataset &dataset,
+                       uint64_t iterations)
+{
+    fatalIf(iterations > dataset.numBatches(),
+            "dataset has ", dataset.numBatches(), " batches, need ",
+            iterations);
+    unique_.resize(iterations);
+    for (uint64_t b = 0; b < iterations; ++b) {
+        const auto &batch = dataset.batch(b);
+        unique_[b].reserve(batch.numTables());
+        for (size_t t = 0; t < batch.numTables(); ++t)
+            unique_[b].push_back(emb::countUnique(batch.table_ids[t]));
+    }
+}
+
+size_t
+BatchStats::unique(uint64_t b, size_t t) const
+{
+    panicIf(b >= unique_.size(), "batch index out of range");
+    panicIf(t >= unique_[b].size(), "table index out of range");
+    return unique_[b][t];
+}
+
+size_t
+BatchStats::uniqueTotal(uint64_t b) const
+{
+    panicIf(b >= unique_.size(), "batch index out of range");
+    size_t total = 0;
+    for (size_t u : unique_[b])
+        total += u;
+    return total;
+}
+
+} // namespace sp::sys

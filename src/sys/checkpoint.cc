@@ -1,0 +1,143 @@
+#include "sys/checkpoint.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "tensor/matrix.h"
+
+namespace sp::sys
+{
+
+namespace
+{
+
+constexpr uint64_t kMagic = 0x53505f434b505431ull; // "SP_CKPT1"
+
+template <typename T>
+void
+writePod(std::ofstream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::ifstream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+}
+
+void
+writeMatrix(std::ofstream &os, const tensor::Matrix &m)
+{
+    writePod(os, static_cast<uint64_t>(m.rows()));
+    writePod(os, static_cast<uint64_t>(m.cols()));
+    os.write(reinterpret_cast<const char *>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+void
+readMatrixInto(std::ifstream &is, tensor::Matrix &m, const char *what)
+{
+    uint64_t rows = 0, cols = 0;
+    readPod(is, rows);
+    readPod(is, cols);
+    fatalIf(rows != m.rows() || cols != m.cols(),
+            "checkpoint mismatch: ", what, " is ", rows, "x", cols,
+            " on disk but ", m.rows(), "x", m.cols(), " in the model");
+    is.read(reinterpret_cast<char *>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+void
+writeMlp(std::ofstream &os, const nn::Mlp &mlp)
+{
+    writePod(os, static_cast<uint64_t>(mlp.numLayers()));
+    for (const auto &layer : mlp.layers()) {
+        writeMatrix(os, layer.weights());
+        writeMatrix(os, layer.bias());
+    }
+}
+
+void
+readMlpInto(std::ifstream &is, nn::Mlp &mlp, const char *what)
+{
+    uint64_t layers = 0;
+    readPod(is, layers);
+    fatalIf(layers != mlp.numLayers(), "checkpoint mismatch: ", what,
+            " has ", layers, " layers on disk but ", mlp.numLayers(),
+            " in the model");
+    for (auto &layer : mlp.layers()) {
+        readMatrixInto(is, layer.weights(), what);
+        readMatrixInto(is, layer.bias(), what);
+    }
+}
+
+} // namespace
+
+void
+saveCheckpoint(const std::string &path,
+               const std::vector<emb::EmbeddingTable> &tables,
+               const nn::DlrmModel &model)
+{
+    std::ofstream os(path, std::ios::binary);
+    fatalIf(!os, "cannot open '", path, "' for writing");
+
+    writePod(os, kMagic);
+    writePod(os, static_cast<uint64_t>(tables.size()));
+    for (const auto &table : tables) {
+        fatalIf(!table.isDense(),
+                "cannot checkpoint a phantom embedding table");
+        writePod(os, table.rows());
+        writePod(os, static_cast<uint64_t>(table.dim()));
+        for (uint32_t r = 0; r < table.rows(); ++r) {
+            os.write(reinterpret_cast<const char *>(table.row(r)),
+                     static_cast<std::streamsize>(table.rowBytes()));
+        }
+    }
+    writeMlp(os, model.bottomMlp());
+    writeMlp(os, model.topMlp());
+    fatalIf(!os, "I/O error while writing '", path, "'");
+}
+
+void
+loadCheckpoint(const std::string &path,
+               std::vector<emb::EmbeddingTable> &tables,
+               nn::DlrmModel &model)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open '", path, "' for reading");
+
+    uint64_t magic = 0;
+    readPod(is, magic);
+    fatalIf(magic != kMagic, "'", path,
+            "' is not a ScratchPipe checkpoint");
+
+    uint64_t num_tables = 0;
+    readPod(is, num_tables);
+    fatalIf(num_tables != tables.size(),
+            "checkpoint mismatch: ", num_tables,
+            " tables on disk but ", tables.size(), " in the model");
+    for (auto &table : tables) {
+        fatalIf(!table.isDense(),
+                "cannot restore into a phantom embedding table");
+        uint64_t rows = 0, dim = 0;
+        readPod(is, rows);
+        readPod(is, dim);
+        fatalIf(rows != table.rows() || dim != table.dim(),
+                "checkpoint mismatch: table is ", rows, "x", dim,
+                " on disk but ", table.rows(), "x", table.dim(),
+                " in the model");
+        for (uint32_t r = 0; r < table.rows(); ++r) {
+            is.read(reinterpret_cast<char *>(table.row(r)),
+                    static_cast<std::streamsize>(table.rowBytes()));
+        }
+    }
+    readMlpInto(is, model.bottomMlp(), "bottom MLP");
+    readMlpInto(is, model.topMlp(), "top MLP");
+    fatalIf(!is, "I/O error while reading '", path, "'");
+}
+
+} // namespace sp::sys

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Model checkpointing: save and restore a trained RecSys model (all
+ * embedding tables + both MLP stacks) in a compact binary format.
+ *
+ * A production trainer checkpoints between epochs; a reproduction that
+ * claims bit-exactness needs checkpoints too, so interrupted runs can
+ * be shown to resume identically (see tests/sys/checkpoint_test.cc:
+ * train(10) -> save -> load -> train(10) equals train(20) bit-for-bit).
+ */
+
+#ifndef SP_SYS_CHECKPOINT_H
+#define SP_SYS_CHECKPOINT_H
+
+#include <string>
+#include <vector>
+
+#include "emb/embedding_table.h"
+#include "nn/dlrm.h"
+
+namespace sp::sys
+{
+
+/**
+ * Write tables + model parameters to `path`.
+ * Tables must be dense; fatal() on I/O errors.
+ */
+void saveCheckpoint(const std::string &path,
+                    const std::vector<emb::EmbeddingTable> &tables,
+                    const nn::DlrmModel &model);
+
+/**
+ * Restore a checkpoint written by saveCheckpoint into existing
+ * (geometry-matching) tables and model. fatal() on any geometry or
+ * format mismatch -- a checkpoint must never be half-applied.
+ */
+void loadCheckpoint(const std::string &path,
+                    std::vector<emb::EmbeddingTable> &tables,
+                    nn::DlrmModel &model);
+
+} // namespace sp::sys
+
+#endif // SP_SYS_CHECKPOINT_H

@@ -1,0 +1,67 @@
+#include "sys/factory.h"
+
+#include "common/logging.h"
+#include "sys/hybrid.h"
+#include "sys/multigpu.h"
+#include "sys/scratchpipe_sys.h"
+#include "sys/static_sys.h"
+
+namespace sp::sys
+{
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Hybrid:
+        return "Hybrid CPU-GPU";
+      case SystemKind::StaticCache:
+        return "Static cache";
+      case SystemKind::Strawman:
+        return "Straw-man";
+      case SystemKind::ScratchPipe:
+        return "ScratchPipe";
+      case SystemKind::MultiGpu:
+        return "8-GPU";
+    }
+    panic("unknown SystemKind");
+}
+
+RunResult
+simulateSystem(SystemKind kind, const ModelConfig &model,
+               const sim::HardwareConfig &hardware, double cache_fraction,
+               const data::TraceDataset &dataset, const BatchStats &stats,
+               uint64_t iterations, uint64_t warmup)
+{
+    switch (kind) {
+      case SystemKind::Hybrid: {
+        HybridCpuGpu system(model, hardware);
+        return system.simulate(dataset, stats, iterations, warmup);
+      }
+      case SystemKind::StaticCache: {
+        StaticCacheSystem system(model, hardware, cache_fraction);
+        return system.simulate(dataset, stats, iterations, warmup);
+      }
+      case SystemKind::Strawman: {
+        ScratchPipeOptions options;
+        options.cache_fraction = cache_fraction;
+        options.pipelined = false;
+        ScratchPipeSystem system(model, hardware, options);
+        return system.simulate(dataset, stats, iterations, warmup);
+      }
+      case SystemKind::ScratchPipe: {
+        ScratchPipeOptions options;
+        options.cache_fraction = cache_fraction;
+        options.pipelined = true;
+        ScratchPipeSystem system(model, hardware, options);
+        return system.simulate(dataset, stats, iterations, warmup);
+      }
+      case SystemKind::MultiGpu: {
+        MultiGpuSystem system(model, hardware);
+        return system.simulate(dataset, stats, iterations, warmup);
+      }
+    }
+    panic("unknown SystemKind");
+}
+
+} // namespace sp::sys

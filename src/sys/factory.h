@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Uniform construction of the four evaluated design points
+ * (paper Section VI intro) plus the multi-GPU comparison system.
+ */
+
+#ifndef SP_SYS_FACTORY_H
+#define SP_SYS_FACTORY_H
+
+#include <string>
+
+#include "data/dataset.h"
+#include "sim/hardware_config.h"
+#include "sys/batch_stats.h"
+#include "sys/run_result.h"
+#include "sys/system_config.h"
+
+namespace sp::sys
+{
+
+/** The evaluated system design points. */
+enum class SystemKind
+{
+    Hybrid,      //!< CPU-GPU without caching (Fig. 4a)
+    StaticCache, //!< CPU-GPU + static top-N GPU cache (Fig. 4b)
+    Strawman,    //!< dynamic cache, sequential stages (Section IV-B)
+    ScratchPipe, //!< dynamic cache, pipelined (Section IV-C)
+    MultiGpu,    //!< 8-GPU model-parallel GPU-only (Section VI-F)
+};
+
+const char *systemName(SystemKind kind);
+
+/**
+ * Build and simulate one system over a shared dataset.
+ *
+ * @param cache_fraction GPU cache capacity as a fraction of each
+ *        table; ignored by Hybrid and MultiGpu.
+ */
+RunResult simulateSystem(SystemKind kind, const ModelConfig &model,
+                         const sim::HardwareConfig &hardware,
+                         double cache_fraction,
+                         const data::TraceDataset &dataset,
+                         const BatchStats &stats, uint64_t iterations,
+                         uint64_t warmup = 0);
+
+} // namespace sp::sys
+
+#endif // SP_SYS_FACTORY_H

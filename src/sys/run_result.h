@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Common result record of a timing-mode simulation run.
+ */
+
+#ifndef SP_SYS_RUN_RESULT_H
+#define SP_SYS_RUN_RESULT_H
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/breakdown.h"
+#include "metrics/energy.h"
+
+namespace sp::sys
+{
+
+/** Averaged per-iteration outcome of simulating one system. */
+struct RunResult
+{
+    std::string system_name;
+    uint64_t iterations = 0;
+    /** Steady-state seconds per training iteration. */
+    double seconds_per_iteration = 0.0;
+    /** Per-iteration latency split (system-specific stage names). */
+    metrics::IterationBreakdown breakdown;
+    /** Busy-time attribution for the energy model. */
+    metrics::BusyTimes busy;
+    /** Embedding-cache hit rate, or -1 when not applicable. */
+    double hit_rate = -1.0;
+    /** Provisioned GPU-side bytes (caches + metadata), 0 if none. */
+    double gpu_bytes = 0.0;
+    /** Binding pipeline constraint (ScratchPipe only). */
+    std::string bottleneck;
+};
+
+} // namespace sp::sys
+
+#endif // SP_SYS_RUN_RESULT_H

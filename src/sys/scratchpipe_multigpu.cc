@@ -1,0 +1,248 @@
+#include "sys/scratchpipe_multigpu.h"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/controller.h"
+#include "emb/traffic.h"
+#include "nn/dlrm.h"
+#include "nn/flops.h"
+
+namespace sp::sys
+{
+
+ScratchPipeMultiGpuSystem::ScratchPipeMultiGpuSystem(
+    const ModelConfig &model, const sim::HardwareConfig &hardware,
+    const ScratchPipeOptions &options)
+    : model_(model), latency_(hardware), options_(options)
+{
+    model_.validate();
+    fatalIf(!options.pipelined,
+            "the multi-GPU extension models the pipelined design only");
+    fatalIf(options.cache_fraction <= 0.0 || options.cache_fraction > 1.0,
+            "cache_fraction must be in (0, 1], got ",
+            options.cache_fraction);
+
+    uint64_t slots = std::max<uint64_t>(
+        1, static_cast<uint64_t>(options.cache_fraction *
+                                 model_.trace.rows_per_table));
+    if (options.enforce_capacity_bound) {
+        slots = std::max<uint64_t>(
+            slots, core::ScratchPipeController::worstCaseSlots(
+                       options.past_window, options.future_window,
+                       model_.trace.idsPerTable()));
+    }
+    slots = std::min<uint64_t>(slots, model_.trace.rows_per_table);
+    slots_per_table_ = static_cast<uint32_t>(slots);
+}
+
+RunResult
+ScratchPipeMultiGpuSystem::simulate(const data::TraceDataset &dataset,
+                                    const BatchStats &stats,
+                                    uint64_t iterations,
+                                    uint64_t warmup) const
+{
+    fatalIf(iterations == 0, "need at least one iteration");
+    fatalIf(warmup + iterations > dataset.numBatches(),
+            "dataset has only ", dataset.numBatches(), " batches");
+
+    const auto &hw = latency_.config();
+    const auto &trace = model_.trace;
+    const uint64_t batch = trace.batch_size;
+    const size_t rb = model_.rowBytes();
+    const uint64_t n_per_table = trace.idsPerTable();
+    const int gpus = hw.multi_gpu_count;
+    const size_t tables_per_gpu =
+        (trace.num_tables + gpus - 1) / static_cast<size_t>(gpus);
+    using CpuPath = sim::LatencyModel::CpuPath;
+
+    // One controller per table, as in the single-GPU design; the
+    // assignment to GPUs only affects which resources are charged.
+    core::ControllerConfig cc;
+    cc.num_slots = slots_per_table_;
+    cc.dim = model_.embedding_dim;
+    cc.past_window = options_.past_window;
+    cc.future_window = options_.future_window;
+    cc.policy = options_.policy;
+    cc.backing = cache::SlotArray::Backing::Phantom;
+    cc.warm_start = options_.warm_start;
+    std::vector<core::ScratchPipeController> controllers;
+    controllers.reserve(trace.num_tables);
+    for (size_t t = 0; t < trace.num_tables; ++t) {
+        cc.policy_seed = 0x5eed + t;
+        controllers.emplace_back(cc);
+    }
+
+    const char *stage_names[6] = {"Load",     "Plan",   "Collect",
+                                  "Exchange", "Insert", "Train"};
+    std::vector<sim::StageDemand> total(6);
+    for (int s = 0; s < 6; ++s) {
+        total[s].name = stage_names[s];
+        total[s].overhead = hw.pipeline_stage_overhead;
+    }
+    total[5].overhead = hw.multi_gpu_iteration_overhead;
+
+    const nn::DlrmConfig dlrm = model_.dlrmConfig();
+    const nn::DlrmModel probe(dlrm, 1);
+    const double param_bytes =
+        static_cast<double>(probe.parameterCount()) * sizeof(float);
+    const double flops = nn::dlrmIterationFlops(dlrm, batch) / gpus;
+
+    uint64_t total_hits = 0, total_ids = 0;
+    for (uint64_t i = 0; i < warmup + iterations; ++i) {
+        const auto &mini = dataset.batch(i);
+        const bool measured = i >= warmup;
+
+        // Per-GPU fill/evict volume: the busiest GPU binds the
+        // GPU-side stages, the *sum* binds shared CPU DRAM.
+        uint64_t fills_total = 0, evicts_total = 0;
+        uint64_t fills_max_gpu = 0, evicts_max_gpu = 0;
+        for (int g = 0; g < gpus; ++g) {
+            uint64_t fills_gpu = 0, evicts_gpu = 0;
+            for (size_t t = g; t < trace.num_tables;
+                 t += static_cast<size_t>(gpus)) {
+                std::vector<std::span<const uint32_t>> futures;
+                for (uint32_t d = 1; d <= cc.future_window; ++d) {
+                    const auto *next = dataset.lookAhead(i, d);
+                    if (next == nullptr)
+                        break;
+                    futures.emplace_back(next->table_ids[t]);
+                }
+                const auto plan =
+                    controllers[t].plan(mini.table_ids[t], futures);
+                if (!measured)
+                    continue;
+                fills_gpu += plan.fills.size();
+                evicts_gpu += plan.evictions.size();
+                total_hits += plan.hits;
+                total_ids += plan.hits + plan.misses;
+            }
+            fills_total += fills_gpu;
+            evicts_total += evicts_gpu;
+            fills_max_gpu = std::max(fills_max_gpu, fills_gpu);
+            evicts_max_gpu = std::max(evicts_max_gpu, evicts_gpu);
+        }
+        if (!measured)
+            continue;
+
+        const double n_total = static_cast<double>(trace.idsPerBatch());
+        // [Load]
+        {
+            emb::Traffic t;
+            t.dense_read_bytes = n_total * sizeof(uint32_t);
+            t.dense_write_bytes = n_total * sizeof(uint32_t);
+            total[0].demand += latency_.cpuDemand(t, CpuPath::Runtime);
+        }
+        // [Plan]: per-GPU ID shard over its own PCIe + probes in its
+        // own HBM; the busiest GPU binds.
+        {
+            const double ids_per_gpu =
+                static_cast<double>(tables_per_gpu) * n_per_table *
+                sizeof(uint32_t);
+            total[1].demand += latency_.pcieH2DDemand(ids_per_gpu);
+            emb::Traffic t;
+            t.dense_read_bytes =
+                static_cast<double>(tables_per_gpu) * n_per_table * 16.0;
+            t.dense_read_bytes += static_cast<double>(slots_per_table_) *
+                                  tables_per_gpu * sizeof(uint16_t);
+            t.dense_write_bytes += static_cast<double>(slots_per_table_) *
+                                   tables_per_gpu * sizeof(uint16_t);
+            total[1].demand += latency_.gpuMemDemand(t);
+        }
+        // [Collect]: CPU DRAM serves the *sum* of all GPUs' fills.
+        {
+            emb::Traffic cpu = emb::gatherTraffic(fills_total, rb);
+            total[2].demand += latency_.cpuDemand(cpu, CpuPath::Runtime);
+            emb::Traffic gpu;
+            gpu.sparse_read_bytes =
+                static_cast<double>(evicts_max_gpu) * rb;
+            gpu.dense_write_bytes =
+                static_cast<double>(evicts_max_gpu) * rb;
+            total[2].demand += latency_.gpuMemDemand(gpu);
+        }
+        // [Exchange]: each GPU has its own PCIe lanes; busiest binds.
+        {
+            total[3].demand += latency_.pcieH2DDemand(
+                static_cast<double>(fills_max_gpu) * rb);
+            total[3].demand += latency_.pcieD2HDemand(
+                static_cast<double>(evicts_max_gpu) * rb);
+        }
+        // [Insert]: per-GPU fills into HBM; summed write-backs on CPU.
+        {
+            emb::Traffic gpu;
+            gpu.dense_read_bytes = static_cast<double>(fills_max_gpu) * rb;
+            gpu.sparse_write_bytes =
+                static_cast<double>(fills_max_gpu) * rb;
+            total[4].demand += latency_.gpuMemDemand(gpu);
+            emb::Traffic cpu;
+            cpu.dense_read_bytes = static_cast<double>(evicts_total) * rb;
+            cpu.sparse_write_bytes =
+                static_cast<double>(evicts_total) * rb;
+            total[4].demand += latency_.cpuDemand(cpu, CpuPath::Runtime);
+        }
+        // [Train]: per-GPU embedding work + all-to-all + data-parallel
+        // MLPs + gradient all-reduce.
+        {
+            emb::Traffic gpu;
+            for (size_t t = 0; t < tables_per_gpu && t < trace.num_tables;
+                 ++t) {
+                gpu += emb::embeddingForwardTraffic(n_per_table, batch, rb);
+                gpu += emb::embeddingBackwardTraffic(
+                    n_per_table, batch, stats.unique(i, t), rb);
+            }
+            total[5].demand += latency_.gpuMemDemand(gpu);
+            total[5].demand += latency_.gpuComputeDemand(flops);
+            const double a2a_bytes = static_cast<double>(batch) *
+                                     tables_per_gpu * rb *
+                                     (gpus - 1.0) / gpus;
+            total[5].demand += latency_.nvlinkDemand(2.0 * a2a_bytes);
+            total[5].demand += latency_.nvlinkDemand(
+                2.0 * param_bytes * (gpus - 1.0) / gpus);
+        }
+    }
+
+    const double inv = 1.0 / static_cast<double>(iterations);
+    for (auto &stage : total) {
+        for (auto &s : stage.demand.seconds)
+            s *= inv;
+    }
+
+    const auto solution = sim::solvePipeline(total);
+    RunResult result;
+    result.system_name = "ScratchPipe multi-GPU";
+    result.iterations = iterations;
+    result.seconds_per_iteration = solution.cycle_time;
+    result.bottleneck = solution.bottleneck;
+    for (size_t s = 0; s < total.size(); ++s)
+        result.breakdown.add(total[s].name, solution.stage_latencies[s]);
+
+    double cpu_busy = 0.0, gpu_busy = 0.0;
+    for (const auto &stage : total) {
+        cpu_busy += stage.demand[sim::Resource::CpuDram];
+        gpu_busy += stage.demand[sim::Resource::GpuHbm] +
+                    stage.demand[sim::Resource::GpuCompute] +
+                    stage.demand[sim::Resource::PcieH2D] +
+                    stage.demand[sim::Resource::PcieD2H] +
+                    stage.demand[sim::Resource::NvLink];
+    }
+    result.busy.iteration_seconds = result.seconds_per_iteration;
+    result.busy.cpu_busy_seconds = cpu_busy;
+    result.busy.gpu_busy_seconds = gpu_busy;
+
+    result.hit_rate = total_ids == 0
+                          ? 0.0
+                          : static_cast<double>(total_hits) /
+                                static_cast<double>(total_ids);
+    double gpu_bytes = 0.0;
+    for (const auto &controller : controllers) {
+        gpu_bytes +=
+            static_cast<double>(controller.storage().storageBytes());
+        gpu_bytes += static_cast<double>(controller.metadataBytes());
+    }
+    result.gpu_bytes = gpu_bytes;
+    return result;
+}
+
+} // namespace sp::sys

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ScratchPipe extended to multi-GPU training (paper Section VI-G).
+ *
+ * The paper discusses, without evaluating, how ScratchPipe extends to
+ * table-wise model-parallel multi-GPU training: each GPU owns a subset
+ * of the embedding tables and runs one ScratchPipe cache-manager
+ * instance per owned table; because table-wise parallelism already
+ * keeps per-table forward/backward local to one GPU, no new inter-GPU
+ * hazards appear. The paper predicts the extension is *viable but not
+ * cost-effective* -- the DNNs were never the bottleneck, so the extra
+ * GPUs mostly idle. This model makes that argument quantitative.
+ *
+ * Timing composition per pipeline cycle:
+ *  - CPU DRAM serves every GPU's [Collect]/[Insert] traffic (shared);
+ *  - each GPU has its own HBM, PCIe lanes and SMs (per-GPU demand is
+ *    the per-table demand of its owned tables);
+ *  - [Train] adds the all-to-all of reduced embeddings and the
+ *    data-parallel MLP all-reduce over NVLink;
+ *  - the distributed framework overhead of the plain multi-GPU system
+ *    applies.
+ */
+
+#ifndef SP_SYS_SCRATCHPIPE_MULTIGPU_H
+#define SP_SYS_SCRATCHPIPE_MULTIGPU_H
+
+#include "data/dataset.h"
+#include "sim/latency_model.h"
+#include "sys/batch_stats.h"
+#include "sys/run_result.h"
+#include "sys/scratchpipe_sys.h"
+#include "sys/system_config.h"
+
+namespace sp::sys
+{
+
+/** Timing model of table-parallel ScratchPipe over N GPUs. */
+class ScratchPipeMultiGpuSystem
+{
+  public:
+    ScratchPipeMultiGpuSystem(const ModelConfig &model,
+                              const sim::HardwareConfig &hardware,
+                              const ScratchPipeOptions &options);
+
+    RunResult simulate(const data::TraceDataset &dataset,
+                       const BatchStats &stats, uint64_t iterations,
+                       uint64_t warmup = 0) const;
+
+    uint32_t slotsPerTable() const { return slots_per_table_; }
+
+  private:
+    ModelConfig model_;
+    sim::LatencyModel latency_;
+    ScratchPipeOptions options_;
+    uint32_t slots_per_table_ = 0;
+};
+
+} // namespace sp::sys
+
+#endif // SP_SYS_SCRATCHPIPE_MULTIGPU_H

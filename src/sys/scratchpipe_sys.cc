@@ -1,0 +1,238 @@
+#include "sys/scratchpipe_sys.h"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/controller.h"
+#include "emb/traffic.h"
+#include "nn/flops.h"
+
+namespace sp::sys
+{
+
+ScratchPipeSystem::ScratchPipeSystem(const ModelConfig &model,
+                                     const sim::HardwareConfig &hardware,
+                                     const ScratchPipeOptions &options)
+    : model_(model), latency_(hardware), options_(options)
+{
+    model_.validate();
+    fatalIf(options.cache_fraction <= 0.0 || options.cache_fraction > 1.0,
+            "cache_fraction must be in (0, 1], got ",
+            options.cache_fraction);
+
+    const uint64_t nominal = static_cast<uint64_t>(
+        options.cache_fraction *
+        static_cast<double>(model_.trace.rows_per_table));
+    uint64_t slots = std::max<uint64_t>(nominal, 1);
+    if (options.enforce_capacity_bound) {
+        const uint32_t pw = options.pipelined ? options.past_window : 0;
+        const uint32_t fw = options.pipelined ? options.future_window : 0;
+        slots = std::max<uint64_t>(
+            slots, core::ScratchPipeController::worstCaseSlots(
+                       pw, fw, model_.trace.idsPerTable()));
+    }
+    slots = std::min<uint64_t>(slots, model_.trace.rows_per_table);
+    slots_per_table_ = static_cast<uint32_t>(slots);
+}
+
+RunResult
+ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
+                            const BatchStats &stats, uint64_t iterations,
+                            uint64_t warmup) const
+{
+    fatalIf(iterations == 0, "need at least one iteration");
+    fatalIf(warmup + iterations > dataset.numBatches(),
+            "dataset has only ", dataset.numBatches(), " batches");
+
+    const auto &hw = latency_.config();
+    const auto &trace = model_.trace;
+    const uint64_t batch = trace.batch_size;
+    const size_t rb = model_.rowBytes();
+    // Per-row optimizer state (AdaGrad) migrates with fills,
+    // write-backs and scatter updates -- but not with gathers.
+    const size_t rb_state = rb + model_.optimizerStateBytesPerRow();
+    const double n_total = static_cast<double>(trace.idsPerBatch());
+    const uint64_t n_per_table = trace.idsPerTable();
+    using CpuPath = sim::LatencyModel::CpuPath;
+
+    // Real controllers (phantom storage) drive hit/miss behaviour.
+    core::ControllerConfig cc;
+    cc.num_slots = slots_per_table_;
+    cc.dim = model_.embedding_dim;
+    cc.past_window = options_.pipelined ? options_.past_window : 0;
+    cc.future_window = options_.pipelined ? options_.future_window : 0;
+    cc.policy = options_.policy;
+    cc.backing = cache::SlotArray::Backing::Phantom;
+    cc.warm_start = options_.warm_start;
+    std::vector<core::ScratchPipeController> controllers;
+    controllers.reserve(trace.num_tables);
+    for (size_t t = 0; t < trace.num_tables; ++t) {
+        cc.policy_seed = 0x5eed + t;
+        controllers.emplace_back(cc);
+    }
+
+    // Stage demand accumulators, averaged after the loop.
+    const char *stage_names[6] = {"Load",     "Plan",   "Collect",
+                                  "Exchange", "Insert", "Train"};
+    std::vector<sim::StageDemand> total(6);
+    for (int s = 0; s < 6; ++s) {
+        total[s].name = stage_names[s];
+        total[s].overhead = hw.pipeline_stage_overhead;
+    }
+    // Train carries the framework's per-iteration overhead instead of
+    // a bare pipeline sync.
+    total[5].overhead = hw.gpu_iteration_overhead;
+
+    uint64_t total_hits = 0, total_ids = 0;
+    const double flops = nn::dlrmIterationFlops(model_.dlrmConfig(), batch);
+
+    // Warm-up batches run through the controllers (populating the
+    // scratchpad toward steady state, as the paper's measurements do)
+    // but contribute nothing to the timing accumulators.
+    for (uint64_t i = 0; i < warmup + iterations; ++i) {
+        const auto &mini = dataset.batch(i);
+        const bool measured = i >= warmup;
+
+        uint64_t fills = 0, evicts = 0;
+        for (size_t t = 0; t < trace.num_tables; ++t) {
+            // Future window from the dataset's look-ahead capability.
+            std::vector<std::span<const uint32_t>> futures;
+            for (uint32_t d = 1; d <= cc.future_window; ++d) {
+                const auto *next = dataset.lookAhead(i, d);
+                if (next == nullptr)
+                    break;
+                futures.emplace_back(next->table_ids[t]);
+            }
+            const auto plan =
+                controllers[t].plan(mini.table_ids[t], futures);
+            if (!measured)
+                continue;
+            fills += plan.fills.size();
+            evicts += plan.evictions.size();
+            total_hits += plan.hits;
+            total_ids += plan.hits + plan.misses;
+        }
+        if (!measured)
+            continue;
+
+        const double fill_bytes = static_cast<double>(fills) * rb_state;
+        const double evict_bytes = static_cast<double>(evicts) * rb_state;
+
+        // [Load]: stream the next batch's IDs through host memory.
+        {
+            emb::Traffic t;
+            t.dense_read_bytes = n_total * sizeof(uint32_t);
+            t.dense_write_bytes = n_total * sizeof(uint32_t);
+            total[0].demand += latency_.cpuDemand(t, CpuPath::Runtime);
+        }
+        // [Plan]: IDs H2D, Hit-Map probes and mask maintenance on GPU.
+        {
+            total[1].demand +=
+                latency_.pcieH2DDemand(n_total * sizeof(uint32_t));
+            emb::Traffic t;
+            t.dense_read_bytes = n_total * 16.0; // hash probes
+            t.dense_read_bytes += static_cast<double>(slots_per_table_) *
+                                  trace.num_tables * sizeof(uint16_t);
+            t.dense_write_bytes += static_cast<double>(slots_per_table_) *
+                                   trace.num_tables * sizeof(uint16_t);
+            total[1].demand += latency_.gpuMemDemand(t);
+        }
+        // [Collect]: CPU gathers fills; GPU reads victims to staging.
+        {
+            emb::Traffic cpu = emb::gatherTraffic(fills, rb);
+            total[2].demand += latency_.cpuDemand(cpu, CpuPath::Runtime);
+            emb::Traffic gpu;
+            gpu.sparse_read_bytes = evict_bytes;
+            gpu.dense_write_bytes = evict_bytes;
+            total[2].demand += latency_.gpuMemDemand(gpu);
+        }
+        // [Exchange]: full-duplex PCIe.
+        {
+            total[3].demand += latency_.pcieH2DDemand(fill_bytes);
+            total[3].demand += latency_.pcieD2HDemand(evict_bytes);
+        }
+        // [Insert]: GPU writes fills into Storage; CPU applies the
+        // write-backs to the embedding tables.
+        {
+            emb::Traffic gpu;
+            gpu.dense_read_bytes = fill_bytes;
+            gpu.sparse_write_bytes = fill_bytes;
+            total[4].demand += latency_.gpuMemDemand(gpu);
+            emb::Traffic cpu;
+            cpu.dense_read_bytes = evict_bytes;
+            cpu.sparse_write_bytes = evict_bytes;
+            total[4].demand += latency_.cpuDemand(cpu, CpuPath::Runtime);
+        }
+        // [Train]: all embedding work at GPU memory speed + the MLPs.
+        {
+            emb::Traffic gpu;
+            for (size_t t = 0; t < trace.num_tables; ++t) {
+                const size_t unique = stats.unique(i, t);
+                gpu += emb::embeddingForwardTraffic(n_per_table, batch, rb);
+                gpu += emb::duplicateTraffic(batch, n_per_table, rb);
+                gpu += emb::coalesceTraffic(n_per_table, unique, rb);
+                // The optimizer update reads/writes state with the row.
+                gpu += emb::scatterTraffic(unique, rb_state);
+            }
+            total[5].demand += latency_.gpuMemDemand(gpu);
+            total[5].demand += latency_.gpuComputeDemand(flops);
+            total[5].demand += latency_.pcieH2DDemand(
+                static_cast<double>(batch) * (trace.dense_features + 1) *
+                sizeof(float));
+        }
+    }
+
+    // Average demands over the measured iterations.
+    const double inv = 1.0 / static_cast<double>(iterations);
+    for (auto &stage : total) {
+        for (auto &s : stage.demand.seconds)
+            s *= inv;
+    }
+
+    RunResult result;
+    result.iterations = iterations;
+    if (options_.pipelined) {
+        const auto solution = sim::solvePipeline(total);
+        result.system_name = "ScratchPipe";
+        result.seconds_per_iteration = solution.cycle_time;
+        result.bottleneck = solution.bottleneck;
+        for (size_t s = 0; s < total.size(); ++s)
+            result.breakdown.add(total[s].name,
+                                 solution.stage_latencies[s]);
+    } else {
+        result.system_name = "Straw-man";
+        result.seconds_per_iteration = sim::sequentialIterationTime(total);
+        for (const auto &stage : total)
+            result.breakdown.add(stage.name, stage.latency());
+    }
+
+    // Busy-time attribution: per retired iteration each stage's work
+    // executes exactly once.
+    double cpu_busy = 0.0, gpu_busy = 0.0;
+    for (const auto &stage : total) {
+        cpu_busy += stage.demand[sim::Resource::CpuDram];
+        gpu_busy += stage.demand[sim::Resource::GpuHbm] +
+                    stage.demand[sim::Resource::GpuCompute] +
+                    stage.demand[sim::Resource::PcieH2D] +
+                    stage.demand[sim::Resource::PcieD2H];
+    }
+    result.busy.iteration_seconds = result.seconds_per_iteration;
+    result.busy.cpu_busy_seconds = cpu_busy;
+    result.busy.gpu_busy_seconds = gpu_busy;
+
+    result.hit_rate = total_ids == 0
+                          ? 0.0
+                          : static_cast<double>(total_hits) /
+                                static_cast<double>(total_ids);
+    double gpu_bytes = 0.0;
+    for (const auto &controller : controllers) {
+        gpu_bytes += static_cast<double>(controller.storage().storageBytes());
+        gpu_bytes += static_cast<double>(controller.metadataBytes());
+    }
+    result.gpu_bytes = gpu_bytes;
+    return result;
+}
+
+} // namespace sp::sys

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The ScratchPipe system (paper Section IV) and its straw-man variant.
+ *
+ * Six stages -- [Load, Plan, Collect, Exchange, Insert, Train] -- run
+ * the dynamic always-hit GPU scratchpad. The timing model executes the
+ * real controller (Hit-Map, Hold masks, Algorithm 1) over the trace to
+ * obtain the exact per-batch fill/evict counts, then charges each
+ * stage's traffic to the hardware resources:
+ *
+ *   Load      host reads the next mini-batch's sparse IDs;
+ *   Plan      IDs H2D + Hit-Map query + victim planning (GPU);
+ *   Collect   CPU gathers missed rows; GPU reads victim rows;
+ *   Exchange  PCIe H2D fills || D2H write-backs (full duplex);
+ *   Insert    GPU fills Storage; CPU applies write-backs;
+ *   Train     embedding fwd/bwd at HBM speed + MLP training.
+ *
+ * Pipelined mode retires one iteration per steady-state cycle
+ * (sim::solvePipeline); the straw-man executes the same stages
+ * sequentially (paper Section IV-B) with windows shrunk to the current
+ * batch only.
+ */
+
+#ifndef SP_SYS_SCRATCHPIPE_SYS_H
+#define SP_SYS_SCRATCHPIPE_SYS_H
+
+#include "cache/replacement.h"
+#include "data/dataset.h"
+#include "sim/latency_model.h"
+#include "sim/pipeline_solver.h"
+#include "sys/batch_stats.h"
+#include "sys/run_result.h"
+#include "sys/system_config.h"
+
+namespace sp::sys
+{
+
+/** Tunables of the ScratchPipe runtime. */
+struct ScratchPipeOptions
+{
+    /** Nominal scratchpad capacity as a fraction of each table. */
+    double cache_fraction = 0.10;
+    /** Pipelined ScratchPipe (true) or sequential straw-man (false). */
+    bool pipelined = true;
+    /** Victim-selection policy (paper default LRU). */
+    cache::PolicyKind policy = cache::PolicyKind::Lru;
+    /** Past window width (paper: 3). Ignored by the straw-man. */
+    uint32_t past_window = 3;
+    /** Future window width (paper: 2). Ignored by the straw-man. */
+    uint32_t future_window = 2;
+    /**
+     * Grow the scratchpad to the §VI-D worst-case window working set
+     * when the nominal fraction falls below it (required for the
+     * always-hit guarantee on adversarial traces).
+     */
+    bool enforce_capacity_bound = true;
+    /**
+     * Begin measurement from the LRU steady state (scratchpad
+     * pre-filled with the hottest rows) instead of a cold cache; the
+     * paper reports steady-state iteration latencies.
+     */
+    bool warm_start = true;
+};
+
+/** Timing model of ScratchPipe / straw-man. */
+class ScratchPipeSystem
+{
+  public:
+    ScratchPipeSystem(const ModelConfig &model,
+                      const sim::HardwareConfig &hardware,
+                      const ScratchPipeOptions &options);
+
+    RunResult simulate(const data::TraceDataset &dataset,
+                       const BatchStats &stats, uint64_t iterations,
+                       uint64_t warmup = 0) const;
+
+    /** Provisioned Storage slots per table (after the §VI-D bound). */
+    uint32_t slotsPerTable() const { return slots_per_table_; }
+
+    const ScratchPipeOptions &options() const { return options_; }
+
+  private:
+    ModelConfig model_;
+    sim::LatencyModel latency_;
+    ScratchPipeOptions options_;
+    uint32_t slots_per_table_ = 0;
+};
+
+} // namespace sp::sys
+
+#endif // SP_SYS_SCRATCHPIPE_SYS_H

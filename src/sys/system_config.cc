@@ -1,0 +1,69 @@
+#include "sys/system_config.h"
+
+#include "common/logging.h"
+
+namespace sp::sys
+{
+
+const char *
+optimizerName(Optimizer optimizer)
+{
+    switch (optimizer) {
+      case Optimizer::Sgd:
+        return "SGD";
+      case Optimizer::AdaGrad:
+        return "AdaGrad";
+    }
+    panic("unknown Optimizer value");
+}
+
+nn::DlrmConfig
+ModelConfig::dlrmConfig() const
+{
+    nn::DlrmConfig config;
+    config.num_tables = trace.num_tables;
+    config.embedding_dim = embedding_dim;
+    config.dense_features = trace.dense_features;
+    config.bottom_hidden = bottom_hidden;
+    config.top_hidden = top_hidden;
+    config.learning_rate = learning_rate;
+    return config;
+}
+
+void
+ModelConfig::validate() const
+{
+    fatalIf(embedding_dim == 0, "embedding_dim must be positive");
+    fatalIf(trace.num_tables == 0, "need at least one embedding table");
+    fatalIf(learning_rate <= 0.0f, "learning rate must be positive");
+}
+
+ModelConfig
+ModelConfig::paperDefault()
+{
+    ModelConfig config;
+    config.trace.num_tables = 8;
+    config.trace.rows_per_table = 10'000'000;
+    config.trace.lookups_per_table = 20;
+    config.trace.batch_size = 2048;
+    config.trace.dense_features = 13;
+    config.embedding_dim = 128;
+    return config;
+}
+
+ModelConfig
+ModelConfig::functionalScale()
+{
+    ModelConfig config;
+    config.trace.num_tables = 4;
+    config.trace.rows_per_table = 4096;
+    config.trace.lookups_per_table = 4;
+    config.trace.batch_size = 32;
+    config.trace.dense_features = 8;
+    config.embedding_dim = 16;
+    config.bottom_hidden = {32};
+    config.top_hidden = {64, 32};
+    return config;
+}
+
+} // namespace sp::sys

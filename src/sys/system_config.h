@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Full model + workload configuration shared by every system model.
+ *
+ * One ModelConfig pins everything an experiment needs: the trace
+ * geometry/locality (data::TraceConfig), the DLRM backend architecture,
+ * and the optimizer. paperDefault() is the paper's Section V setup:
+ * 8 tables x 10M rows x 128-dim (40 GB), 20 lookups/table, batch 2048,
+ * MLPerf-DLRM-like MLP stacks. functionalScale() shrinks the tables so
+ * correctness runs can materialise real floats.
+ */
+
+#ifndef SP_SYS_SYSTEM_CONFIG_H
+#define SP_SYS_SYSTEM_CONFIG_H
+
+#include <cstdint>
+#include <cstddef>
+
+#include "data/trace.h"
+#include "nn/dlrm.h"
+
+namespace sp::sys
+{
+
+/**
+ * Embedding-table optimizer. The paper trains with SGD; production
+ * DLRM commonly uses sparse AdaGrad for the embeddings (dense SGD for
+ * the MLPs). AdaGrad keeps one accumulator per embedding element that
+ * must live *with* the row -- under ScratchPipe the optimizer state
+ * migrates through the scratchpad alongside the embedding values,
+ * doubling fill/evict/write-back bytes.
+ */
+enum class Optimizer
+{
+    Sgd,
+    AdaGrad,
+};
+
+const char *optimizerName(Optimizer optimizer);
+
+/** Everything that defines one training workload. */
+struct ModelConfig
+{
+    /** Trace geometry, locality and seed. */
+    data::TraceConfig trace;
+    /** Embedding vector dimension (paper default 128). */
+    size_t embedding_dim = 128;
+    /** Bottom-MLP hidden widths (projection to dim is appended). */
+    std::vector<size_t> bottom_hidden = {512, 256};
+    /** Top-MLP hidden widths (1-wide logit layer is appended). */
+    std::vector<size_t> top_hidden = {1024, 1024, 512, 256};
+    /** SGD learning rate. */
+    float learning_rate = 0.01f;
+    /** Embedding-table optimizer (MLPs always train with SGD). */
+    Optimizer optimizer = Optimizer::Sgd;
+    /** AdaGrad epsilon (ignored under SGD). */
+    float adagrad_eps = 1e-8f;
+    /** Seed for model-parameter initialisation. */
+    uint64_t model_seed = 7;
+
+    /** Bytes of per-row optimizer state (0 for SGD). */
+    size_t optimizerStateBytesPerRow() const
+    {
+        return optimizer == Optimizer::AdaGrad
+                   ? embedding_dim * sizeof(float)
+                   : 0;
+    }
+
+    /** Bytes per embedding row. */
+    size_t rowBytes() const { return embedding_dim * sizeof(float); }
+
+    /** Total model bytes across all embedding tables. */
+    uint64_t embeddingModelBytes() const
+    {
+        return static_cast<uint64_t>(trace.num_tables) *
+               trace.rows_per_table * rowBytes();
+    }
+
+    /** The DLRM backend architecture this config implies. */
+    nn::DlrmConfig dlrmConfig() const;
+
+    /** Cross-field validation; fatal() on inconsistency. */
+    void validate() const;
+
+    /** The paper's Section V configuration (40 GB model). */
+    static ModelConfig paperDefault();
+
+    /** Small dense-table configuration for functional runs. */
+    static ModelConfig functionalScale();
+};
+
+} // namespace sp::sys
+
+#endif // SP_SYS_SYSTEM_CONFIG_H

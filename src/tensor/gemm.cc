@@ -1,0 +1,134 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sp::tensor
+{
+
+namespace
+{
+
+constexpr size_t kBlock = 64;
+
+void
+scaleOutput(Matrix &c, float beta)
+{
+    if (beta == 0.0f) {
+        c.setZero();
+    } else if (beta != 1.0f) {
+        for (size_t i = 0; i < c.size(); ++i)
+            c.data()[i] *= beta;
+    }
+}
+
+} // namespace
+
+void
+gemm(const Matrix &a, const Matrix &b, Matrix &c, float alpha, float beta)
+{
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    panicIf(b.rows() != k || c.rows() != m || c.cols() != n,
+            "gemm shape mismatch: A ", a.rows(), "x", a.cols(), " B ",
+            b.rows(), "x", b.cols(), " C ", c.rows(), "x", c.cols());
+    scaleOutput(c, beta);
+
+    for (size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const size_t i1 = std::min(i0 + kBlock, m);
+        for (size_t p0 = 0; p0 < k; p0 += kBlock) {
+            const size_t p1 = std::min(p0 + kBlock, k);
+            for (size_t i = i0; i < i1; ++i) {
+                const float *arow = a.row(i);
+                float *crow = c.row(i);
+                for (size_t p = p0; p < p1; ++p) {
+                    const float av = alpha * arow[p];
+                    if (av == 0.0f)
+                        continue;
+                    const float *brow = b.row(p);
+                    for (size_t j = 0; j < n; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemmNT(const Matrix &a, const Matrix &b, Matrix &c, float alpha, float beta)
+{
+    const size_t m = a.rows(), k = a.cols(), n = b.rows();
+    panicIf(b.cols() != k || c.rows() != m || c.cols() != n,
+            "gemmNT shape mismatch: A ", a.rows(), "x", a.cols(), " B^T ",
+            b.cols(), "x", b.rows(), " C ", c.rows(), "x", c.cols());
+    scaleOutput(c, beta);
+
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b.row(j);
+            float acc = 0.0f;
+            for (size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] += alpha * acc;
+        }
+    }
+}
+
+void
+gemmTN(const Matrix &a, const Matrix &b, Matrix &c, float alpha, float beta)
+{
+    const size_t k = a.rows(), m = a.cols(), n = b.cols();
+    panicIf(b.rows() != k || c.rows() != m || c.cols() != n,
+            "gemmTN shape mismatch: A^T ", a.cols(), "x", a.rows(), " B ",
+            b.rows(), "x", b.cols(), " C ", c.rows(), "x", c.cols());
+    scaleOutput(c, beta);
+
+    for (size_t p = 0; p < k; ++p) {
+        const float *arow = a.row(p);
+        const float *brow = b.row(p);
+        for (size_t i = 0; i < m; ++i) {
+            const float av = alpha * arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+addRowBroadcast(Matrix &c, const Matrix &bias)
+{
+    panicIf(bias.rows() != 1 || bias.cols() != c.cols(),
+            "addRowBroadcast: bias must be 1x", c.cols());
+    for (size_t i = 0; i < c.rows(); ++i) {
+        float *crow = c.row(i);
+        for (size_t j = 0; j < c.cols(); ++j)
+            crow[j] += bias(0, j);
+    }
+}
+
+void
+sumRows(const Matrix &a, Matrix &bias)
+{
+    panicIf(bias.rows() != 1 || bias.cols() != a.cols(),
+            "sumRows: bias must be 1x", a.cols());
+    bias.setZero();
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *arow = a.row(i);
+        for (size_t j = 0; j < a.cols(); ++j)
+            bias(0, j) += arow[j];
+    }
+}
+
+double
+gemmFlops(size_t m, size_t n, size_t k)
+{
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+}
+
+} // namespace sp::tensor

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Single-precision general matrix multiply.
+ *
+ * The NN substrate needs four GEMM variants for forward and backward
+ * passes (NN, NT, TN and the bias-broadcast helper). The kernel is a
+ * cache-blocked triple loop -- not competitive with a vendor BLAS but
+ * deterministic, portable and fast enough for the functional runs; the
+ * simulated GPU timing comes from sp::sim, not from this kernel's
+ * wall-clock time.
+ */
+
+#ifndef SP_TENSOR_GEMM_H
+#define SP_TENSOR_GEMM_H
+
+#include "tensor/matrix.h"
+#include <cstddef>
+
+namespace sp::tensor
+{
+
+/** C = alpha * A(MxK) * B(KxN) + beta * C(MxN). */
+void gemm(const Matrix &a, const Matrix &b, Matrix &c,
+          float alpha = 1.0f, float beta = 0.0f);
+
+/** C = alpha * A(MxK) * B^T(NxK) + beta * C(MxN). */
+void gemmNT(const Matrix &a, const Matrix &b, Matrix &c,
+            float alpha = 1.0f, float beta = 0.0f);
+
+/** C = alpha * A^T(KxM) * B(KxN) + beta * C(MxN). */
+void gemmTN(const Matrix &a, const Matrix &b, Matrix &c,
+            float alpha = 1.0f, float beta = 0.0f);
+
+/** Add a 1xN row vector to every row of C (bias broadcast). */
+void addRowBroadcast(Matrix &c, const Matrix &bias);
+
+/** bias(1xN) = sum over rows of A (bias gradient reduction). */
+void sumRows(const Matrix &a, Matrix &bias);
+
+/** FLOPs of a gemm with the given shape (2*M*N*K). */
+double gemmFlops(size_t m, size_t n, size_t k);
+
+} // namespace sp::tensor
+
+#endif // SP_TENSOR_GEMM_H

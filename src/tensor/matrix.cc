@@ -1,0 +1,98 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/rng.h"
+
+namespace sp::tensor
+{
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+float &
+Matrix::at(size_t r, size_t c)
+{
+    panicIf(r >= rows_ || c >= cols_, "Matrix::at(", r, ",", c,
+            ") out of bounds for ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::at(size_t r, size_t c) const
+{
+    panicIf(r >= rows_ || c >= cols_, "Matrix::at(", r, ",", c,
+            ") out of bounds for ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+void
+Matrix::reshape(size_t rows, size_t cols)
+{
+    panicIf(rows * cols != data_.size(),
+            "reshape(", rows, ",", cols, ") does not preserve element count ",
+            data_.size());
+    rows_ = rows;
+    cols_ = cols;
+}
+
+void
+Matrix::resize(size_t rows, size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+}
+
+void
+Matrix::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Matrix::fillNormal(Rng &rng, float stddev)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void
+Matrix::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void
+Matrix::fillKaiming(Rng &rng, size_t fan_in)
+{
+    panicIf(fan_in == 0, "fillKaiming with fan_in == 0");
+    const float bound = std::sqrt(1.0f / static_cast<float>(fan_in));
+    fillUniform(rng, -bound, bound);
+}
+
+float
+Matrix::maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    panicIf(a.rows() != b.rows() || a.cols() != b.cols(),
+            "maxAbsDiff on mismatched shapes");
+    float worst = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+    return worst;
+}
+
+bool
+Matrix::identical(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    return std::equal(a.data(), a.data() + a.size(), b.data());
+}
+
+} // namespace sp::tensor

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dense row-major float matrix.
+ *
+ * This is the storage type used by the NN layers and the embedding
+ * kernels. It is deliberately simple: contiguous row-major float32,
+ * value semantics, bounds-checked accessors in debug paths. A
+ * zero-copy row view (RowView) covers the common "operate on one
+ * sample" pattern.
+ */
+
+#ifndef SP_TENSOR_MATRIX_H
+#define SP_TENSOR_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sp::tensor
+{
+
+class Rng;
+
+/** Contiguous row-major float32 matrix with value semantics. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialised. */
+    Matrix(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float *row(size_t r) { return data_.data() + r * cols_; }
+    const float *row(size_t r) const { return data_.data() + r * cols_; }
+
+    float &at(size_t r, size_t c);
+    float at(size_t r, size_t c) const;
+
+    float &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Reshape without reallocating; total element count must match. */
+    void reshape(size_t rows, size_t cols);
+
+    /** Resize, discarding contents (zero-filled). */
+    void resize(size_t rows, size_t cols);
+
+    /** Set every element to value. */
+    void fill(float value);
+
+    /** Set every element to zero. */
+    void setZero() { fill(0.0f); }
+
+    /** Fill with N(0, stddev) values drawn from rng. */
+    void fillNormal(Rng &rng, float stddev);
+
+    /** Fill with U[lo, hi) values drawn from rng. */
+    void fillUniform(Rng &rng, float lo, float hi);
+
+    /** Kaiming-uniform init used by the Linear layers (fan_in based). */
+    void fillKaiming(Rng &rng, size_t fan_in);
+
+    /** Max |a-b| over all elements; matrices must be the same shape. */
+    static float maxAbsDiff(const Matrix &a, const Matrix &b);
+
+    /** Exact element-wise equality (bit-identical floats). */
+    static bool identical(const Matrix &a, const Matrix &b);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace sp::tensor
+
+#endif // SP_TENSOR_MATRIX_H

@@ -1,0 +1,128 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sp::tensor
+{
+
+namespace
+{
+
+void
+checkSameShape(const Matrix &a, const Matrix &b, const char *what)
+{
+    panicIf(a.rows() != b.rows() || a.cols() != b.cols(),
+            what, ": shape mismatch ", a.rows(), "x", a.cols(), " vs ",
+            b.rows(), "x", b.cols());
+}
+
+} // namespace
+
+void
+reluForward(const Matrix &in, Matrix &out)
+{
+    checkSameShape(in, out, "reluForward");
+    for (size_t i = 0; i < in.size(); ++i)
+        out.data()[i] = std::max(0.0f, in.data()[i]);
+}
+
+void
+reluBackward(const Matrix &in, const Matrix &dout, Matrix &din)
+{
+    checkSameShape(in, dout, "reluBackward");
+    checkSameShape(in, din, "reluBackward");
+    for (size_t i = 0; i < in.size(); ++i)
+        din.data()[i] = in.data()[i] > 0.0f ? dout.data()[i] : 0.0f;
+}
+
+void
+sigmoidForward(const Matrix &in, Matrix &out)
+{
+    checkSameShape(in, out, "sigmoidForward");
+    for (size_t i = 0; i < in.size(); ++i) {
+        const float x = in.data()[i];
+        // Evaluate in the numerically safe branch for each sign.
+        if (x >= 0.0f) {
+            const float z = std::exp(-x);
+            out.data()[i] = 1.0f / (1.0f + z);
+        } else {
+            const float z = std::exp(x);
+            out.data()[i] = z / (1.0f + z);
+        }
+    }
+}
+
+void
+sigmoidBackward(const Matrix &out, const Matrix &dout, Matrix &din)
+{
+    checkSameShape(out, dout, "sigmoidBackward");
+    checkSameShape(out, din, "sigmoidBackward");
+    for (size_t i = 0; i < out.size(); ++i) {
+        const float y = out.data()[i];
+        din.data()[i] = dout.data()[i] * y * (1.0f - y);
+    }
+}
+
+double
+bceLoss(const Matrix &prob, const Matrix &label)
+{
+    checkSameShape(prob, label, "bceLoss");
+    panicIf(prob.cols() != 1, "bceLoss expects Bx1 matrices");
+    constexpr double eps = 1e-12;
+    double total = 0.0;
+    for (size_t i = 0; i < prob.rows(); ++i) {
+        const double p =
+            std::clamp(static_cast<double>(prob(i, 0)), eps, 1.0 - eps);
+        const double y = label(i, 0);
+        total += -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+    }
+    return total / static_cast<double>(prob.rows());
+}
+
+void
+bceSigmoidBackward(const Matrix &prob, const Matrix &label, Matrix &dlogit)
+{
+    checkSameShape(prob, label, "bceSigmoidBackward");
+    checkSameShape(prob, dlogit, "bceSigmoidBackward");
+    const float inv_batch = 1.0f / static_cast<float>(prob.rows());
+    for (size_t i = 0; i < prob.size(); ++i)
+        dlogit.data()[i] = (prob.data()[i] - label.data()[i]) * inv_batch;
+}
+
+void
+axpy(float alpha, const Matrix &x, Matrix &y)
+{
+    checkSameShape(x, y, "axpy");
+    for (size_t i = 0; i < x.size(); ++i)
+        y.data()[i] += alpha * x.data()[i];
+}
+
+double
+sumAll(const Matrix &m)
+{
+    double total = 0.0;
+    for (size_t i = 0; i < m.size(); ++i)
+        total += m.data()[i];
+    return total;
+}
+
+double
+binaryAccuracy(const Matrix &prob, const Matrix &label)
+{
+    checkSameShape(prob, label, "binaryAccuracy");
+    if (prob.rows() == 0)
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < prob.rows(); ++i) {
+        const bool predicted = prob(i, 0) >= 0.5f;
+        const bool truth = label(i, 0) >= 0.5f;
+        if (predicted == truth)
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(prob.rows());
+}
+
+} // namespace sp::tensor

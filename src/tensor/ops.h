@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Elementwise and reduction kernels shared by the NN layers.
+ *
+ * Everything here is deterministic: fixed iteration order, no
+ * parallel reductions, so functional runs are bit-reproducible across
+ * the system models (a requirement of the algorithmic-equivalence
+ * property tests).
+ */
+
+#ifndef SP_TENSOR_OPS_H
+#define SP_TENSOR_OPS_H
+
+#include <cstddef>
+
+#include "tensor/matrix.h"
+
+namespace sp::tensor
+{
+
+/** out = relu(in), elementwise. Shapes must match. */
+void reluForward(const Matrix &in, Matrix &out);
+
+/** din = dout * (in > 0), elementwise relu backward. */
+void reluBackward(const Matrix &in, const Matrix &dout, Matrix &din);
+
+/** out = sigmoid(in), numerically stable for large |x|. */
+void sigmoidForward(const Matrix &in, Matrix &out);
+
+/** din = dout * out * (1 - out), sigmoid backward from outputs. */
+void sigmoidBackward(const Matrix &out, const Matrix &dout, Matrix &din);
+
+/**
+ * Mean binary cross entropy over a column of probabilities.
+ *
+ * @param prob  Bx1 predicted probabilities in (0, 1).
+ * @param label Bx1 labels in {0, 1}.
+ * @return mean BCE loss.
+ */
+double bceLoss(const Matrix &prob, const Matrix &label);
+
+/**
+ * Gradient of mean BCE composed with sigmoid: dlogit = (p - y)/B.
+ * This is the standard fused form, avoiding the unstable division.
+ */
+void bceSigmoidBackward(const Matrix &prob, const Matrix &label,
+                        Matrix &dlogit);
+
+/** y += alpha * x over all elements (shapes must match). */
+void axpy(float alpha, const Matrix &x, Matrix &y);
+
+/** Sum of all elements. */
+double sumAll(const Matrix &m);
+
+/** Fraction of rows where (prob >= 0.5) matches the binary label. */
+double binaryAccuracy(const Matrix &prob, const Matrix &label);
+
+} // namespace sp::tensor
+
+#endif // SP_TENSOR_OPS_H

@@ -1,0 +1,166 @@
+/** @file HitMap unit tests + randomized model check. */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "cache/hit_map.h"
+#include "common/logging.h"
+#include "tensor/rng.h"
+
+namespace sp::cache
+{
+namespace
+{
+
+TEST(HitMap, EmptyOnConstruction)
+{
+    HitMap map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(42), HitMap::kNotFound);
+    EXPECT_FALSE(map.contains(42));
+}
+
+TEST(HitMap, InsertFindRoundTrip)
+{
+    HitMap map;
+    map.insert(10, 100);
+    map.insert(20, 200);
+    EXPECT_EQ(map.find(10), 100u);
+    EXPECT_EQ(map.find(20), 200u);
+    EXPECT_EQ(map.find(30), HitMap::kNotFound);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(HitMap, EraseRemovesOnlyTarget)
+{
+    HitMap map;
+    map.insert(1, 11);
+    map.insert(2, 22);
+    map.insert(3, 33);
+    map.erase(2);
+    EXPECT_EQ(map.find(1), 11u);
+    EXPECT_EQ(map.find(2), HitMap::kNotFound);
+    EXPECT_EQ(map.find(3), 33u);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(HitMap, ReinsertAfterErase)
+{
+    HitMap map;
+    map.insert(5, 50);
+    map.erase(5);
+    map.insert(5, 51);
+    EXPECT_EQ(map.find(5), 51u);
+}
+
+TEST(HitMap, DoubleInsertPanics)
+{
+    HitMap map;
+    map.insert(7, 70);
+    EXPECT_THROW(map.insert(7, 71), PanicError);
+}
+
+TEST(HitMap, EraseAbsentPanics)
+{
+    HitMap map;
+    EXPECT_THROW(map.erase(9), PanicError);
+}
+
+TEST(HitMap, ReservedKeyRejected)
+{
+    HitMap map;
+    EXPECT_THROW(map.insert(0xffffffffu, 1), PanicError);
+    EXPECT_THROW(map.find(0xffffffffu), PanicError);
+}
+
+TEST(HitMap, GrowsPastInitialCapacity)
+{
+    HitMap map(4);
+    for (uint32_t k = 0; k < 1000; ++k)
+        map.insert(k, k * 2);
+    EXPECT_EQ(map.size(), 1000u);
+    for (uint32_t k = 0; k < 1000; ++k)
+        EXPECT_EQ(map.find(k), k * 2);
+}
+
+TEST(HitMap, ClearEmptiesEverything)
+{
+    HitMap map;
+    for (uint32_t k = 0; k < 100; ++k)
+        map.insert(k, k);
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    for (uint32_t k = 0; k < 100; ++k)
+        EXPECT_FALSE(map.contains(k));
+}
+
+TEST(HitMap, ForEachVisitsAllEntries)
+{
+    HitMap map;
+    map.insert(3, 30);
+    map.insert(6, 60);
+    map.insert(9, 90);
+    std::unordered_map<uint32_t, uint32_t> seen;
+    map.forEach([&](uint32_t k, uint32_t v) { seen[k] = v; });
+    EXPECT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[3], 30u);
+    EXPECT_EQ(seen[6], 60u);
+    EXPECT_EQ(seen[9], 90u);
+}
+
+TEST(HitMap, MemoryBytesPositive)
+{
+    HitMap map(1000);
+    EXPECT_GT(map.memoryBytes(), 1000u * 8);
+}
+
+/**
+ * Randomized model check: a long interleaving of inserts, erases and
+ * lookups must agree with std::unordered_map at every step. This
+ * exercises the backward-shift deletion paths that hand-written probe
+ * loops typically get wrong.
+ */
+TEST(HitMap, RandomOpsMatchReferenceModel)
+{
+    HitMap map(8);
+    std::unordered_map<uint32_t, uint32_t> reference;
+    tensor::Rng rng(4242);
+    constexpr uint32_t key_space = 512; // force dense collisions
+
+    for (int op = 0; op < 200000; ++op) {
+        const uint32_t key =
+            static_cast<uint32_t>(rng.uniformInt(key_space));
+        const double action = rng.uniform();
+        if (action < 0.45) {
+            if (reference.find(key) == reference.end()) {
+                const uint32_t value = static_cast<uint32_t>(op);
+                map.insert(key, value);
+                reference[key] = value;
+            }
+        } else if (action < 0.8) {
+            if (reference.find(key) != reference.end()) {
+                map.erase(key);
+                reference.erase(key);
+            }
+        } else {
+            const auto it = reference.find(key);
+            const uint32_t expected =
+                it == reference.end() ? HitMap::kNotFound : it->second;
+            ASSERT_EQ(map.find(key), expected) << "op " << op;
+        }
+        ASSERT_EQ(map.size(), reference.size());
+    }
+
+    // Final full sweep.
+    for (uint32_t key = 0; key < key_space; ++key) {
+        const auto it = reference.find(key);
+        const uint32_t expected =
+            it == reference.end() ? HitMap::kNotFound : it->second;
+        EXPECT_EQ(map.find(key), expected);
+    }
+}
+
+} // namespace
+} // namespace sp::cache

@@ -1,0 +1,72 @@
+/** @file SlotArray storage tests. */
+
+#include <gtest/gtest.h>
+
+#include "cache/slot_array.h"
+#include "common/logging.h"
+
+namespace sp::cache
+{
+namespace
+{
+
+TEST(SlotArray, DenseGeometry)
+{
+    SlotArray storage(16, 8);
+    EXPECT_EQ(storage.numSlots(), 16u);
+    EXPECT_EQ(storage.dim(), 8u);
+    EXPECT_EQ(storage.rowBytes(), 32u);
+    EXPECT_EQ(storage.storageBytes(), 512u);
+    EXPECT_TRUE(storage.isDense());
+}
+
+TEST(SlotArray, SlotsZeroInitialised)
+{
+    SlotArray storage(4, 4);
+    for (uint32_t s = 0; s < 4; ++s)
+        for (size_t d = 0; d < 4; ++d)
+            EXPECT_EQ(storage.slot(s)[d], 0.0f);
+}
+
+TEST(SlotArray, SlotsWritableAndDisjoint)
+{
+    SlotArray storage(4, 2);
+    storage.slot(1)[0] = 1.5f;
+    storage.slot(2)[1] = -2.5f;
+    EXPECT_EQ(storage.slot(1)[0], 1.5f);
+    EXPECT_EQ(storage.slot(2)[1], -2.5f);
+    EXPECT_EQ(storage.slot(0)[0], 0.0f);
+    EXPECT_EQ(storage.slot(3)[1], 0.0f);
+}
+
+TEST(SlotArray, PhantomReportsBytesWithoutStorage)
+{
+    SlotArray storage(1'000'000, 128, SlotArray::Backing::Phantom);
+    EXPECT_FALSE(storage.isDense());
+    EXPECT_EQ(storage.storageBytes(), 1'000'000ull * 512);
+    EXPECT_THROW(storage.slot(0), PanicError);
+}
+
+TEST(SlotArray, OutOfRangeSlotPanics)
+{
+    SlotArray storage(4, 2);
+    EXPECT_THROW(storage.slot(4), PanicError);
+}
+
+TEST(SlotArray, InvalidGeometryFatal)
+{
+    EXPECT_THROW(SlotArray(0, 2), FatalError);
+    EXPECT_THROW(SlotArray(2, 0), FatalError);
+}
+
+TEST(SlotArray, PaperWorstCaseFootprint)
+{
+    // §VI-D: 8 tables x 20 gathers x 2048 batch x 512 B x 6 batches
+    // = 960 MB of worst-case Storage provisioning. One table's share:
+    const uint32_t slots = 6 * 20 * 2048;
+    SlotArray storage(slots, 128, SlotArray::Backing::Phantom);
+    EXPECT_EQ(storage.storageBytes() * 8, 960ull * 1024 * 1024);
+}
+
+} // namespace
+} // namespace sp::cache

@@ -1,0 +1,133 @@
+/** @file ArgParser unit tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/args.h"
+#include "common/logging.h"
+
+namespace sp
+{
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser args("test tool");
+    args.addString("name", "default", "a string flag");
+    args.addInt("count", 7, "an int flag");
+    args.addDouble("rate", 0.5, "a double flag");
+    args.addBool("verbose", "a switch");
+    return args;
+}
+
+bool
+parse(ArgParser &args, std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsApplyWithoutFlags)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parse(args, {}));
+    EXPECT_EQ(args.getString("name"), "default");
+    EXPECT_EQ(args.getInt("count"), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate"), 0.5);
+    EXPECT_FALSE(args.getBool("verbose"));
+}
+
+TEST(Args, SpaceSeparatedValues)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parse(args, {"--name", "alice", "--count", "42",
+                             "--rate", "1.25"}));
+    EXPECT_EQ(args.getString("name"), "alice");
+    EXPECT_EQ(args.getInt("count"), 42);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate"), 1.25);
+}
+
+TEST(Args, EqualsSeparatedValues)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parse(args, {"--name=bob", "--count=-3", "--rate=2e-3"}));
+    EXPECT_EQ(args.getString("name"), "bob");
+    EXPECT_EQ(args.getInt("count"), -3);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate"), 2e-3);
+}
+
+TEST(Args, BoolSwitchForms)
+{
+    ArgParser args = makeParser();
+    EXPECT_TRUE(parse(args, {"--verbose"}));
+    EXPECT_TRUE(args.getBool("verbose"));
+
+    ArgParser args2 = makeParser();
+    EXPECT_TRUE(parse(args2, {"--verbose=false"}));
+    EXPECT_FALSE(args2.getBool("verbose"));
+}
+
+TEST(Args, HelpShortCircuits)
+{
+    ArgParser args = makeParser();
+    EXPECT_FALSE(parse(args, {"--help"}));
+    ArgParser args2 = makeParser();
+    EXPECT_FALSE(parse(args2, {"-h"}));
+}
+
+TEST(Args, UnknownFlagFatal)
+{
+    ArgParser args = makeParser();
+    EXPECT_THROW(parse(args, {"--bogus", "1"}), FatalError);
+}
+
+TEST(Args, MissingValueFatal)
+{
+    ArgParser args = makeParser();
+    EXPECT_THROW(parse(args, {"--count"}), FatalError);
+}
+
+TEST(Args, MalformedNumbersFatal)
+{
+    ArgParser args = makeParser();
+    EXPECT_THROW(parse(args, {"--count", "seven"}), FatalError);
+    ArgParser args2 = makeParser();
+    EXPECT_THROW(parse(args2, {"--rate", "fast"}), FatalError);
+}
+
+TEST(Args, PositionalArgumentsRejected)
+{
+    ArgParser args = makeParser();
+    EXPECT_THROW(parse(args, {"stray"}), FatalError);
+}
+
+TEST(Args, WrongTypeAccessPanics)
+{
+    ArgParser args = makeParser();
+    parse(args, {});
+    EXPECT_THROW(args.getInt("name"), PanicError);
+    EXPECT_THROW(args.getString("count"), PanicError);
+    EXPECT_THROW(args.getBool("rate"), PanicError);
+}
+
+TEST(Args, UnregisteredAccessPanics)
+{
+    ArgParser args = makeParser();
+    parse(args, {});
+    EXPECT_THROW(args.getString("nothere"), PanicError);
+}
+
+TEST(Args, UsageListsFlags)
+{
+    ArgParser args = makeParser();
+    const std::string usage = args.usage();
+    EXPECT_NE(usage.find("--name"), std::string::npos);
+    EXPECT_NE(usage.find("--count"), std::string::npos);
+    EXPECT_NE(usage.find("a switch"), std::string::npos);
+}
+
+} // namespace
+} // namespace sp

@@ -1,0 +1,103 @@
+/** @file HazardAuditor detection tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/hazard_audit.h"
+
+namespace sp::core
+{
+namespace
+{
+
+TEST(HazardAudit, DisjointAccessesPass)
+{
+    HazardAuditor audit;
+    audit.beginCycle(0);
+    audit.trainWritesSlot(0, 1);
+    audit.insertWritesSlot(0, 2);
+    audit.collectReadsVictimSlot(0, 3);
+    audit.collectReadsCpuRow(0, 100);
+    audit.insertWritesCpuRow(0, 200);
+    EXPECT_NO_THROW(audit.endCycle());
+    EXPECT_EQ(audit.cyclesAudited(), 1u);
+    EXPECT_EQ(audit.checkedAccesses(), 5u);
+}
+
+TEST(HazardAudit, Raw2TrainVsVictimRead)
+{
+    HazardAuditor audit;
+    audit.beginCycle(3);
+    audit.trainWritesSlot(0, 7);
+    audit.collectReadsVictimSlot(0, 7);
+    EXPECT_THROW(audit.endCycle(), PanicError);
+}
+
+TEST(HazardAudit, Raw3InsertVsVictimRead)
+{
+    HazardAuditor audit;
+    audit.beginCycle(4);
+    audit.insertWritesSlot(1, 9);
+    audit.collectReadsVictimSlot(1, 9);
+    EXPECT_THROW(audit.endCycle(), PanicError);
+}
+
+TEST(HazardAudit, WawInsertVsTrain)
+{
+    HazardAuditor audit;
+    audit.beginCycle(5);
+    audit.insertWritesSlot(0, 4);
+    audit.trainWritesSlot(0, 4);
+    EXPECT_THROW(audit.endCycle(), PanicError);
+}
+
+TEST(HazardAudit, Raw4CpuRowConflict)
+{
+    HazardAuditor audit;
+    audit.beginCycle(6);
+    audit.insertWritesCpuRow(2, 555);
+    audit.collectReadsCpuRow(2, 555);
+    EXPECT_THROW(audit.endCycle(), PanicError);
+}
+
+TEST(HazardAudit, SameSlotDifferentTablesIsFine)
+{
+    HazardAuditor audit;
+    audit.beginCycle(7);
+    audit.trainWritesSlot(0, 7);
+    audit.collectReadsVictimSlot(1, 7); // different table, no conflict
+    EXPECT_NO_THROW(audit.endCycle());
+}
+
+TEST(HazardAudit, StateResetsBetweenCycles)
+{
+    HazardAuditor audit;
+    audit.beginCycle(0);
+    audit.trainWritesSlot(0, 7);
+    audit.endCycle();
+    // Same slot read next cycle: no conflict (the write retired).
+    audit.beginCycle(1);
+    audit.collectReadsVictimSlot(0, 7);
+    EXPECT_NO_THROW(audit.endCycle());
+}
+
+TEST(HazardAudit, SameStageDuplicatesAllowed)
+{
+    HazardAuditor audit;
+    audit.beginCycle(0);
+    audit.trainWritesSlot(0, 1);
+    audit.trainWritesSlot(0, 1); // idempotent re-record
+    EXPECT_NO_THROW(audit.endCycle());
+}
+
+TEST(HazardAudit, ProtocolMisuseCaught)
+{
+    HazardAuditor audit;
+    EXPECT_THROW(audit.endCycle(), PanicError);
+    EXPECT_THROW(audit.trainWritesSlot(0, 0), PanicError);
+    audit.beginCycle(0);
+    EXPECT_THROW(audit.beginCycle(1), PanicError);
+}
+
+} // namespace
+} // namespace sp::core

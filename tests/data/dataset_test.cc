@@ -1,0 +1,147 @@
+/** @file TraceDataset look-ahead and serialization tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/logging.h"
+#include "data/dataset.h"
+
+namespace sp::data
+{
+namespace
+{
+
+TraceConfig
+smallConfig()
+{
+    TraceConfig config;
+    config.num_tables = 2;
+    config.rows_per_table = 500;
+    config.lookups_per_table = 3;
+    config.batch_size = 8;
+    config.locality = Locality::High;
+    config.seed = 21;
+    return config;
+}
+
+class TempFile
+{
+  public:
+    TempFile() : path_(::testing::TempDir() + "/sp_trace_test.bin") {}
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(Dataset, HoldsRequestedBatches)
+{
+    TraceDataset dataset(smallConfig(), 10);
+    EXPECT_EQ(dataset.numBatches(), 10u);
+    for (uint64_t b = 0; b < 10; ++b)
+        EXPECT_EQ(dataset.batch(b).index, b);
+}
+
+TEST(Dataset, MatchesGeneratorOutput)
+{
+    TraceDataset dataset(smallConfig(), 5);
+    TraceGenerator gen(smallConfig());
+    for (uint64_t b = 0; b < 5; ++b)
+        EXPECT_EQ(dataset.batch(b).table_ids, gen.makeBatch(b).table_ids);
+}
+
+TEST(Dataset, LookAheadSeesFuture)
+{
+    TraceDataset dataset(smallConfig(), 6);
+    const MiniBatch *ahead = dataset.lookAhead(2, 3);
+    ASSERT_NE(ahead, nullptr);
+    EXPECT_EQ(ahead->index, 5u);
+    EXPECT_EQ(ahead->table_ids, dataset.batch(5).table_ids);
+}
+
+TEST(Dataset, LookAheadZeroIsSelf)
+{
+    TraceDataset dataset(smallConfig(), 4);
+    const MiniBatch *self = dataset.lookAhead(1, 0);
+    ASSERT_NE(self, nullptr);
+    EXPECT_EQ(self->index, 1u);
+}
+
+TEST(Dataset, LookAheadPastEndIsNull)
+{
+    TraceDataset dataset(smallConfig(), 4);
+    EXPECT_EQ(dataset.lookAhead(3, 1), nullptr);
+    EXPECT_EQ(dataset.lookAhead(0, 4), nullptr);
+}
+
+TEST(Dataset, OutOfRangeBatchPanics)
+{
+    TraceDataset dataset(smallConfig(), 4);
+    EXPECT_THROW(dataset.batch(4), PanicError);
+}
+
+TEST(Dataset, DenseAndLabelsDelegateToGenerator)
+{
+    TraceDataset dataset(smallConfig(), 3);
+    TraceGenerator gen(smallConfig());
+    EXPECT_TRUE(tensor::Matrix::identical(dataset.denseFeatures(1),
+                                          gen.makeDenseFeatures(1)));
+    EXPECT_TRUE(
+        tensor::Matrix::identical(dataset.labels(2), gen.makeLabels(2)));
+}
+
+TEST(Dataset, SaveLoadRoundTrip)
+{
+    TempFile file;
+    TraceDataset original(smallConfig(), 7);
+    original.save(file.path());
+
+    const TraceDataset loaded = TraceDataset::load(file.path());
+    EXPECT_EQ(loaded.numBatches(), original.numBatches());
+    EXPECT_EQ(loaded.config().num_tables, original.config().num_tables);
+    EXPECT_EQ(loaded.config().rows_per_table,
+              original.config().rows_per_table);
+    EXPECT_EQ(loaded.config().seed, original.config().seed);
+    for (uint64_t b = 0; b < original.numBatches(); ++b)
+        EXPECT_EQ(loaded.batch(b).table_ids, original.batch(b).table_ids);
+}
+
+TEST(Dataset, LoadedDatasetReproducesLabels)
+{
+    // Labels derive from the config seed, which must survive the
+    // round trip.
+    TempFile file;
+    TraceDataset original(smallConfig(), 3);
+    original.save(file.path());
+    const TraceDataset loaded = TraceDataset::load(file.path());
+    EXPECT_TRUE(
+        tensor::Matrix::identical(loaded.labels(1), original.labels(1)));
+}
+
+TEST(Dataset, LoadMissingFileFatal)
+{
+    EXPECT_THROW(TraceDataset::load("/nonexistent/path/trace.bin"),
+                 FatalError);
+}
+
+TEST(Dataset, LoadGarbageFileFatal)
+{
+    TempFile file;
+    {
+        std::ofstream os(file.path(), std::ios::binary);
+        os << "this is not a trace file at all, far too short header";
+    }
+    EXPECT_THROW(TraceDataset::load(file.path()), FatalError);
+}
+
+TEST(Dataset, ZeroBatchesFatal)
+{
+    EXPECT_THROW(TraceDataset(smallConfig(), 0), FatalError);
+}
+
+} // namespace
+} // namespace sp::data

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Locality presets hit the paper's quoted anchor points.
+ *
+ * Section III-A: "in Criteo Ad Labs, 2% of the embeddings account for
+ * more than 80% of all accesses whereas for Alibaba User dataset, 2%
+ * of embeddings only account for 8.5% of traffic". These tests verify
+ * our Zipf exponents reproduce those coverages analytically at the
+ * paper's 10M-row table size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "data/locality.h"
+#include "data/zipf.h"
+
+namespace sp::data
+{
+namespace
+{
+
+constexpr uint64_t kPaperRows = 10'000'000;
+
+TEST(Locality, RandomIsUniform)
+{
+    EXPECT_DOUBLE_EQ(zipfExponent(Locality::Random), 0.0);
+    EXPECT_NEAR(zipfTopCoverage(kPaperRows,
+                                zipfExponent(Locality::Random), 0.02),
+                0.02, 1e-9);
+}
+
+TEST(Locality, LowMatchesAlibabaAnchor)
+{
+    const double coverage = zipfTopCoverage(
+        kPaperRows, zipfExponent(Locality::Low), 0.02);
+    EXPECT_NEAR(coverage, 0.085, 0.02);
+}
+
+TEST(Locality, MediumSitsBetween)
+{
+    const double coverage = zipfTopCoverage(
+        kPaperRows, zipfExponent(Locality::Medium), 0.02);
+    EXPECT_GT(coverage, 0.25);
+    EXPECT_LT(coverage, 0.55);
+}
+
+TEST(Locality, HighMatchesCriteoAnchor)
+{
+    const double coverage = zipfTopCoverage(
+        kPaperRows, zipfExponent(Locality::High), 0.02);
+    EXPECT_GT(coverage, 0.80);
+}
+
+TEST(Locality, ExponentsStrictlyOrdered)
+{
+    EXPECT_LT(zipfExponent(Locality::Random), zipfExponent(Locality::Low));
+    EXPECT_LT(zipfExponent(Locality::Low), zipfExponent(Locality::Medium));
+    EXPECT_LT(zipfExponent(Locality::Medium),
+              zipfExponent(Locality::High));
+}
+
+TEST(Locality, NamesRoundTrip)
+{
+    for (Locality locality : kAllLocalities)
+        EXPECT_EQ(localityFromName(localityName(locality)), locality);
+}
+
+TEST(Locality, NameParsingIsCaseInsensitive)
+{
+    EXPECT_EQ(localityFromName("random"), Locality::Random);
+    EXPECT_EQ(localityFromName("HIGH"), Locality::High);
+    EXPECT_EQ(localityFromName("mEdIuM"), Locality::Medium);
+}
+
+TEST(Locality, UnknownNameFatal)
+{
+    EXPECT_THROW(localityFromName("criteo"), FatalError);
+}
+
+TEST(Locality, ExpectedCoveragesOrdered)
+{
+    EXPECT_LT(expectedTop2PercentCoverage(Locality::Random),
+              expectedTop2PercentCoverage(Locality::Low));
+    EXPECT_LT(expectedTop2PercentCoverage(Locality::Low),
+              expectedTop2PercentCoverage(Locality::Medium));
+    EXPECT_LT(expectedTop2PercentCoverage(Locality::Medium),
+              expectedTop2PercentCoverage(Locality::High));
+}
+
+} // namespace
+} // namespace sp::data

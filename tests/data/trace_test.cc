@@ -1,0 +1,158 @@
+/** @file TraceGenerator determinism and geometry tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "data/trace.h"
+
+namespace sp::data
+{
+namespace
+{
+
+TraceConfig
+smallConfig()
+{
+    TraceConfig config;
+    config.num_tables = 3;
+    config.rows_per_table = 1000;
+    config.lookups_per_table = 4;
+    config.batch_size = 16;
+    config.locality = Locality::Medium;
+    config.seed = 11;
+    config.dense_features = 5;
+    return config;
+}
+
+TEST(Trace, BatchGeometry)
+{
+    TraceGenerator gen(smallConfig());
+    const MiniBatch batch = gen.makeBatch(0);
+    EXPECT_EQ(batch.numTables(), 3u);
+    EXPECT_EQ(batch.batch_size, 16u);
+    EXPECT_EQ(batch.lookups_per_table, 4u);
+    for (const auto &ids : batch.table_ids)
+        EXPECT_EQ(ids.size(), 64u); // 16 * 4
+}
+
+TEST(Trace, IdsWithinTableRange)
+{
+    TraceGenerator gen(smallConfig());
+    for (uint64_t b = 0; b < 10; ++b) {
+        const MiniBatch batch = gen.makeBatch(b);
+        for (const auto &ids : batch.table_ids)
+            for (uint32_t id : ids)
+                EXPECT_LT(id, 1000u);
+    }
+}
+
+TEST(Trace, DeterministicPerIndex)
+{
+    TraceGenerator a(smallConfig()), b(smallConfig());
+    // Generate out of order: batch 5 must not depend on history.
+    const MiniBatch b5_first = a.makeBatch(5);
+    a.makeBatch(0);
+    const MiniBatch b5_again = a.makeBatch(5);
+    const MiniBatch b5_other = b.makeBatch(5);
+    EXPECT_EQ(b5_first.table_ids, b5_again.table_ids);
+    EXPECT_EQ(b5_first.table_ids, b5_other.table_ids);
+}
+
+TEST(Trace, DifferentBatchesDiffer)
+{
+    TraceGenerator gen(smallConfig());
+    EXPECT_NE(gen.makeBatch(0).table_ids, gen.makeBatch(1).table_ids);
+}
+
+TEST(Trace, DifferentSeedsDiffer)
+{
+    TraceConfig other = smallConfig();
+    other.seed = 12;
+    TraceGenerator a(smallConfig()), b(other);
+    EXPECT_NE(a.makeBatch(0).table_ids, b.makeBatch(0).table_ids);
+}
+
+TEST(Trace, TablesHaveIndependentStreams)
+{
+    TraceGenerator gen(smallConfig());
+    const MiniBatch batch = gen.makeBatch(0);
+    EXPECT_NE(batch.table_ids[0], batch.table_ids[1]);
+}
+
+TEST(Trace, PerTableExponentOverride)
+{
+    TraceConfig config = smallConfig();
+    config.per_table_exponents = {0.0, 0.5, 1.2};
+    TraceGenerator gen(config);
+    EXPECT_DOUBLE_EQ(gen.tableExponent(0), 0.0);
+    EXPECT_DOUBLE_EQ(gen.tableExponent(1), 0.5);
+    EXPECT_DOUBLE_EQ(gen.tableExponent(2), 1.2);
+}
+
+TEST(Trace, PerTableExponentSizeMismatchFatal)
+{
+    TraceConfig config = smallConfig();
+    config.per_table_exponents = {0.0, 0.5};
+    EXPECT_THROW(TraceGenerator{config}, FatalError);
+}
+
+TEST(Trace, DenseFeatureGeometryAndDeterminism)
+{
+    TraceGenerator gen(smallConfig());
+    const auto dense = gen.makeDenseFeatures(3);
+    EXPECT_EQ(dense.rows(), 16u);
+    EXPECT_EQ(dense.cols(), 5u);
+    EXPECT_TRUE(
+        tensor::Matrix::identical(dense, gen.makeDenseFeatures(3)));
+    EXPECT_FALSE(
+        tensor::Matrix::identical(dense, gen.makeDenseFeatures(4)));
+}
+
+TEST(Trace, LabelsAreBinaryAndDeterministic)
+{
+    TraceGenerator gen(smallConfig());
+    const auto labels = gen.makeLabels(2);
+    EXPECT_EQ(labels.rows(), 16u);
+    EXPECT_EQ(labels.cols(), 1u);
+    for (size_t i = 0; i < labels.rows(); ++i)
+        EXPECT_TRUE(labels(i, 0) == 0.0f || labels(i, 0) == 1.0f);
+    EXPECT_TRUE(tensor::Matrix::identical(labels, gen.makeLabels(2)));
+}
+
+TEST(Trace, LabelsHaveBothClasses)
+{
+    TraceConfig config = smallConfig();
+    config.batch_size = 256;
+    TraceGenerator gen(config);
+    const auto labels = gen.makeLabels(0);
+    int positives = 0;
+    for (size_t i = 0; i < labels.rows(); ++i)
+        positives += labels(i, 0) > 0.5f ? 1 : 0;
+    EXPECT_GT(positives, 20);
+    EXPECT_LT(positives, 236);
+}
+
+TEST(Trace, ConfigHelpers)
+{
+    const TraceConfig config = smallConfig();
+    EXPECT_EQ(config.idsPerTable(), 64u);
+    EXPECT_EQ(config.idsPerBatch(), 192u);
+}
+
+TEST(Trace, InvalidConfigsFatal)
+{
+    TraceConfig config = smallConfig();
+    config.num_tables = 0;
+    EXPECT_THROW(TraceGenerator{config}, FatalError);
+
+    config = smallConfig();
+    config.batch_size = 0;
+    EXPECT_THROW(TraceGenerator{config}, FatalError);
+
+    config = smallConfig();
+    config.lookups_per_table = 0;
+    EXPECT_THROW(TraceGenerator{config}, FatalError);
+}
+
+} // namespace
+} // namespace sp::data

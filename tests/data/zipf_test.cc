@@ -1,0 +1,146 @@
+/** @file Zipf sampler distribution properties. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/zipf.h"
+
+namespace sp::data
+{
+namespace
+{
+
+std::vector<uint64_t>
+sampleHistogram(ZipfSampler &sampler, uint64_t n, int draws,
+                uint64_t seed = 99)
+{
+    tensor::Rng rng(seed);
+    std::vector<uint64_t> counts(n, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[sampler.sample(rng)];
+    return counts;
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    ZipfSampler sampler(1000, 1.0);
+    tensor::Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(sampler.sample(rng), 1000u);
+}
+
+TEST(Zipf, UniformWhenExponentZero)
+{
+    ZipfSampler sampler(10, 0.0);
+    const auto counts = sampleHistogram(sampler, 10, 100000);
+    for (uint64_t c : counts)
+        EXPECT_NEAR(static_cast<double>(c), 10000.0, 600.0);
+}
+
+TEST(Zipf, EmpiricalMatchesExactProbabilities)
+{
+    constexpr uint64_t n = 50;
+    constexpr int draws = 500000;
+    ZipfSampler sampler(n, 1.0);
+    const auto counts = sampleHistogram(sampler, n, draws);
+    for (uint64_t k = 0; k < n; ++k) {
+        const double expected = sampler.probability(k) * draws;
+        // 5-sigma Poisson band.
+        const double slack = 5.0 * std::sqrt(expected) + 1.0;
+        EXPECT_NEAR(static_cast<double>(counts[k]), expected, slack)
+            << "rank " << k;
+    }
+}
+
+TEST(Zipf, RankZeroIsHottest)
+{
+    ZipfSampler sampler(10000, 0.8);
+    const auto counts = sampleHistogram(sampler, 10000, 200000);
+    for (uint64_t k = 1; k < 20; ++k)
+        EXPECT_GE(counts[0], counts[k]);
+}
+
+TEST(Zipf, HigherExponentMoreSkew)
+{
+    constexpr uint64_t n = 10000;
+    constexpr int draws = 200000;
+    ZipfSampler flat(n, 0.4), steep(n, 1.2);
+    const auto flat_counts = sampleHistogram(flat, n, draws, 5);
+    const auto steep_counts = sampleHistogram(steep, n, draws, 5);
+
+    auto top_100_share = [&](const std::vector<uint64_t> &counts) {
+        uint64_t top = 0;
+        for (size_t k = 0; k < 100; ++k)
+            top += counts[k];
+        return static_cast<double>(top) / draws;
+    };
+    EXPECT_GT(top_100_share(steep_counts), 2.0 * top_100_share(flat_counts));
+}
+
+TEST(Zipf, ProbabilitySumsToOne)
+{
+    ZipfSampler sampler(1000, 0.9);
+    double total = 0.0;
+    for (uint64_t k = 0; k < 1000; ++k)
+        total += sampler.probability(k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilityMonotoneInRank)
+{
+    ZipfSampler sampler(100, 1.1);
+    for (uint64_t k = 1; k < 100; ++k)
+        EXPECT_GT(sampler.probability(k - 1), sampler.probability(k));
+}
+
+TEST(Zipf, SingleElementAlwaysZero)
+{
+    ZipfSampler sampler(1, 1.0);
+    tensor::Rng rng(2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(Zipf, InvalidParametersFatal)
+{
+    EXPECT_THROW(ZipfSampler(0, 1.0), FatalError);
+    EXPECT_THROW(ZipfSampler(10, -0.1), FatalError);
+}
+
+TEST(Zipf, GeneralizedHarmonicKnownValues)
+{
+    // H(3, 1) = 1 + 1/2 + 1/3.
+    EXPECT_NEAR(generalizedHarmonic(3, 1.0), 11.0 / 6.0, 1e-12);
+    // H(n, 0) = n.
+    EXPECT_DOUBLE_EQ(generalizedHarmonic(42, 0.0), 42.0);
+}
+
+TEST(Zipf, TopCoverageUniformIsFraction)
+{
+    EXPECT_NEAR(zipfTopCoverage(1000, 0.0, 0.1), 0.1, 1e-12);
+}
+
+TEST(Zipf, TopCoverageIncreasesWithExponent)
+{
+    const double low = zipfTopCoverage(100000, 0.4, 0.02);
+    const double mid = zipfTopCoverage(100000, 0.8, 0.02);
+    const double high = zipfTopCoverage(100000, 1.2, 0.02);
+    EXPECT_LT(low, mid);
+    EXPECT_LT(mid, high);
+}
+
+TEST(Zipf, TopCoverageFullFractionIsOne)
+{
+    EXPECT_NEAR(zipfTopCoverage(1000, 0.7, 1.0), 1.0, 1e-12);
+}
+
+TEST(Zipf, TopCoverageZeroFractionIsZero)
+{
+    EXPECT_DOUBLE_EQ(zipfTopCoverage(1000, 0.7, 0.0), 0.0);
+}
+
+} // namespace
+} // namespace sp::data

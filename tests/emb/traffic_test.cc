@@ -1,0 +1,107 @@
+/** @file Traffic-accounting formula tests. */
+
+#include <gtest/gtest.h>
+
+#include "emb/traffic.h"
+
+namespace sp::emb
+{
+namespace
+{
+
+constexpr size_t kRb = 512; // 128-dim float rows
+
+TEST(Traffic, GatherMovesRowTwice)
+{
+    const Traffic t = gatherTraffic(100, kRb);
+    EXPECT_DOUBLE_EQ(t.sparse_read_bytes, 100.0 * kRb);
+    EXPECT_DOUBLE_EQ(t.dense_write_bytes, 100.0 * kRb);
+    EXPECT_DOUBLE_EQ(t.sparse_write_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(t.totalBytes(), 200.0 * kRb);
+}
+
+TEST(Traffic, ReduceStreamsInAndOut)
+{
+    const Traffic t = reduceTraffic(100, 10, kRb);
+    EXPECT_DOUBLE_EQ(t.dense_read_bytes, 100.0 * kRb);
+    EXPECT_DOUBLE_EQ(t.dense_write_bytes, 10.0 * kRb);
+    EXPECT_DOUBLE_EQ(t.sparseBytes(), 0.0);
+}
+
+TEST(Traffic, DuplicateExpandsGradients)
+{
+    const Traffic t = duplicateTraffic(10, 100, kRb);
+    EXPECT_DOUBLE_EQ(t.dense_read_bytes, 10.0 * kRb);
+    EXPECT_DOUBLE_EQ(t.dense_write_bytes, 100.0 * kRb);
+}
+
+TEST(Traffic, CoalesceIsOnePassPlusOutput)
+{
+    const Traffic t = coalesceTraffic(100, 60, kRb);
+    EXPECT_DOUBLE_EQ(t.dense_read_bytes, 100.0 * kRb);
+    EXPECT_DOUBLE_EQ(t.dense_write_bytes, 160.0 * kRb);
+}
+
+TEST(Traffic, ScatterIsReadModifyWrite)
+{
+    const Traffic t = scatterTraffic(60, kRb);
+    EXPECT_DOUBLE_EQ(t.sparse_read_bytes, 60.0 * kRb);
+    EXPECT_DOUBLE_EQ(t.sparse_write_bytes, 60.0 * kRb);
+    EXPECT_DOUBLE_EQ(t.dense_read_bytes, 60.0 * kRb);
+}
+
+TEST(Traffic, ForwardComposition)
+{
+    const Traffic fwd = embeddingForwardTraffic(100, 10, kRb);
+    const Traffic manual =
+        gatherTraffic(100, kRb) + reduceTraffic(100, 10, kRb);
+    EXPECT_DOUBLE_EQ(fwd.totalBytes(), manual.totalBytes());
+    EXPECT_DOUBLE_EQ(fwd.sparseBytes(), manual.sparseBytes());
+}
+
+TEST(Traffic, BackwardComposition)
+{
+    const Traffic bwd = embeddingBackwardTraffic(100, 10, 60, kRb);
+    const Traffic manual = duplicateTraffic(10, 100, kRb) +
+                           coalesceTraffic(100, 60, kRb) +
+                           scatterTraffic(60, kRb);
+    EXPECT_DOUBLE_EQ(bwd.totalBytes(), manual.totalBytes());
+}
+
+TEST(Traffic, BackwardShrinksWithFewerUniques)
+{
+    // Higher duplication (fewer unique rows) means less scatter work.
+    const Traffic many = embeddingBackwardTraffic(1000, 10, 900, kRb);
+    const Traffic few = embeddingBackwardTraffic(1000, 10, 100, kRb);
+    EXPECT_LT(few.totalBytes(), many.totalBytes());
+    EXPECT_LT(few.sparseBytes(), many.sparseBytes());
+}
+
+TEST(Traffic, AccumulationOperator)
+{
+    Traffic total;
+    total += gatherTraffic(10, kRb);
+    total += gatherTraffic(20, kRb);
+    EXPECT_DOUBLE_EQ(total.sparse_read_bytes, 30.0 * kRb);
+    const Traffic sum = gatherTraffic(10, kRb) + gatherTraffic(20, kRb);
+    EXPECT_DOUBLE_EQ(sum.sparse_read_bytes, 30.0 * kRb);
+}
+
+TEST(Traffic, ZeroCountsZeroBytes)
+{
+    EXPECT_DOUBLE_EQ(gatherTraffic(0, kRb).totalBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(scatterTraffic(0, kRb).totalBytes(), 0.0);
+}
+
+TEST(Traffic, PaperScaleGatherVolume)
+{
+    // Paper default: 8 tables x 20 lookups x 2048 batch x 512 B rows
+    // = 167.8 MB of sparse reads per iteration.
+    Traffic total;
+    for (int t = 0; t < 8; ++t)
+        total += gatherTraffic(20 * 2048, 512);
+    EXPECT_NEAR(total.sparse_read_bytes, 167.8e6, 0.2e6);
+}
+
+} // namespace
+} // namespace sp::emb

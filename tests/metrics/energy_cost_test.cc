@@ -1,0 +1,127 @@
+/** @file Energy and cloud-cost model tests. */
+
+#include <gtest/gtest.h>
+
+#include "metrics/cost.h"
+#include "metrics/energy.h"
+
+namespace sp::metrics
+{
+namespace
+{
+
+sim::HardwareConfig
+testHw()
+{
+    sim::HardwareConfig hw;
+    hw.cpu_active_watts = 100.0;
+    hw.cpu_idle_watts = 50.0;
+    hw.gpu_active_watts = 300.0;
+    hw.gpu_idle_watts = 60.0;
+    return hw;
+}
+
+TEST(Energy, FullyIdleIteration)
+{
+    const EnergyModel model(testHw());
+    BusyTimes busy;
+    busy.iteration_seconds = 1.0;
+    EXPECT_DOUBLE_EQ(model.iterationEnergy(busy), 50.0 + 60.0);
+}
+
+TEST(Energy, FullyBusyIteration)
+{
+    const EnergyModel model(testHw());
+    BusyTimes busy;
+    busy.iteration_seconds = 2.0;
+    busy.cpu_busy_seconds = 2.0;
+    busy.gpu_busy_seconds = 2.0;
+    EXPECT_DOUBLE_EQ(model.iterationEnergy(busy), 2.0 * (100.0 + 300.0));
+}
+
+TEST(Energy, MixedBusyness)
+{
+    const EnergyModel model(testHw());
+    BusyTimes busy;
+    busy.iteration_seconds = 1.0;
+    busy.cpu_busy_seconds = 0.5;
+    busy.gpu_busy_seconds = 0.25;
+    const double expected = 0.5 * 100 + 0.5 * 50 + 0.25 * 300 + 0.75 * 60;
+    EXPECT_DOUBLE_EQ(model.iterationEnergy(busy), expected);
+}
+
+TEST(Energy, BusyTimeClampedToIteration)
+{
+    const EnergyModel model(testHw());
+    BusyTimes busy;
+    busy.iteration_seconds = 1.0;
+    busy.cpu_busy_seconds = 5.0; // can't be busier than the iteration
+    busy.gpu_busy_seconds = 5.0;
+    EXPECT_DOUBLE_EQ(model.iterationEnergy(busy), 100.0 + 300.0);
+}
+
+TEST(Energy, FasterIterationUsesLessEnergy)
+{
+    // The paper's Fig. 14 logic: same busy fractions, shorter
+    // iteration -> proportionally less energy.
+    const EnergyModel model(testHw());
+    BusyTimes slow, fast;
+    slow.iteration_seconds = 0.150;
+    slow.cpu_busy_seconds = 0.100;
+    slow.gpu_busy_seconds = 0.020;
+    fast.iteration_seconds = 0.040;
+    fast.cpu_busy_seconds = 0.010;
+    fast.gpu_busy_seconds = 0.020;
+    EXPECT_LT(model.iterationEnergy(fast),
+              0.5 * model.iterationEnergy(slow));
+}
+
+TEST(Energy, AveragePowerBetweenIdleAndActive)
+{
+    const EnergyModel model(testHw());
+    BusyTimes busy;
+    busy.iteration_seconds = 1.0;
+    busy.cpu_busy_seconds = 0.5;
+    busy.gpu_busy_seconds = 0.5;
+    const double power = model.averagePower(busy);
+    EXPECT_GT(power, 50.0 + 60.0);
+    EXPECT_LT(power, 100.0 + 300.0);
+}
+
+TEST(Cost, PaperInstancePrices)
+{
+    // Table I price points.
+    EXPECT_DOUBLE_EQ(AwsInstance::p3_2xlarge().price_per_hour, 3.06);
+    EXPECT_EQ(AwsInstance::p3_2xlarge().gpus, 1);
+    EXPECT_DOUBLE_EQ(AwsInstance::p3_16xlarge().price_per_hour, 24.48);
+    EXPECT_EQ(AwsInstance::p3_16xlarge().gpus, 8);
+}
+
+TEST(Cost, OneMillionIterationArithmetic)
+{
+    // 47.82 ms/iter on p3.2xlarge for 1M iterations = $40.64
+    // (Table I, Random row).
+    const double cost = trainingCost(AwsInstance::p3_2xlarge(), 0.04782,
+                                     1'000'000);
+    EXPECT_NEAR(cost, 40.64, 0.05);
+}
+
+TEST(Cost, MultiGpuRowFromTableI)
+{
+    // 16.22 ms/iter on p3.16xlarge = $110.3 per 1M iterations.
+    const double cost = trainingCost(AwsInstance::p3_16xlarge(), 0.01622,
+                                     1'000'000);
+    EXPECT_NEAR(cost, 110.3, 0.2);
+}
+
+TEST(Cost, ScalesLinearly)
+{
+    const auto instance = AwsInstance::p3_2xlarge();
+    const double one = trainingCost(instance, 0.05, 1000);
+    const double two = trainingCost(instance, 0.05, 2000);
+    EXPECT_NEAR(two, 2.0 * one, 1e-9);
+    EXPECT_DOUBLE_EQ(trainingCost(instance, 0.05, 0), 0.0);
+}
+
+} // namespace
+} // namespace sp::metrics

@@ -1,0 +1,83 @@
+/** @file TablePrinter formatting tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "metrics/table_printer.h"
+
+namespace sp::metrics
+{
+namespace
+{
+
+TEST(TablePrinter, AlignedOutputContainsCells)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"alpha", "1.00"});
+    table.addRow({"beta", "2.50"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.50"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutputExact)
+{
+    TablePrinter table({"a", "b"});
+    table.addRow({"1", "2"});
+    table.addRow({"x", "y"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TablePrinter, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(TablePrinter::num(10.0, 0), "10");
+    EXPECT_EQ(TablePrinter::num(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinter, RowWidthMismatchFatal)
+{
+    TablePrinter table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), FatalError);
+}
+
+TEST(TablePrinter, EmptyHeadersFatal)
+{
+    EXPECT_THROW(TablePrinter(std::vector<std::string>{}), FatalError);
+}
+
+TEST(TablePrinter, RowCountTracked)
+{
+    TablePrinter table({"a"});
+    EXPECT_EQ(table.numRows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(TablePrinter, ColumnsAlignedToWidestCell)
+{
+    TablePrinter table({"h", "second"});
+    table.addRow({"longer-cell", "x"});
+    std::ostringstream os;
+    table.print(os);
+    // The second column must start at the same offset in both lines.
+    std::istringstream lines(os.str());
+    std::string header, divider, row;
+    std::getline(lines, header);
+    std::getline(lines, divider);
+    std::getline(lines, row);
+    EXPECT_EQ(header.find("second"), row.find("x"));
+}
+
+} // namespace
+} // namespace sp::metrics

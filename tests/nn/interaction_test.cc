@@ -1,0 +1,132 @@
+/** @file Feature-interaction forward/backward tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/interaction.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace sp::nn
+{
+namespace
+{
+
+TEST(Interaction, OutputDimFormula)
+{
+    // D + (T+1 choose 2).
+    EXPECT_EQ(FeatureInteraction(8, 128).outputDim(), 128u + 36u);
+    EXPECT_EQ(FeatureInteraction(1, 4).outputDim(), 4u + 1u);
+}
+
+TEST(Interaction, PassThroughAndDots)
+{
+    FeatureInteraction interact(2, 2);
+    tensor::Matrix bottom(1, 2);
+    bottom(0, 0) = 1.0f;
+    bottom(0, 1) = 2.0f;
+    std::vector<tensor::Matrix> embs(2, tensor::Matrix(1, 2));
+    embs[0](0, 0) = 3.0f;
+    embs[0](0, 1) = 4.0f;
+    embs[1](0, 0) = -1.0f;
+    embs[1](0, 1) = 0.5f;
+
+    tensor::Matrix out;
+    interact.forward(bottom, embs, out);
+    ASSERT_EQ(out.cols(), 2u + 3u);
+    EXPECT_FLOAT_EQ(out(0, 0), 1.0f); // bottom passes through
+    EXPECT_FLOAT_EQ(out(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(out(0, 2), 1.0f * 3 + 2 * 4);   // bottom . e0
+    EXPECT_FLOAT_EQ(out(0, 3), 1.0f * -1 + 2 * 0.5); // bottom . e1
+    EXPECT_FLOAT_EQ(out(0, 4), 3.0f * -1 + 4 * 0.5); // e0 . e1
+}
+
+TEST(Interaction, BatchRowsIndependent)
+{
+    FeatureInteraction interact(1, 2);
+    tensor::Rng rng(1);
+    tensor::Matrix bottom(3, 2);
+    bottom.fillUniform(rng, -1.0f, 1.0f);
+    std::vector<tensor::Matrix> embs(1, tensor::Matrix(3, 2));
+    embs[0].fillUniform(rng, -1.0f, 1.0f);
+
+    tensor::Matrix out;
+    interact.forward(bottom, embs, out);
+    for (size_t i = 0; i < 3; ++i) {
+        const float expected = bottom(i, 0) * embs[0](i, 0) +
+                               bottom(i, 1) * embs[0](i, 1);
+        EXPECT_NEAR(out(i, 2), expected, 1e-6f);
+    }
+}
+
+TEST(Interaction, GradientsMatchFiniteDifferences)
+{
+    constexpr size_t tables = 2, dim = 3, batch = 2;
+    FeatureInteraction interact(tables, dim);
+    tensor::Rng rng(2);
+    tensor::Matrix bottom(batch, dim);
+    bottom.fillUniform(rng, -1.0f, 1.0f);
+    std::vector<tensor::Matrix> embs(tables, tensor::Matrix(batch, dim));
+    for (auto &e : embs)
+        e.fillUniform(rng, -1.0f, 1.0f);
+
+    tensor::Matrix out;
+    interact.forward(bottom, embs, out);
+    tensor::Matrix dout(batch, interact.outputDim());
+    dout.fill(1.0f);
+    tensor::Matrix dbottom;
+    std::vector<tensor::Matrix> dembs;
+    interact.backward(dout, dbottom, dembs);
+
+    const float eps = 1e-3f;
+    auto loss = [&]() {
+        tensor::Matrix y;
+        interact.forward(bottom, embs, y);
+        return tensor::sumAll(y);
+    };
+
+    for (size_t i = 0; i < batch; ++i) {
+        for (size_t d = 0; d < dim; ++d) {
+            float saved = bottom(i, d);
+            bottom(i, d) = saved + eps;
+            const double up = loss();
+            bottom(i, d) = saved - eps;
+            const double down = loss();
+            bottom(i, d) = saved;
+            EXPECT_NEAR(dbottom(i, d), (up - down) / (2.0 * eps), 1e-2);
+        }
+    }
+    for (size_t t = 0; t < tables; ++t) {
+        for (size_t i = 0; i < batch; ++i) {
+            for (size_t d = 0; d < dim; ++d) {
+                float saved = embs[t](i, d);
+                embs[t](i, d) = saved + eps;
+                const double up = loss();
+                embs[t](i, d) = saved - eps;
+                const double down = loss();
+                embs[t](i, d) = saved;
+                EXPECT_NEAR(dembs[t](i, d), (up - down) / (2.0 * eps),
+                            1e-2);
+            }
+        }
+    }
+}
+
+TEST(Interaction, WrongTableCountPanics)
+{
+    FeatureInteraction interact(2, 4);
+    tensor::Matrix bottom(1, 4), out;
+    std::vector<tensor::Matrix> embs(1, tensor::Matrix(1, 4));
+    EXPECT_THROW(interact.forward(bottom, embs, out), PanicError);
+}
+
+TEST(Interaction, BackwardWithoutForwardPanics)
+{
+    FeatureInteraction interact(1, 2);
+    tensor::Matrix dout(1, 3), dbottom;
+    std::vector<tensor::Matrix> dembs;
+    EXPECT_THROW(interact.backward(dout, dbottom, dembs), PanicError);
+}
+
+} // namespace
+} // namespace sp::nn

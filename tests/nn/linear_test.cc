@@ -1,0 +1,162 @@
+/** @file Linear layer forward/backward/SGD tests with grad checks. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace sp::nn
+{
+namespace
+{
+
+TEST(Linear, ForwardShape)
+{
+    tensor::Rng rng(1);
+    Linear layer(5, 3, rng);
+    tensor::Matrix input(7, 5), out;
+    layer.forward(input, out);
+    EXPECT_EQ(out.rows(), 7u);
+    EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(Linear, ZeroInputYieldsBias)
+{
+    tensor::Rng rng(2);
+    Linear layer(4, 2, rng);
+    tensor::Matrix input(3, 4), out;
+    layer.forward(input, out);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_FLOAT_EQ(out(i, 0), layer.bias()(0, 0));
+        EXPECT_FLOAT_EQ(out(i, 1), layer.bias()(0, 1));
+    }
+}
+
+TEST(Linear, ForwardMatchesManualComputation)
+{
+    tensor::Rng rng(3);
+    Linear layer(2, 2, rng);
+    layer.weights()(0, 0) = 1.0f;
+    layer.weights()(0, 1) = 2.0f;
+    layer.weights()(1, 0) = -1.0f;
+    layer.weights()(1, 1) = 0.5f;
+    layer.bias()(0, 0) = 0.1f;
+    layer.bias()(0, 1) = -0.2f;
+
+    tensor::Matrix input(1, 2), out;
+    input(0, 0) = 3.0f;
+    input(0, 1) = 4.0f;
+    layer.forward(input, out);
+    EXPECT_NEAR(out(0, 0), 3.0f + 8.0f + 0.1f, 1e-6f);
+    EXPECT_NEAR(out(0, 1), -3.0f + 2.0f - 0.2f, 1e-6f);
+}
+
+/**
+ * Finite-difference gradient check of a scalar objective
+ * L = sum(forward(X)) against the analytic dW, db, dX.
+ */
+TEST(Linear, GradientsMatchFiniteDifferences)
+{
+    tensor::Rng rng(4);
+    Linear layer(3, 2, rng);
+    tensor::Matrix input(4, 3);
+    input.fillUniform(rng, -1.0f, 1.0f);
+
+    tensor::Matrix out;
+    layer.forward(input, out);
+    // dL/dY = 1 for L = sum(Y).
+    tensor::Matrix dout(4, 2);
+    dout.fill(1.0f);
+    tensor::Matrix dinput;
+    layer.backward(input, dout, dinput);
+
+    const float eps = 1e-3f;
+    auto loss = [&]() {
+        tensor::Matrix y;
+        layer.forward(input, y);
+        return tensor::sumAll(y);
+    };
+
+    // Check a handful of weight gradients.
+    for (size_t o = 0; o < 2; ++o) {
+        for (size_t in = 0; in < 3; ++in) {
+            const float saved = layer.weights()(o, in);
+            layer.weights()(o, in) = saved + eps;
+            const double up = loss();
+            layer.weights()(o, in) = saved - eps;
+            const double down = loss();
+            layer.weights()(o, in) = saved;
+            EXPECT_NEAR(layer.weightGrads()(o, in),
+                        (up - down) / (2.0 * eps), 1e-2);
+        }
+    }
+
+    // Check input gradients.
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t c = 0; c < 3; ++c) {
+            const float saved = input(i, c);
+            input(i, c) = saved + eps;
+            const double up = loss();
+            input(i, c) = saved - eps;
+            const double down = loss();
+            input(i, c) = saved;
+            EXPECT_NEAR(dinput(i, c), (up - down) / (2.0 * eps), 1e-2);
+        }
+    }
+}
+
+TEST(Linear, StepMovesAgainstGradient)
+{
+    tensor::Rng rng(5);
+    Linear layer(2, 1, rng);
+    tensor::Matrix input(1, 2);
+    input(0, 0) = 1.0f;
+    input(0, 1) = 1.0f;
+
+    tensor::Matrix out;
+    layer.forward(input, out);
+    const float before = out(0, 0);
+
+    tensor::Matrix dout(1, 1), dinput;
+    dout(0, 0) = 1.0f; // increase of output is "bad"
+    layer.backward(input, dout, dinput);
+    layer.step(0.1f);
+
+    layer.forward(input, out);
+    EXPECT_LT(out(0, 0), before);
+}
+
+TEST(Linear, ParameterCount)
+{
+    tensor::Rng rng(6);
+    Linear layer(10, 4, rng);
+    EXPECT_EQ(layer.parameterCount(), 10u * 4 + 4);
+}
+
+TEST(Linear, IdenticalComparesParameters)
+{
+    tensor::Rng ra(7), rb(7);
+    Linear a(3, 3, ra), b(3, 3, rb);
+    EXPECT_TRUE(Linear::identical(a, b));
+    b.weights()(1, 1) += 1e-6f;
+    EXPECT_FALSE(Linear::identical(a, b));
+}
+
+TEST(Linear, WrongInputWidthPanics)
+{
+    tensor::Rng rng(8);
+    Linear layer(3, 2, rng);
+    tensor::Matrix bad(4, 5), out;
+    EXPECT_THROW(layer.forward(bad, out), PanicError);
+}
+
+TEST(Linear, ZeroDimensionsFatal)
+{
+    tensor::Rng rng(9);
+    EXPECT_THROW(Linear(0, 2, rng), FatalError);
+    EXPECT_THROW(Linear(2, 0, rng), FatalError);
+}
+
+} // namespace
+} // namespace sp::nn

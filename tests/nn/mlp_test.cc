@@ -1,0 +1,155 @@
+/** @file MLP stacking, backward and training-progress tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/mlp.h"
+#include "tensor/ops.h"
+
+namespace sp::nn
+{
+namespace
+{
+
+TEST(Mlp, BuildsRequestedLayers)
+{
+    tensor::Rng rng(1);
+    Mlp mlp({13, 512, 256, 128}, rng);
+    EXPECT_EQ(mlp.numLayers(), 3u);
+    EXPECT_EQ(mlp.inputDim(), 13u);
+    EXPECT_EQ(mlp.outputDim(), 128u);
+}
+
+TEST(Mlp, ForwardShape)
+{
+    tensor::Rng rng(2);
+    Mlp mlp({4, 8, 2}, rng);
+    tensor::Matrix input(5, 4), out;
+    input.fillUniform(rng, -1.0f, 1.0f);
+    mlp.forward(input, out);
+    EXPECT_EQ(out.rows(), 5u);
+    EXPECT_EQ(out.cols(), 2u);
+}
+
+TEST(Mlp, ReluOutputNonNegative)
+{
+    tensor::Rng rng(3);
+    Mlp mlp({4, 8, 3}, rng, /*relu_output=*/true);
+    tensor::Matrix input(16, 4), out;
+    input.fillUniform(rng, -2.0f, 2.0f);
+    mlp.forward(input, out);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_GE(out.data()[i], 0.0f);
+}
+
+TEST(Mlp, LinearOutputCanBeNegative)
+{
+    tensor::Rng rng(4);
+    Mlp mlp({4, 8, 3}, rng, /*relu_output=*/false);
+    tensor::Matrix input(64, 4), out;
+    input.fillUniform(rng, -2.0f, 2.0f);
+    mlp.forward(input, out);
+    bool any_negative = false;
+    for (size_t i = 0; i < out.size(); ++i)
+        any_negative |= out.data()[i] < 0.0f;
+    EXPECT_TRUE(any_negative);
+}
+
+TEST(Mlp, GradientsMatchFiniteDifferences)
+{
+    tensor::Rng rng(5);
+    Mlp mlp({3, 6, 2}, rng, /*relu_output=*/false);
+    tensor::Matrix input(4, 3);
+    input.fillUniform(rng, -1.0f, 1.0f);
+
+    tensor::Matrix out;
+    mlp.forward(input, out);
+    tensor::Matrix dout(4, 2);
+    dout.fill(1.0f);
+    tensor::Matrix dinput;
+    mlp.backward(dout, dinput);
+
+    const float eps = 1e-3f;
+    auto loss = [&]() {
+        tensor::Matrix y;
+        mlp.forward(input, y);
+        return tensor::sumAll(y);
+    };
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t c = 0; c < 3; ++c) {
+            const float saved = input(i, c);
+            input(i, c) = saved + eps;
+            const double up = loss();
+            input(i, c) = saved - eps;
+            const double down = loss();
+            input(i, c) = saved;
+            EXPECT_NEAR(dinput(i, c), (up - down) / (2.0 * eps), 2e-2)
+                << "input grad (" << i << "," << c << ")";
+        }
+    }
+}
+
+TEST(Mlp, TrainsToReduceRegressionLoss)
+{
+    // Tiny regression: y = sum(x). The MLP should fit it quickly.
+    tensor::Rng rng(6);
+    Mlp mlp({2, 16, 1}, rng, /*relu_output=*/false);
+    tensor::Matrix input(32, 2), target(32, 1);
+    input.fillUniform(rng, -1.0f, 1.0f);
+    for (size_t i = 0; i < 32; ++i)
+        target(i, 0) = input(i, 0) + input(i, 1);
+
+    auto mse = [&](const tensor::Matrix &pred) {
+        double total = 0.0;
+        for (size_t i = 0; i < pred.rows(); ++i) {
+            const double d = pred(i, 0) - target(i, 0);
+            total += d * d;
+        }
+        return total / pred.rows();
+    };
+
+    tensor::Matrix out, dout(32, 1), dinput;
+    mlp.forward(input, out);
+    const double before = mse(out);
+    for (int step = 0; step < 200; ++step) {
+        mlp.forward(input, out);
+        for (size_t i = 0; i < 32; ++i)
+            dout(i, 0) = 2.0f * (out(i, 0) - target(i, 0)) / 32.0f;
+        mlp.backward(dout, dinput);
+        mlp.step(0.05f);
+    }
+    mlp.forward(input, out);
+    EXPECT_LT(mse(out), before * 0.05);
+}
+
+TEST(Mlp, ParameterCountSums)
+{
+    tensor::Rng rng(7);
+    Mlp mlp({4, 8, 2}, rng);
+    // (4*8 + 8) + (8*2 + 2) = 40 + 18.
+    EXPECT_EQ(mlp.parameterCount(), 58u);
+}
+
+TEST(Mlp, IdenticalAfterSameConstruction)
+{
+    tensor::Rng ra(8), rb(8);
+    Mlp a({3, 5, 2}, ra), b({3, 5, 2}, rb);
+    EXPECT_TRUE(Mlp::identical(a, b));
+}
+
+TEST(Mlp, BackwardWithoutForwardPanics)
+{
+    tensor::Rng rng(9);
+    Mlp mlp({3, 2}, rng);
+    tensor::Matrix dout(1, 2), dinput;
+    EXPECT_THROW(mlp.backward(dout, dinput), PanicError);
+}
+
+TEST(Mlp, SingleDimListFatal)
+{
+    tensor::Rng rng(10);
+    EXPECT_THROW(Mlp({3}, rng), FatalError);
+}
+
+} // namespace
+} // namespace sp::nn

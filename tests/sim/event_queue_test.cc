@@ -1,0 +1,122 @@
+/** @file Discrete-event queue ordering and clock tests. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/event_queue.h"
+
+namespace sp::sim
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue queue;
+    EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_FALSE(queue.runNext());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(3.0, [&] { order.push_back(3); });
+    queue.schedule(1.0, [&] { order.push_back(1); });
+    queue.schedule(2.0, [&] { order.push_back(2); });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesFireInSchedulingOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(1.0, [&order, i] { order.push_back(i); });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMoreEvents)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1.0, [&] {
+        ++fired;
+        queue.scheduleAfter(1.0, [&] { ++fired; });
+    });
+    queue.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    double fire_time = -1.0;
+    queue.schedule(5.0, [&] {
+        queue.scheduleAfter(2.5, [&] { fire_time = queue.now(); });
+    });
+    queue.runAll();
+    EXPECT_DOUBLE_EQ(fire_time, 7.5);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1.0, [&] { ++fired; });
+    queue.schedule(10.0, [&] { ++fired; });
+    queue.runUntil(5.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+    EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, SchedulingIntoPastPanics)
+{
+    EventQueue queue;
+    queue.schedule(2.0, [] {});
+    queue.runAll();
+    EXPECT_THROW(queue.schedule(1.0, [] {}), PanicError);
+    EXPECT_THROW(queue.scheduleAfter(-0.5, [] {}), PanicError);
+}
+
+TEST(EventQueue, ExecutedCountAccumulates)
+{
+    EventQueue queue;
+    for (int i = 0; i < 7; ++i)
+        queue.schedule(static_cast<double>(i), [] {});
+    queue.runAll();
+    EXPECT_EQ(queue.executedCount(), 7u);
+}
+
+TEST(EventQueue, SimulatesLinkContention)
+{
+    // Two transfers share a 1 B/s link via sequential scheduling:
+    // the second starts when the first completes.
+    EventQueue queue;
+    double link_free_at = 0.0;
+    std::vector<double> completions;
+    auto send = [&](double bytes) {
+        const double start = std::max(queue.now(), link_free_at);
+        const double done = start + bytes;
+        link_free_at = done;
+        queue.schedule(done, [&, done] { completions.push_back(done); });
+    };
+    send(3.0);
+    send(2.0);
+    queue.runAll();
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_DOUBLE_EQ(completions[0], 3.0);
+    EXPECT_DOUBLE_EQ(completions[1], 5.0);
+}
+
+} // namespace
+} // namespace sp::sim

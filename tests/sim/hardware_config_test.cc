@@ -1,0 +1,90 @@
+/** @file HardwareConfig preset and validation tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/hardware_config.h"
+
+namespace sp::sim
+{
+namespace
+{
+
+TEST(HardwareConfig, PaperTestbedConstants)
+{
+    const HardwareConfig hw = HardwareConfig::paperTestbed();
+    // Section V: Xeon E5-2698v4 (76.8 GB/s), V100 (900 GB/s, 32 GB),
+    // PCIe gen3 (16 GB/s).
+    EXPECT_DOUBLE_EQ(hw.cpu_dram_bw, 76.8e9);
+    EXPECT_DOUBLE_EQ(hw.gpu_hbm_bw, 900e9);
+    EXPECT_DOUBLE_EQ(hw.pcie_bw, 16e9);
+    EXPECT_EQ(hw.multi_gpu_count, 8);
+    EXPECT_NO_THROW(hw.validate());
+}
+
+TEST(HardwareConfig, EffectiveRatesDerated)
+{
+    const HardwareConfig hw = HardwareConfig::paperTestbed();
+    EXPECT_LT(hw.cpuSparseBwFramework(), hw.cpuDenseBw());
+    EXPECT_LT(hw.cpuDenseBw(), hw.cpu_dram_bw);
+    EXPECT_LT(hw.gpuSparseBw(), hw.gpuDenseBw());
+    EXPECT_LT(hw.gpuGemmFlops(), hw.gpu_fp32_flops);
+    EXPECT_LT(hw.pcieEffectiveBw(), hw.pcie_bw);
+}
+
+TEST(HardwareConfig, RuntimeGatherBeatsFrameworkGather)
+{
+    // ScratchPipe's batched collect path must be modeled as faster
+    // than the framework's per-op gather path, never slower.
+    const HardwareConfig hw = HardwareConfig::paperTestbed();
+    EXPECT_GT(hw.cpuSparseBwRuntime(), hw.cpuSparseBwFramework());
+}
+
+TEST(HardwareConfig, GpuMemoryDwarfsCpuMemory)
+{
+    const HardwareConfig hw = HardwareConfig::paperTestbed();
+    // The premise of the paper: HBM delivers an order of magnitude
+    // more bandwidth than the CPU DIMMs.
+    EXPECT_GT(hw.gpu_hbm_bw / hw.cpu_dram_bw, 10.0);
+}
+
+TEST(HardwareConfig, ValidationCatchesBadEfficiency)
+{
+    HardwareConfig hw;
+    hw.cpu_dense_eff = 1.5;
+    EXPECT_THROW(hw.validate(), FatalError);
+    hw = HardwareConfig{};
+    hw.gpu_gemm_eff = 0.0;
+    EXPECT_THROW(hw.validate(), FatalError);
+}
+
+TEST(HardwareConfig, ValidationCatchesBadBandwidth)
+{
+    HardwareConfig hw;
+    hw.pcie_bw = -1.0;
+    EXPECT_THROW(hw.validate(), FatalError);
+}
+
+TEST(HardwareConfig, ValidationCatchesNegativeOverhead)
+{
+    HardwareConfig hw;
+    hw.gpu_iteration_overhead = -0.001;
+    EXPECT_THROW(hw.validate(), FatalError);
+}
+
+TEST(HardwareConfig, ValidationCatchesPowerInversion)
+{
+    HardwareConfig hw;
+    hw.cpu_idle_watts = hw.cpu_active_watts + 1.0;
+    EXPECT_THROW(hw.validate(), FatalError);
+}
+
+TEST(HardwareConfig, ValidationCatchesZeroGpus)
+{
+    HardwareConfig hw;
+    hw.multi_gpu_count = 0;
+    EXPECT_THROW(hw.validate(), FatalError);
+}
+
+} // namespace
+} // namespace sp::sim

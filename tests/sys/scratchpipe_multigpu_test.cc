@@ -1,0 +1,127 @@
+/** @file Tests for the Section VI-G multi-GPU ScratchPipe extension. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "metrics/cost.h"
+#include "sys/multigpu.h"
+#include "sys/scratchpipe_multigpu.h"
+#include "sys/scratchpipe_sys.h"
+
+namespace sp::sys
+{
+namespace
+{
+
+struct PaperWorkload
+{
+    explicit PaperWorkload(data::Locality locality,
+                           uint64_t iterations = 5)
+        : model([&] {
+              ModelConfig m = ModelConfig::paperDefault();
+              m.trace.locality = locality;
+              m.trace.seed = 60;
+              return m;
+          }()),
+          dataset(model.trace, iterations + 2),
+          stats(dataset, iterations), iters(iterations)
+    {
+    }
+    ModelConfig model;
+    data::TraceDataset dataset;
+    BatchStats stats;
+    uint64_t iters;
+};
+
+const sim::HardwareConfig kHw = sim::HardwareConfig::paperTestbed();
+
+ScratchPipeOptions
+defaultOptions()
+{
+    ScratchPipeOptions options;
+    options.cache_fraction = 0.10;
+    return options;
+}
+
+TEST(ScratchPipeMultiGpu, FasterThanSingleGpuScratchPipe)
+{
+    // More HBM, more PCIe lanes, data-parallel MLPs: the extension
+    // must be faster per iteration...
+    PaperWorkload w(data::Locality::Medium);
+    ScratchPipeSystem single(w.model, kHw, defaultOptions());
+    ScratchPipeMultiGpuSystem multi(w.model, kHw, defaultOptions());
+    const double t1 =
+        single.simulate(w.dataset, w.stats, w.iters).seconds_per_iteration;
+    const double t8 =
+        multi.simulate(w.dataset, w.stats, w.iters).seconds_per_iteration;
+    EXPECT_LT(t8, t1);
+}
+
+TEST(ScratchPipeMultiGpu, FarFromLinearScaling)
+{
+    // ...but nowhere near 8x: shared CPU DRAM and framework overheads
+    // bind it (the paper's Section VI-G argument).
+    PaperWorkload w(data::Locality::Random);
+    ScratchPipeSystem single(w.model, kHw, defaultOptions());
+    ScratchPipeMultiGpuSystem multi(w.model, kHw, defaultOptions());
+    const double t1 =
+        single.simulate(w.dataset, w.stats, w.iters).seconds_per_iteration;
+    const double t8 =
+        multi.simulate(w.dataset, w.stats, w.iters).seconds_per_iteration;
+    EXPECT_GT(t8 * 4.0, t1); // speedup < 4x despite 8x the GPUs
+}
+
+TEST(ScratchPipeMultiGpu, NotCostEffective)
+{
+    // The quantified Section VI-G claim: $/iteration is worse than
+    // single-GPU ScratchPipe at every locality.
+    for (auto locality : {data::Locality::Random, data::Locality::High}) {
+        PaperWorkload w(locality);
+        ScratchPipeSystem single(w.model, kHw, defaultOptions());
+        ScratchPipeMultiGpuSystem multi(w.model, kHw, defaultOptions());
+        const double t1 = single.simulate(w.dataset, w.stats, w.iters)
+                              .seconds_per_iteration;
+        const double t8 = multi.simulate(w.dataset, w.stats, w.iters)
+                              .seconds_per_iteration;
+        const double c1 = metrics::trainingCost(
+            metrics::AwsInstance::p3_2xlarge(), t1, 1'000'000);
+        const double c8 = metrics::trainingCost(
+            metrics::AwsInstance::p3_16xlarge(), t8, 1'000'000);
+        EXPECT_GT(c8, c1) << data::localityName(locality);
+    }
+}
+
+TEST(ScratchPipeMultiGpu, SixStageBreakdownReported)
+{
+    PaperWorkload w(data::Locality::Medium);
+    ScratchPipeMultiGpuSystem multi(w.model, kHw, defaultOptions());
+    const auto result = multi.simulate(w.dataset, w.stats, w.iters);
+    EXPECT_EQ(result.breakdown.stages().size(), 6u);
+    EXPECT_EQ(result.system_name, "ScratchPipe multi-GPU");
+    EXPECT_GT(result.hit_rate, 0.0);
+    EXPECT_FALSE(result.bottleneck.empty());
+}
+
+TEST(ScratchPipeMultiGpu, HitRateMatchesSingleGpu)
+{
+    // The cache managers are identical per table; only resource
+    // charging differs, so hit rates must agree.
+    PaperWorkload w(data::Locality::High);
+    ScratchPipeSystem single(w.model, kHw, defaultOptions());
+    ScratchPipeMultiGpuSystem multi(w.model, kHw, defaultOptions());
+    const auto r1 = single.simulate(w.dataset, w.stats, w.iters);
+    const auto r8 = multi.simulate(w.dataset, w.stats, w.iters);
+    EXPECT_NEAR(r1.hit_rate, r8.hit_rate, 1e-12);
+}
+
+TEST(ScratchPipeMultiGpu, StrawmanModeRejected)
+{
+    PaperWorkload w(data::Locality::Medium);
+    ScratchPipeOptions options = defaultOptions();
+    options.pipelined = false;
+    EXPECT_THROW(ScratchPipeMultiGpuSystem(w.model, kHw, options),
+                 FatalError);
+}
+
+} // namespace
+} // namespace sp::sys

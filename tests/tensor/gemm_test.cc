@@ -1,0 +1,168 @@
+/** @file GEMM kernels validated against a naive reference. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/logging.h"
+#include "tensor/gemm.h"
+#include "tensor/rng.h"
+
+namespace sp::tensor
+{
+namespace
+{
+
+Matrix
+randomMatrix(size_t rows, size_t cols, uint64_t seed)
+{
+    Matrix m(rows, cols);
+    Rng rng(seed);
+    m.fillUniform(rng, -1.0f, 1.0f);
+    return m;
+}
+
+/** Naive O(n^3) reference: C = alpha*A*B + beta*C. */
+Matrix
+referenceGemm(const Matrix &a, const Matrix &b, const Matrix &c_in,
+              float alpha, float beta)
+{
+    Matrix c = c_in;
+    for (size_t i = 0; i < a.rows(); ++i) {
+        for (size_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (size_t p = 0; p < a.cols(); ++p)
+                acc += static_cast<double>(a(i, p)) * b(p, j);
+            c(i, j) = alpha * static_cast<float>(acc) + beta * c(i, j);
+        }
+    }
+    return c;
+}
+
+Matrix
+transpose(const Matrix &m)
+{
+    Matrix t(m.cols(), m.rows());
+    for (size_t i = 0; i < m.rows(); ++i)
+        for (size_t j = 0; j < m.cols(); ++j)
+            t(j, i) = m(i, j);
+    return t;
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>>
+{
+};
+
+TEST_P(GemmShapes, MatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    const Matrix a = randomMatrix(m, k, 1);
+    const Matrix b = randomMatrix(k, n, 2);
+    Matrix c(m, n);
+    gemm(a, b, c);
+    const Matrix expected = referenceGemm(a, b, Matrix(m, n), 1.0f, 0.0f);
+    EXPECT_LE(Matrix::maxAbsDiff(c, expected), 1e-4f);
+}
+
+TEST_P(GemmShapes, NTMatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    const Matrix a = randomMatrix(m, k, 3);
+    const Matrix bt = randomMatrix(n, k, 4); // B^T stored as n x k
+    Matrix c(m, n);
+    gemmNT(a, bt, c);
+    const Matrix expected =
+        referenceGemm(a, transpose(bt), Matrix(m, n), 1.0f, 0.0f);
+    EXPECT_LE(Matrix::maxAbsDiff(c, expected), 1e-4f);
+}
+
+TEST_P(GemmShapes, TNMatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    const Matrix at = randomMatrix(k, m, 5); // A^T stored as k x m
+    const Matrix b = randomMatrix(k, n, 6);
+    Matrix c(m, n);
+    gemmTN(at, b, c);
+    const Matrix expected =
+        referenceGemm(transpose(at), b, Matrix(m, n), 1.0f, 0.0f);
+    EXPECT_LE(Matrix::maxAbsDiff(c, expected), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 7, 3),
+                      std::make_tuple(16, 16, 16),
+                      std::make_tuple(65, 31, 47),
+                      std::make_tuple(128, 64, 70),
+                      std::make_tuple(3, 130, 5)));
+
+TEST(Gemm, AlphaBetaComposition)
+{
+    const Matrix a = randomMatrix(8, 8, 7);
+    const Matrix b = randomMatrix(8, 8, 8);
+    Matrix c = randomMatrix(8, 8, 9);
+    const Matrix expected = referenceGemm(a, b, c, 0.5f, 2.0f);
+    gemm(a, b, c, 0.5f, 2.0f);
+    EXPECT_LE(Matrix::maxAbsDiff(c, expected), 1e-4f);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage)
+{
+    const Matrix a = randomMatrix(4, 4, 10);
+    const Matrix b = randomMatrix(4, 4, 11);
+    Matrix c(4, 4);
+    c.fill(1e30f); // must be ignored with beta = 0
+    gemm(a, b, c, 1.0f, 0.0f);
+    const Matrix expected =
+        referenceGemm(a, b, Matrix(4, 4), 1.0f, 0.0f);
+    EXPECT_LE(Matrix::maxAbsDiff(c, expected), 1e-4f);
+}
+
+TEST(Gemm, ShapeMismatchPanics)
+{
+    Matrix a(2, 3), b(4, 2), c(2, 2);
+    EXPECT_THROW(gemm(a, b, c), PanicError);
+}
+
+TEST(Gemm, AddRowBroadcast)
+{
+    Matrix c(3, 2);
+    c.fill(1.0f);
+    Matrix bias(1, 2);
+    bias(0, 0) = 10.0f;
+    bias(0, 1) = -1.0f;
+    addRowBroadcast(c, bias);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_FLOAT_EQ(c(i, 0), 11.0f);
+        EXPECT_FLOAT_EQ(c(i, 1), 0.0f);
+    }
+}
+
+TEST(Gemm, AddRowBroadcastShapePanics)
+{
+    Matrix c(3, 2), bias(1, 3);
+    EXPECT_THROW(addRowBroadcast(c, bias), PanicError);
+}
+
+TEST(Gemm, SumRows)
+{
+    Matrix a(3, 2);
+    a(0, 0) = 1.0f;
+    a(1, 0) = 2.0f;
+    a(2, 0) = 3.0f;
+    a(0, 1) = -1.0f;
+    Matrix bias(1, 2);
+    sumRows(a, bias);
+    EXPECT_FLOAT_EQ(bias(0, 0), 6.0f);
+    EXPECT_FLOAT_EQ(bias(0, 1), -1.0f);
+}
+
+TEST(Gemm, FlopsFormula)
+{
+    EXPECT_DOUBLE_EQ(gemmFlops(2, 3, 4), 48.0);
+    EXPECT_DOUBLE_EQ(gemmFlops(100, 100, 100), 2e6);
+}
+
+} // namespace
+} // namespace sp::tensor

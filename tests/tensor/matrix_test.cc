@@ -1,0 +1,159 @@
+/** @file Unit tests for the dense Matrix type. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace sp::tensor
+{
+namespace
+{
+
+TEST(Matrix, ConstructedZeroFilled)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.size(), 12u);
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matrix, ElementAccessRoundTrips)
+{
+    Matrix m(2, 3);
+    m(1, 2) = 5.0f;
+    m(0, 0) = -1.0f;
+    EXPECT_EQ(m(1, 2), 5.0f);
+    EXPECT_EQ(m(0, 0), -1.0f);
+    EXPECT_EQ(m.at(1, 2), 5.0f);
+}
+
+TEST(Matrix, AtBoundsChecked)
+{
+    Matrix m(2, 3);
+    EXPECT_THROW(m.at(2, 0), PanicError);
+    EXPECT_THROW(m.at(0, 3), PanicError);
+}
+
+TEST(Matrix, RowPointerMatchesLayout)
+{
+    Matrix m(3, 4);
+    m(2, 1) = 7.0f;
+    EXPECT_EQ(m.row(2)[1], 7.0f);
+    EXPECT_EQ(m.row(0) + 2 * 4, m.row(2));
+}
+
+TEST(Matrix, ReshapePreservesData)
+{
+    Matrix m(2, 6);
+    m(1, 5) = 9.0f;
+    m.reshape(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m(2, 3), 9.0f); // same linear index 11
+}
+
+TEST(Matrix, ReshapeBadCountPanics)
+{
+    Matrix m(2, 6);
+    EXPECT_THROW(m.reshape(5, 3), PanicError);
+}
+
+TEST(Matrix, ResizeDiscardsContents)
+{
+    Matrix m(2, 2);
+    m.fill(3.0f);
+    m.resize(4, 4);
+    EXPECT_EQ(m.size(), 16u);
+    EXPECT_EQ(m(3, 3), 0.0f);
+}
+
+TEST(Matrix, FillSetsEveryElement)
+{
+    Matrix m(5, 5);
+    m.fill(2.5f);
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(m.data()[i], 2.5f);
+}
+
+TEST(Matrix, FillNormalHasRequestedSpread)
+{
+    Matrix m(100, 100);
+    Rng rng(3);
+    m.fillNormal(rng, 2.0f);
+    double sum = 0.0, sumsq = 0.0;
+    for (size_t i = 0; i < m.size(); ++i) {
+        sum += m.data()[i];
+        sumsq += m.data()[i] * m.data()[i];
+    }
+    const double n = static_cast<double>(m.size());
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sumsq / n, 4.0, 0.15);
+}
+
+TEST(Matrix, FillUniformRespectsBounds)
+{
+    Matrix m(50, 50);
+    Rng rng(5);
+    m.fillUniform(rng, -1.0f, 1.0f);
+    for (size_t i = 0; i < m.size(); ++i) {
+        EXPECT_GE(m.data()[i], -1.0f);
+        EXPECT_LT(m.data()[i], 1.0f);
+    }
+}
+
+TEST(Matrix, KaimingBoundScalesWithFanIn)
+{
+    Matrix m(10, 100);
+    Rng rng(7);
+    m.fillKaiming(rng, 100);
+    const float bound = 0.1f; // sqrt(1/100)
+    for (size_t i = 0; i < m.size(); ++i) {
+        EXPECT_GE(m.data()[i], -bound);
+        EXPECT_LE(m.data()[i], bound);
+    }
+}
+
+TEST(Matrix, MaxAbsDiffFindsWorstElement)
+{
+    Matrix a(2, 2), b(2, 2);
+    a(0, 0) = 1.0f;
+    b(0, 0) = 1.5f;
+    a(1, 1) = -2.0f;
+    b(1, 1) = 1.0f;
+    EXPECT_FLOAT_EQ(Matrix::maxAbsDiff(a, b), 3.0f);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchPanics)
+{
+    Matrix a(2, 2), b(2, 3);
+    EXPECT_THROW(Matrix::maxAbsDiff(a, b), PanicError);
+}
+
+TEST(Matrix, IdenticalExactEquality)
+{
+    Matrix a(2, 2), b(2, 2);
+    a(0, 1) = 0.1f;
+    b(0, 1) = 0.1f;
+    EXPECT_TRUE(Matrix::identical(a, b));
+    b(1, 0) = 1e-30f;
+    EXPECT_FALSE(Matrix::identical(a, b));
+}
+
+TEST(Matrix, IdenticalDifferentShapesFalse)
+{
+    Matrix a(2, 2), b(4, 1);
+    EXPECT_FALSE(Matrix::identical(a, b));
+}
+
+} // namespace
+} // namespace sp::tensor

@@ -1,0 +1,179 @@
+/** @file Elementwise/reduction kernel tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace sp::tensor
+{
+namespace
+{
+
+TEST(Ops, ReluForwardClampsNegatives)
+{
+    Matrix in(1, 4), out(1, 4);
+    in(0, 0) = -2.0f;
+    in(0, 1) = 0.0f;
+    in(0, 2) = 3.0f;
+    in(0, 3) = -0.5f;
+    reluForward(in, out);
+    EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(out(0, 2), 3.0f);
+    EXPECT_FLOAT_EQ(out(0, 3), 0.0f);
+}
+
+TEST(Ops, ReluBackwardMasksGradient)
+{
+    Matrix in(1, 3), dout(1, 3), din(1, 3);
+    in(0, 0) = -1.0f;
+    in(0, 1) = 2.0f;
+    in(0, 2) = 0.0f;
+    dout.fill(5.0f);
+    reluBackward(in, dout, din);
+    EXPECT_FLOAT_EQ(din(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(din(0, 1), 5.0f);
+    EXPECT_FLOAT_EQ(din(0, 2), 0.0f); // relu'(0) == 0 convention
+}
+
+TEST(Ops, SigmoidKnownValues)
+{
+    Matrix in(1, 3), out(1, 3);
+    in(0, 0) = 0.0f;
+    in(0, 1) = 100.0f;
+    in(0, 2) = -100.0f;
+    sigmoidForward(in, out);
+    EXPECT_FLOAT_EQ(out(0, 0), 0.5f);
+    EXPECT_NEAR(out(0, 1), 1.0f, 1e-6f);
+    EXPECT_NEAR(out(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(Ops, SigmoidSymmetry)
+{
+    Matrix in(1, 2), out(1, 2);
+    in(0, 0) = 1.7f;
+    in(0, 1) = -1.7f;
+    sigmoidForward(in, out);
+    EXPECT_NEAR(out(0, 0) + out(0, 1), 1.0f, 1e-6f);
+}
+
+TEST(Ops, SigmoidBackwardFormula)
+{
+    Matrix out(1, 1), dout(1, 1), din(1, 1);
+    out(0, 0) = 0.25f;
+    dout(0, 0) = 2.0f;
+    sigmoidBackward(out, dout, din);
+    EXPECT_FLOAT_EQ(din(0, 0), 2.0f * 0.25f * 0.75f);
+}
+
+TEST(Ops, BceLossPerfectPrediction)
+{
+    Matrix prob(2, 1), label(2, 1);
+    prob(0, 0) = 1.0f - 1e-7f;
+    prob(1, 0) = 1e-7f;
+    label(0, 0) = 1.0f;
+    label(1, 0) = 0.0f;
+    EXPECT_LT(bceLoss(prob, label), 1e-5);
+}
+
+TEST(Ops, BceLossChanceIsLn2)
+{
+    Matrix prob(4, 1), label(4, 1);
+    prob.fill(0.5f);
+    label(0, 0) = 1.0f;
+    label(2, 0) = 1.0f;
+    EXPECT_NEAR(bceLoss(prob, label), std::log(2.0), 1e-6);
+}
+
+TEST(Ops, BceLossClampsExtremes)
+{
+    Matrix prob(1, 1), label(1, 1);
+    prob(0, 0) = 0.0f; // would be -log(0) without clamping
+    label(0, 0) = 1.0f;
+    EXPECT_TRUE(std::isfinite(bceLoss(prob, label)));
+}
+
+TEST(Ops, BceSigmoidBackwardIsErrorOverBatch)
+{
+    Matrix prob(2, 1), label(2, 1), dlogit(2, 1);
+    prob(0, 0) = 0.8f;
+    prob(1, 0) = 0.3f;
+    label(0, 0) = 1.0f;
+    label(1, 0) = 0.0f;
+    bceSigmoidBackward(prob, label, dlogit);
+    EXPECT_NEAR(dlogit(0, 0), (0.8f - 1.0f) / 2.0f, 1e-7f);
+    EXPECT_NEAR(dlogit(1, 0), 0.3f / 2.0f, 1e-7f);
+}
+
+TEST(Ops, BceGradientMatchesFiniteDifference)
+{
+    // d/dx BCE(sigmoid(x), y) should match (sigmoid(x)-y)/B.
+    const float x0 = 0.37f, y = 1.0f, eps = 1e-3f;
+    auto loss_at = [&](float x) {
+        Matrix logit(1, 1), prob(1, 1), label(1, 1);
+        logit(0, 0) = x;
+        label(0, 0) = y;
+        sigmoidForward(logit, prob);
+        return bceLoss(prob, label);
+    };
+    const double numeric =
+        (loss_at(x0 + eps) - loss_at(x0 - eps)) / (2.0 * eps);
+
+    Matrix logit(1, 1), prob(1, 1), label(1, 1), dlogit(1, 1);
+    logit(0, 0) = x0;
+    label(0, 0) = y;
+    sigmoidForward(logit, prob);
+    bceSigmoidBackward(prob, label, dlogit);
+    EXPECT_NEAR(dlogit(0, 0), numeric, 1e-4);
+}
+
+TEST(Ops, Axpy)
+{
+    Matrix x(1, 3), y(1, 3);
+    x(0, 0) = 1.0f;
+    x(0, 1) = 2.0f;
+    x(0, 2) = 3.0f;
+    y.fill(10.0f);
+    axpy(-2.0f, x, y);
+    EXPECT_FLOAT_EQ(y(0, 0), 8.0f);
+    EXPECT_FLOAT_EQ(y(0, 1), 6.0f);
+    EXPECT_FLOAT_EQ(y(0, 2), 4.0f);
+}
+
+TEST(Ops, SumAll)
+{
+    Matrix m(2, 2);
+    m(0, 0) = 1.0f;
+    m(0, 1) = -2.0f;
+    m(1, 0) = 3.5f;
+    m(1, 1) = 0.5f;
+    EXPECT_DOUBLE_EQ(sumAll(m), 3.0);
+}
+
+TEST(Ops, BinaryAccuracy)
+{
+    Matrix prob(4, 1), label(4, 1);
+    prob(0, 0) = 0.9f;
+    label(0, 0) = 1.0f; // correct
+    prob(1, 0) = 0.2f;
+    label(1, 0) = 0.0f; // correct
+    prob(2, 0) = 0.6f;
+    label(2, 0) = 0.0f; // wrong
+    prob(3, 0) = 0.5f;
+    label(3, 0) = 1.0f; // >= 0.5 counts as positive: correct
+    EXPECT_DOUBLE_EQ(binaryAccuracy(prob, label), 0.75);
+}
+
+TEST(Ops, ShapeMismatchPanics)
+{
+    Matrix a(2, 2), b(2, 3);
+    EXPECT_THROW(reluForward(a, b), PanicError);
+    EXPECT_THROW(axpy(1.0f, a, b), PanicError);
+}
+
+} // namespace
+} // namespace sp::tensor

@@ -1,0 +1,144 @@
+/** @file Unit tests for the xoshiro256** generator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "tensor/rng.h"
+
+namespace sp::tensor
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double total = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        total += rng.uniform();
+    EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(37), 37u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(19);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntZeroPanics)
+{
+    Rng rng(23);
+    EXPECT_THROW(rng.uniformInt(0), PanicError);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(29);
+    double sum = 0.0, sumsq = 0.0;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sumsq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaleShift)
+{
+    Rng rng(31);
+    double sum = 0.0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(37);
+    int heads = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3))
+            ++heads;
+    }
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(41);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (parent.next() == child.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(43), b(43);
+    Rng ca = a.split();
+    Rng cb = b.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+} // namespace
+} // namespace sp::tensor

@@ -44,7 +44,7 @@ main()
             options.cache_fraction = 0.10;
             sys::ScratchPipeSystem system(w.model, hw, options);
             const auto result = system.simulate(
-                *w.dataset, *w.stats, w.measure, w.warmup);
+                w.dataset(), w.stats(), w.measure, w.warmup);
             if (optimizer == sys::Optimizer::Sgd)
                 sgd_cycle = result.seconds_per_iteration;
             table.addRow(

@@ -22,7 +22,6 @@ main()
                        "paper: LRU (default) vs Random vs LFU -- "
                        "ScratchPipe is robust to the choice");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     metrics::TablePrinter table({"locality", "policy", "hit_rate",
                                  "cycle_ms", "vs_LRU"});
 
@@ -32,13 +31,9 @@ main()
         for (auto policy :
              {cache::PolicyKind::Lru, cache::PolicyKind::Lfu,
               cache::PolicyKind::Random, cache::PolicyKind::Fifo}) {
-            sys::ScratchPipeOptions options;
-            options.cache_fraction = 0.10;
-            options.policy = policy;
-            sys::ScratchPipeSystem system(workload.model, hw, options);
-            const auto result =
-                system.simulate(*workload.dataset, *workload.stats,
-                                workload.measure, workload.warmup);
+            const auto result = workload.run(
+                std::string("scratchpipe:cache=0.10,policy=") +
+                cache::policyName(policy));
             if (policy == cache::PolicyKind::Lru)
                 lru_cycle = result.seconds_per_iteration;
             table.addRow(

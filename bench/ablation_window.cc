@@ -27,7 +27,6 @@ main()
         "paper: fixed at past 3 / future 2 by the pipeline depth; this "
         "sweep shows deeper windows only cost capacity");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     metrics::TablePrinter table({"locality", "past", "future",
                                  "worst_case_slots", "hit_rate",
                                  "cycle_ms", "bottleneck"});
@@ -41,13 +40,10 @@ main()
         for (const Geometry g :
              {Geometry{3, 2}, Geometry{4, 2}, Geometry{5, 3},
               Geometry{7, 4}}) {
-            sys::ScratchPipeOptions options;
-            options.cache_fraction = 0.10;
-            options.past_window = g.past;
-            options.future_window = g.future;
-            sys::ScratchPipeSystem system(w.model, hw, options);
-            const auto result = system.simulate(
-                *w.dataset, *w.stats, w.measure, w.warmup);
+            const auto result =
+                w.run("scratchpipe:cache=0.10,past=" +
+                      std::to_string(g.past) +
+                      ",future=" + std::to_string(g.future));
             table.addRow(
                 {data::localityName(locality), std::to_string(g.past),
                  std::to_string(g.future),

@@ -45,12 +45,11 @@ makeWorkload(data::Locality locality, const sys::ModelConfig *base)
     workload.warmup = warmupIterations();
     workload.measure = measureIterations();
 
-    const uint64_t batches =
-        workload.warmup + workload.measure + 2; // +2 for look-ahead
-    workload.dataset = std::make_unique<data::TraceDataset>(
-        workload.model.trace, batches);
-    workload.stats = std::make_unique<sys::BatchStats>(
-        *workload.dataset, workload.warmup + workload.measure);
+    sys::ExperimentOptions options;
+    options.iterations = workload.measure;
+    options.warmup = workload.warmup;
+    workload.runner = std::make_unique<sys::ExperimentRunner>(
+        workload.model, sim::HardwareConfig::paperTestbed(), options);
     return workload;
 }
 

@@ -4,11 +4,13 @@
  *
  * Every bench binary regenerates one of the paper's evaluation
  * artifacts at the Section V geometry (8 tables x 10M rows x 128-dim,
- * batch 2048, 20 lookups/table). A Workload bundles the trace, the
- * shared per-batch statistics, and the warm-up/measure split: the
- * dynamic cache systems run `warmup` batches to reach steady state
- * (mirroring the paper's steady-state measurements) and are measured
- * over the following `measure` batches.
+ * batch 2048, 20 lookups/table). A Workload wraps a
+ * sys::ExperimentRunner on the paper testbed: the trace and the shared
+ * per-batch statistics are built once, and any system -- named by a
+ * SystemSpec string like "static:cache=0.02" -- can be simulated over
+ * them. The dynamic cache systems run `warmup` batches to reach steady
+ * state (mirroring the paper's steady-state measurements) and are
+ * measured over the following `measure` batches.
  *
  * Iteration counts honour SP_BENCH_WARMUP / SP_BENCH_MEASURE so the
  * whole suite can be sped up or made more precise from the shell.
@@ -22,7 +24,7 @@
 
 #include "data/dataset.h"
 #include "sim/hardware_config.h"
-#include "sys/batch_stats.h"
+#include "sys/experiment.h"
 #include "sys/factory.h"
 #include "sys/system_config.h"
 
@@ -39,18 +41,35 @@ uint64_t measureIterations();
 struct Workload
 {
     sys::ModelConfig model;
-    std::unique_ptr<data::TraceDataset> dataset;
-    std::unique_ptr<sys::BatchStats> stats;
+    std::unique_ptr<sys::ExperimentRunner> runner;
     uint64_t warmup = 0;
     uint64_t measure = 0;
 
-    /** Simulate one system over this workload. */
+    const data::TraceDataset &dataset() const
+    {
+        return runner->dataset();
+    }
+    const sys::BatchStats &stats() const { return runner->stats(); }
+
+    /** Simulate one registry system over this workload. */
+    sys::RunResult run(const sys::SystemSpec &spec) const
+    {
+        return runner->run(spec);
+    }
+
+    /** Shorthand: run a spec string ("scratchpipe:cache=0.05"). */
+    sys::RunResult run(const std::string &spec_text) const
+    {
+        return runner->run(spec_text);
+    }
+
+    /** DEPRECATED positional form; prefer the SystemSpec overloads. */
     sys::RunResult
     run(sys::SystemKind kind, const sim::HardwareConfig &hardware,
         double cache_fraction) const
     {
         return sys::simulateSystem(kind, model, hardware, cache_fraction,
-                                   *dataset, *stats, measure, warmup);
+                                   dataset(), stats(), measure, warmup);
     }
 };
 

@@ -49,11 +49,11 @@ main()
         sys::ScratchPipeMultiGpuSystem multi_sp(w.model, hw, options);
         sys::MultiGpuSystem plain_multi(w.model, hw);
 
-        const auto r1 = single.simulate(*w.dataset, *w.stats, w.measure,
+        const auto r1 = single.simulate(w.dataset(), w.stats(), w.measure,
                                         w.warmup);
-        const auto r8 = multi_sp.simulate(*w.dataset, *w.stats,
+        const auto r8 = multi_sp.simulate(w.dataset(), w.stats(),
                                           w.measure, w.warmup);
-        const auto rp = plain_multi.simulate(*w.dataset, *w.stats,
+        const auto rp = plain_multi.simulate(w.dataset(), w.stats(),
                                              w.measure, w.warmup);
 
         const double c1 = metrics::trainingCost(

@@ -19,9 +19,9 @@
 #include <vector>
 
 #include "common/workload.h"
-#include "data/access_stats.h"
 #include "data/zipf.h"
 #include "metrics/table_printer.h"
+#include "sys/experiment.h"
 
 using namespace sp;
 
@@ -56,32 +56,27 @@ main()
     table.print(std::cout);
 
     // Empirical anchor: measure the 2% point from a real trace (where
-    // 1.6M samples resolve the head of the distribution well).
+    // 1.5M samples resolve the head of the distribution well). The
+    // static-cache system model itself reports the measured hit rate,
+    // so the anchor runs it through the shared ExperimentRunner.
     std::cout << "\nempirical 2% anchor (40-batch trace vs analytic):\n";
     for (auto locality : data::kAllLocalities) {
-        data::TraceConfig config;
-        config.num_tables = 1;
-        config.rows_per_table = rows;
-        config.lookups_per_table = 20;
-        config.batch_size = 2048;
-        config.locality = locality;
-        config.seed = 1007;
-        data::TraceDataset dataset(config, 40);
-        data::AccessStats stats(1, rows);
-        stats.addDataset(dataset);
-        // Membership by true rank (= ID): the profiled top-N converges
-        // to this ranking.
-        const uint64_t cached = rows / 50;
-        uint64_t hits = 0, total = 0;
-        for (uint64_t b = 0; b < dataset.numBatches(); ++b) {
-            for (uint32_t id : dataset.batch(b).table_ids[0]) {
-                hits += id < cached ? 1 : 0;
-                ++total;
-            }
-        }
+        sys::ModelConfig model = sys::ModelConfig::paperDefault();
+        model.trace.num_tables = 1;
+        model.trace.rows_per_table = rows;
+        model.trace.lookups_per_table = 20;
+        model.trace.batch_size = 2048;
+        model.trace.locality = locality;
+        model.trace.seed = 1007;
+        sys::ExperimentOptions options;
+        options.iterations = 38;
+        options.warmup = 0;
+        const sys::ExperimentRunner runner(
+            model, sim::HardwareConfig::paperTestbed(), options);
+        const auto measured = runner.run("static:cache=0.02");
         std::cout << "  " << data::localityName(locality) << ": measured "
-                  << metrics::TablePrinter::num(
-                         100.0 * hits / static_cast<double>(total), 1)
+                  << metrics::TablePrinter::num(100.0 * measured.hit_rate,
+                                                1)
                   << "% vs analytic "
                   << metrics::TablePrinter::num(
                          100.0 * data::zipfTopCoverage(

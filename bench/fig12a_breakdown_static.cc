@@ -20,7 +20,6 @@ main()
                        "paper: Fig. 12(a) -- 0% is the no-cache hybrid; "
                        "2-10% are static caches");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     const std::vector<double> fractions = {0.0, 0.02, 0.04, 0.06, 0.08,
                                            0.10};
     metrics::TablePrinter table({"locality", "cache", "cpu_emb_fwd_ms",
@@ -31,9 +30,9 @@ main()
         for (double fraction : fractions) {
             const auto result =
                 fraction == 0.0
-                    ? workload.run(sys::SystemKind::Hybrid, hw, 0.0)
-                    : workload.run(sys::SystemKind::StaticCache, hw,
-                                   fraction);
+                    ? workload.run("hybrid")
+                    : workload.run(sys::SystemSpec::withCache("static",
+                                                              fraction));
             table.addRow(
                 {data::localityName(locality),
                  metrics::TablePrinter::num(100.0 * fraction, 0) + "%",

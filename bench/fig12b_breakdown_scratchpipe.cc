@@ -22,7 +22,6 @@ main()
         "paper: Fig. 12(b) -- Plan/Collect/Exchange/Insert/Train, note "
         "the 0-70 ms scale vs Fig. 12(a)'s 0-200 ms");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     const std::vector<double> fractions = {0.02, 0.04, 0.06, 0.08, 0.10};
     metrics::TablePrinter table({"locality", "cache", "plan_ms",
                                  "collect_ms", "exchange_ms", "insert_ms",
@@ -32,8 +31,8 @@ main()
     for (auto locality : data::kAllLocalities) {
         const bench::Workload workload = bench::makeWorkload(locality);
         for (double fraction : fractions) {
-            const auto result =
-                workload.run(sys::SystemKind::ScratchPipe, hw, fraction);
+            const auto result = workload.run(
+                sys::SystemSpec::withCache("scratchpipe", fraction));
             table.addRow(
                 {data::localityName(locality),
                  metrics::TablePrinter::num(100.0 * fraction, 0) + "%",

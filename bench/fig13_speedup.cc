@@ -6,29 +6,44 @@
  * numbers -- ScratchPipe avg 2.8x (max 4.2x) over static caching and
  * avg 5.1x (max 6.6x) over the no-cache hybrid -- come from this
  * sweep; the summary lines recompute both aggregates.
+ *
+ * Every design point is built by name through sys::Registry over the
+ * shared per-locality workload. `--json` dumps the raw RunResults of
+ * the whole sweep as a JSON array instead of the table.
  */
 
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
+#include "common/args.h"
 #include "common/workload.h"
 #include "metrics/table_printer.h"
 
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner(
-        "Figure 13: end-to-end speedup (normalized to static cache)",
-        "paper: Fig. 13 -- Hybrid / Static / Straw-man / ScratchPipe");
+    ArgParser args("fig13: end-to-end speedup sweep");
+    args.addBool("json", "emit raw RunResults as JSON");
+    if (!args.parse(argc, argv)) {
+        std::cout << args.usage();
+        return 0;
+    }
+    const bool json = args.getBool("json");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
+    if (!json) {
+        bench::printBanner(
+            "Figure 13: end-to-end speedup (normalized to static cache)",
+            "paper: Fig. 13 -- Hybrid / Static / Straw-man / ScratchPipe");
+    }
+
     const std::vector<double> fractions = {0.02, 0.04, 0.06, 0.08, 0.10};
     metrics::TablePrinter table({"locality", "cache", "hybrid",
                                  "static", "strawman", "scratchpipe",
                                  "sp_cycle_ms"});
+    std::vector<sys::RunResult> raw;
 
     double sum_vs_static = 0.0, max_vs_static = 0.0;
     double sum_vs_hybrid = 0.0, max_vs_hybrid = 0.0;
@@ -36,18 +51,21 @@ main()
 
     for (auto locality : data::kAllLocalities) {
         const bench::Workload workload = bench::makeWorkload(locality);
-        const double t_hybrid =
-            workload.run(sys::SystemKind::Hybrid, hw, 0.0)
-                .seconds_per_iteration;
+        const auto hybrid = workload.run("hybrid");
+        raw.push_back(hybrid);
+        const double t_hybrid = hybrid.seconds_per_iteration;
         for (double fraction : fractions) {
-            const double t_static =
-                workload.run(sys::SystemKind::StaticCache, hw, fraction)
-                    .seconds_per_iteration;
-            const double t_straw =
-                workload.run(sys::SystemKind::Strawman, hw, fraction)
-                    .seconds_per_iteration;
-            const auto sp =
-                workload.run(sys::SystemKind::ScratchPipe, hw, fraction);
+            const auto statik = workload.run(
+                sys::SystemSpec::withCache("static", fraction));
+            const auto straw = workload.run(
+                sys::SystemSpec::withCache("strawman", fraction));
+            const auto sp = workload.run(
+                sys::SystemSpec::withCache("scratchpipe", fraction));
+            raw.push_back(statik);
+            raw.push_back(straw);
+            raw.push_back(sp);
+            const double t_static = statik.seconds_per_iteration;
+            const double t_straw = straw.seconds_per_iteration;
             const double t_sp = sp.seconds_per_iteration;
 
             table.addRow(
@@ -65,6 +83,11 @@ main()
             max_vs_hybrid = std::max(max_vs_hybrid, t_hybrid / t_sp);
             ++points;
         }
+    }
+
+    if (json) {
+        std::cout << sys::toJson(raw) << "\n";
+        return 0;
     }
 
     table.print(std::cout);

@@ -8,21 +8,21 @@
  * locality of their dataset and their GPU memory budget, what
  * iteration time and per-epoch cost should they expect?
  *
- * This drives the timing models exactly as the paper's evaluation
- * does, sweeping cache budgets and printing $/1M-iterations.
+ * The whole comparison is one ExperimentRunner::runAll over a list of
+ * SystemSpecs -- adding a candidate configuration is one more line.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "metrics/cost.h"
-#include "sys/factory.h"
+#include "sys/experiment.h"
 
 using namespace sp;
 
 int
 main()
 {
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     sys::ModelConfig model = sys::ModelConfig::paperDefault();
     model.trace.locality = data::Locality::Low; // e.g. measured in prod
     model.trace.seed = 31337;
@@ -31,54 +31,51 @@ main()
                 model.embeddingModelBytes() / 1e9,
                 data::localityName(model.trace.locality));
 
-    constexpr uint64_t kWarmup = 20, kMeasure = 10;
-    data::TraceDataset dataset(model.trace, kWarmup + kMeasure + 2);
-    sys::BatchStats stats(dataset, kWarmup + kMeasure);
+    sys::ExperimentOptions options;
+    options.iterations = 10;
+    options.warmup = 20;
+    const sys::ExperimentRunner runner(
+        model, sim::HardwareConfig::paperTestbed(), options);
 
-    const auto p3_2x = metrics::AwsInstance::p3_2xlarge();
-    const auto p3_16x = metrics::AwsInstance::p3_16xlarge();
+    struct Candidate
+    {
+        const char *label;
+        const char *spec;
+        metrics::AwsInstance instance;
+    };
+    const std::vector<Candidate> candidates = {
+        {"ScratchPipe,    2% scratchpad", "scratchpipe:cache=0.02",
+         metrics::AwsInstance::p3_2xlarge()},
+        {"ScratchPipe,    5% scratchpad", "scratchpipe:cache=0.05",
+         metrics::AwsInstance::p3_2xlarge()},
+        {"ScratchPipe,   10% scratchpad", "scratchpipe:cache=0.10",
+         metrics::AwsInstance::p3_2xlarge()},
+        {"Static cache,   2% cache", "static:cache=0.02",
+         metrics::AwsInstance::p3_2xlarge()},
+        {"Static cache,  10% cache", "static:cache=0.10",
+         metrics::AwsInstance::p3_2xlarge()},
+        {"Hybrid CPU-GPU (no cache)", "hybrid",
+         metrics::AwsInstance::p3_2xlarge()},
+        {"8x V100 GPU-only (p3.16xlarge)", "multigpu",
+         metrics::AwsInstance::p3_16xlarge()},
+    };
+
+    std::vector<sys::SystemSpec> specs;
+    for (const auto &candidate : candidates)
+        specs.push_back(sys::SystemSpec::parse(candidate.spec));
+    const auto results = runner.runAll(specs);
 
     std::printf("%-34s %10s %12s %14s\n", "configuration", "iter (ms)",
                 "GPU mem (GB)", "$ / 1M iters");
-
-    for (double fraction : {0.02, 0.05, 0.10}) {
-        const auto sp = sys::simulateSystem(
-            sys::SystemKind::ScratchPipe, model, hw, fraction, dataset,
-            stats, kMeasure, kWarmup);
-        std::printf("ScratchPipe, %4.0f%% scratchpad     %10.2f %12.2f "
-                    "%14.2f\n",
-                    100.0 * fraction, 1e3 * sp.seconds_per_iteration,
-                    sp.gpu_bytes / 1e9,
-                    metrics::trainingCost(
-                        p3_2x, sp.seconds_per_iteration, 1'000'000));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const auto &result = results[i];
+        std::printf("%-34s %10.2f %12.2f %14.2f\n", candidates[i].label,
+                    1e3 * result.seconds_per_iteration,
+                    result.gpu_bytes / 1e9,
+                    metrics::trainingCost(candidates[i].instance,
+                                          result.seconds_per_iteration,
+                                          1'000'000));
     }
-    for (double fraction : {0.02, 0.10}) {
-        const auto st = sys::simulateSystem(
-            sys::SystemKind::StaticCache, model, hw, fraction, dataset,
-            stats, kMeasure, kWarmup);
-        std::printf("Static cache, %4.0f%% cache         %10.2f %12.2f "
-                    "%14.2f\n",
-                    100.0 * fraction, 1e3 * st.seconds_per_iteration,
-                    st.gpu_bytes / 1e9,
-                    metrics::trainingCost(
-                        p3_2x, st.seconds_per_iteration, 1'000'000));
-    }
-    const auto hybrid = sys::simulateSystem(
-        sys::SystemKind::Hybrid, model, hw, 0.0, dataset, stats,
-        kMeasure, kWarmup);
-    std::printf("Hybrid CPU-GPU (no cache)          %10.2f %12.2f "
-                "%14.2f\n",
-                1e3 * hybrid.seconds_per_iteration, 0.0,
-                metrics::trainingCost(
-                    p3_2x, hybrid.seconds_per_iteration, 1'000'000));
-    const auto multi = sys::simulateSystem(
-        sys::SystemKind::MultiGpu, model, hw, 0.0, dataset, stats,
-        kMeasure, kWarmup);
-    std::printf("8x V100 GPU-only (p3.16xlarge)     %10.2f %12.2f "
-                "%14.2f\n",
-                1e3 * multi.seconds_per_iteration, multi.gpu_bytes / 1e9,
-                metrics::trainingCost(
-                    p3_16x, multi.seconds_per_iteration, 1'000'000));
 
     std::printf("\nrecommendation: the cheapest configuration above that "
                 "fits the GPU memory budget; ScratchPipe's advantage is "

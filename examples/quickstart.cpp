@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "sys/factory.h"
+#include "sys/experiment.h"
 #include "sys/functional.h"
 
 using namespace sp;
@@ -51,17 +51,19 @@ main()
     // ---- 3. Paper-scale what-if on the modeled testbed ------------
     sys::ModelConfig paper = sys::ModelConfig::paperDefault();
     paper.trace.locality = data::Locality::Medium;
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
-    data::TraceDataset trace(paper.trace, 22);
-    sys::BatchStats stats(trace, 20);
+    sys::ExperimentOptions options;
+    options.iterations = 10;
+    options.warmup = 10;
+    const sys::ExperimentRunner runner(
+        paper, sim::HardwareConfig::paperTestbed(), options);
 
     std::printf("\npaper-scale iteration time (Medium locality, 10%% "
                 "cache):\n");
-    for (auto kind :
-         {sys::SystemKind::Hybrid, sys::SystemKind::StaticCache,
-          sys::SystemKind::ScratchPipe}) {
-        const auto result = sys::simulateSystem(kind, paper, hw, 0.10,
-                                                trace, stats, 10, 10);
+    const auto results =
+        runner.runAll({sys::SystemSpec::parse("hybrid"),
+                       sys::SystemSpec::parse("static:cache=0.10"),
+                       sys::SystemSpec::parse("scratchpipe:cache=0.10")});
+    for (const auto &result : results) {
         std::printf("  %-16s %7.2f ms/iter\n", result.system_name.c_str(),
                     1e3 * result.seconds_per_iteration);
     }

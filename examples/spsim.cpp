@@ -2,44 +2,155 @@
  * @file
  * spsim: command-line driver for the system models.
  *
- * Run any of the five systems at any geometry/locality/cache size from
- * flags and get the per-iteration latency breakdown, hit rate, energy
- * and training cost -- the whole evaluation harness as one tool.
+ * Run any registered system -- or several at once, over the same
+ * trace -- at any geometry/locality/cache size and get per-iteration
+ * latency breakdowns, hit rate, energy and training cost.
  *
+ *   spsim --list-systems
  *   spsim --system scratchpipe --locality low --cache 0.05
- *   spsim --system static --locality high --cache 0.02 --dim 256
- *   spsim --system multigpu --batch 4096 --iterations 20
+ *   spsim --system scratchpipe:policy=lfu,past=4 --format json
+ *   spsim --system hybrid,static:cache=0.02,scratchpipe --parallel
+ *
+ * --system takes a comma-separated list of system specs (see
+ * sys/spec.h for the grammar); all of them run over one shared
+ * workload via sys::ExperimentRunner. --format selects an aligned
+ * table, CSV, or a JSON array of RunResult objects.
  */
 
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "common/args.h"
 #include "common/logging.h"
 #include "metrics/cost.h"
 #include "metrics/energy.h"
 #include "metrics/table_printer.h"
-#include "sys/factory.h"
+#include "sys/experiment.h"
+#include "sys/registry.h"
 
 using namespace sp;
 
 namespace
 {
 
-sys::SystemKind
-systemFromName(const std::string &name)
+/** Split "a,b:c=d,e" at top-level commas, honouring that spec option
+ *  lists also use commas: a new spec starts only when the token before
+ *  the comma contains no '=' pending... The unambiguous rule: split at
+ *  commas whose next segment, up to the following comma/colon, does
+ *  not contain '='. */
+std::vector<std::string>
+splitSpecs(const std::string &text)
 {
-    if (name == "hybrid")
-        return sys::SystemKind::Hybrid;
-    if (name == "static")
-        return sys::SystemKind::StaticCache;
-    if (name == "strawman")
-        return sys::SystemKind::Strawman;
-    if (name == "scratchpipe")
-        return sys::SystemKind::ScratchPipe;
-    if (name == "multigpu")
-        return sys::SystemKind::MultiGpu;
-    fatal("unknown system '", name,
-          "' (hybrid/static/strawman/scratchpipe/multigpu)");
+    std::vector<std::string> specs;
+    std::string current;
+    std::stringstream stream(text);
+    std::string piece;
+    while (std::getline(stream, piece, ',')) {
+        const bool option = piece.find('=') != std::string::npos &&
+                            piece.find(':') == std::string::npos;
+        if (current.empty() || !option) {
+            if (!current.empty())
+                specs.push_back(current);
+            current = piece;
+        } else {
+            current += "," + piece;
+        }
+    }
+    if (!current.empty())
+        specs.push_back(current);
+    fatalIf(specs.empty(), "--system: no system specs in '", text, "'");
+    return specs;
+}
+
+void
+listSystems()
+{
+    metrics::TablePrinter table({"system", "description"});
+    for (const auto &name : sys::Registry::names())
+        table.addRow({name, sys::Registry::entry(name).description});
+    table.print(std::cout);
+}
+
+void
+printDetailed(const sys::RunResult &result, const std::string &spec_name,
+              const sim::HardwareConfig &hw, bool csv)
+{
+    metrics::TablePrinter table({"metric", "value"});
+    table.addRow({"system", result.system_name});
+    table.addRow({"iteration (ms)",
+                  metrics::TablePrinter::num(
+                      1e3 * result.seconds_per_iteration, 3)});
+    for (const auto &stage : result.breakdown.stages()) {
+        table.addRow({"  " + stage.name + " (ms)",
+                      metrics::TablePrinter::num(1e3 * stage.seconds, 3)});
+    }
+    if (result.hit_rate >= 0.0) {
+        table.addRow({"hit rate",
+                      metrics::TablePrinter::num(100.0 * result.hit_rate,
+                                                 2) +
+                          "%"});
+    }
+    if (!result.bottleneck.empty())
+        table.addRow({"bottleneck", result.bottleneck});
+    table.addRow({"GPU bytes (GB)",
+                  metrics::TablePrinter::num(result.gpu_bytes / 1e9, 2)});
+
+    const metrics::EnergyModel energy(hw);
+    table.addRow({"energy (J/iter)",
+                  metrics::TablePrinter::num(
+                      energy.iterationEnergy(result.busy), 2)});
+    const auto instance = spec_name == "multigpu"
+                              ? metrics::AwsInstance::p3_16xlarge()
+                              : metrics::AwsInstance::p3_2xlarge();
+    table.addRow(
+        {"$ / 1M iters (" + instance.name + ")",
+         metrics::TablePrinter::num(
+             metrics::trainingCost(instance, result.seconds_per_iteration,
+                                   1'000'000),
+             2)});
+
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+void
+printComparison(const std::vector<sys::SystemSpec> &specs,
+                const std::vector<sys::RunResult> &results,
+                const sim::HardwareConfig &hw, bool csv)
+{
+    const metrics::EnergyModel energy(hw);
+    metrics::TablePrinter table({"system", "spec", "iter_ms", "hit_rate",
+                                 "bottleneck", "gpu_GB", "J_per_iter",
+                                 "usd_per_1M"});
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &result = results[i];
+        const auto instance = specs[i].name == "multigpu"
+                                  ? metrics::AwsInstance::p3_16xlarge()
+                                  : metrics::AwsInstance::p3_2xlarge();
+        table.addRow(
+            {result.system_name, specs[i].summary(),
+             metrics::TablePrinter::num(
+                 1e3 * result.seconds_per_iteration, 3),
+             result.hit_rate >= 0.0
+                 ? metrics::TablePrinter::num(100.0 * result.hit_rate, 2) +
+                       "%"
+                 : "-",
+             result.bottleneck.empty() ? "-" : result.bottleneck,
+             metrics::TablePrinter::num(result.gpu_bytes / 1e9, 2),
+             metrics::TablePrinter::num(
+                 energy.iterationEnergy(result.busy), 2),
+             metrics::TablePrinter::num(
+                 metrics::trainingCost(
+                     instance, result.seconds_per_iteration, 1'000'000),
+                 2)});
+    }
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
 }
 
 } // namespace
@@ -50,7 +161,8 @@ main(int argc, char **argv)
     ArgParser args("spsim: simulate RecSys training systems on the "
                    "modeled Xeon+V100 testbed");
     args.addString("system", "scratchpipe",
-                   "hybrid|static|strawman|scratchpipe|multigpu");
+                   "comma-separated system specs, e.g. "
+                   "hybrid,static:cache=0.02,scratchpipe:policy=lfu");
     args.addString("locality", "medium", "random|low|medium|high");
     args.addDouble("cache", 0.10, "GPU cache fraction of each table");
     args.addInt("tables", 8, "number of embedding tables");
@@ -61,12 +173,33 @@ main(int argc, char **argv)
     args.addInt("iterations", 10, "measured iterations");
     args.addInt("warmup", 5, "warm-up iterations");
     args.addInt("seed", 42, "trace seed");
-    args.addBool("csv", "print CSV instead of an aligned table");
+    args.addString("format", "table", "table|csv|json");
+    args.addBool("parallel", "simulate systems on separate threads");
+    args.addBool("list-systems", "print registered systems and exit");
 
     try {
         if (!args.parse(argc, argv)) {
             std::cout << args.usage();
             return 0;
+        }
+        if (args.getBool("list-systems")) {
+            listSystems();
+            return 0;
+        }
+        const std::string format = args.getString("format");
+        fatalIf(format != "table" && format != "csv" && format != "json",
+                "--format expects table|csv|json, got '", format, "'");
+
+        std::vector<sys::SystemSpec> specs;
+        for (const auto &text : splitSpecs(args.getString("system"))) {
+            sys::SystemSpec spec = sys::SystemSpec::parse(text);
+            // A --cache flag typed on the command line applies to every
+            // spec that doesn't set its own; systems without a cache
+            // reject it in validate() rather than silently ignoring it.
+            if (args.wasSet("cache") && !spec.cache_fraction.has_value())
+                spec.cache_fraction = args.getDouble("cache");
+            spec.validate();
+            specs.push_back(std::move(spec));
         }
 
         sys::ModelConfig model = sys::ModelConfig::paperDefault();
@@ -82,65 +215,32 @@ main(int argc, char **argv)
             data::localityFromName(args.getString("locality"));
         model.trace.seed = static_cast<uint64_t>(args.getInt("seed"));
         model.embedding_dim = static_cast<size_t>(args.getInt("dim"));
-        model.validate();
 
-        const uint64_t warmup =
-            static_cast<uint64_t>(args.getInt("warmup"));
-        const uint64_t iterations =
+        sys::ExperimentOptions options;
+        options.iterations =
             static_cast<uint64_t>(args.getInt("iterations"));
-        const auto kind = systemFromName(args.getString("system"));
+        options.warmup = static_cast<uint64_t>(args.getInt("warmup"));
+        options.parallel = args.getBool("parallel");
+
         const sim::HardwareConfig hw =
             sim::HardwareConfig::paperTestbed();
-
-        std::cout << "generating trace (" << (warmup + iterations + 2)
-                  << " batches of "
-                  << model.trace.idsPerBatch() << " IDs)...\n";
-        data::TraceDataset dataset(model.trace, warmup + iterations + 2);
-        sys::BatchStats stats(dataset, warmup + iterations);
-
-        const auto result =
-            sys::simulateSystem(kind, model, hw, args.getDouble("cache"),
-                                dataset, stats, iterations, warmup);
-
-        metrics::TablePrinter table({"metric", "value"});
-        table.addRow({"system", result.system_name});
-        table.addRow({"iteration (ms)",
-                      metrics::TablePrinter::num(
-                          1e3 * result.seconds_per_iteration, 3)});
-        for (const auto &stage : result.breakdown.stages()) {
-            table.addRow({"  " + stage.name + " (ms)",
-                          metrics::TablePrinter::num(
-                              1e3 * stage.seconds, 3)});
+        if (format != "json") {
+            std::cout << "generating trace ("
+                      << (options.warmup + options.iterations + 2)
+                      << " batches of " << model.trace.idsPerBatch()
+                      << " IDs)...\n";
         }
-        if (result.hit_rate >= 0.0) {
-            table.addRow({"hit rate",
-                          metrics::TablePrinter::num(
-                              100.0 * result.hit_rate, 2) + "%"});
+        const sys::ExperimentRunner runner(model, hw, options);
+        const auto results = runner.runAll(specs);
+
+        if (format == "json") {
+            std::cout << sys::toJson(results) << "\n";
+        } else if (results.size() == 1) {
+            printDetailed(results[0], specs[0].name, hw,
+                          format == "csv");
+        } else {
+            printComparison(specs, results, hw, format == "csv");
         }
-        if (!result.bottleneck.empty())
-            table.addRow({"bottleneck", result.bottleneck});
-        table.addRow({"GPU bytes (GB)",
-                      metrics::TablePrinter::num(result.gpu_bytes / 1e9,
-                                                 2)});
-
-        const metrics::EnergyModel energy(hw);
-        table.addRow({"energy (J/iter)",
-                      metrics::TablePrinter::num(
-                          energy.iterationEnergy(result.busy), 2)});
-        const auto instance = kind == sys::SystemKind::MultiGpu
-                                  ? metrics::AwsInstance::p3_16xlarge()
-                                  : metrics::AwsInstance::p3_2xlarge();
-        table.addRow(
-            {"$ / 1M iters (" + instance.name + ")",
-             metrics::TablePrinter::num(
-                 metrics::trainingCost(
-                     instance, result.seconds_per_iteration, 1'000'000),
-                 2)});
-
-        if (args.getBool("csv"))
-            table.printCsv(std::cout);
-        else
-            table.print(std::cout);
     } catch (const FatalError &error) {
         std::cerr << error.what() << "\n";
         return 1;

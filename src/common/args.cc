@@ -133,6 +133,14 @@ ArgParser::getBool(const std::string &name) const
     return value == "true" || value == "1" || value == "yes";
 }
 
+bool
+ArgParser::wasSet(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    panicIf(it == flags_.end(), "flag --", name, " was never registered");
+    return it->second.set;
+}
+
 std::string
 ArgParser::usage() const
 {

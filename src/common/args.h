@@ -49,6 +49,10 @@ class ArgParser
     double getDouble(const std::string &name) const;
     bool getBool(const std::string &name) const;
 
+    /** True when the flag was given on the command line (as opposed
+     *  to holding its default). */
+    bool wasSet(const std::string &name) const;
+
     /** Human-readable usage text. */
     std::string usage() const;
 

@@ -1,0 +1,86 @@
+#include "sys/experiment.h"
+
+#include <exception>
+#include <thread>
+
+#include "common/logging.h"
+#include "sys/registry.h"
+
+namespace sp::sys
+{
+
+namespace
+{
+
+/** Extra batches beyond warmup+measure for the future-window
+ *  look-ahead (matches the seed drivers' "+2"). */
+constexpr uint64_t kLookahead = 2;
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(const ModelConfig &model,
+                                   const sim::HardwareConfig &hardware,
+                                   const ExperimentOptions &options)
+    : model_(model), hardware_(hardware), options_(options)
+{
+    fatalIf(options_.iterations == 0,
+            "experiment needs at least one measured iteration");
+    model_.validate();
+    const uint64_t batches =
+        options_.warmup + options_.iterations + kLookahead;
+    dataset_ =
+        std::make_unique<data::TraceDataset>(model_.trace, batches);
+    stats_ = std::make_unique<BatchStats>(
+        *dataset_, options_.warmup + options_.iterations);
+}
+
+RunResult
+ExperimentRunner::run(const SystemSpec &spec) const
+{
+    const auto system = Registry::build(spec, model_, hardware_);
+    return system->simulate(*dataset_, *stats_, options_.iterations,
+                            options_.warmup);
+}
+
+RunResult
+ExperimentRunner::run(const std::string &spec_text) const
+{
+    return run(SystemSpec::parse(spec_text));
+}
+
+std::vector<RunResult>
+ExperimentRunner::runAll(const std::vector<SystemSpec> &specs) const
+{
+    // Validate everything up front so a bad spec fails fast on the
+    // caller's thread, before any simulation starts.
+    for (const auto &spec : specs)
+        spec.validate();
+
+    std::vector<RunResult> results(specs.size());
+    if (!options_.parallel || specs.size() <= 1) {
+        for (size_t i = 0; i < specs.size(); ++i)
+            results[i] = run(specs[i]);
+        return results;
+    }
+
+    std::vector<std::exception_ptr> errors(specs.size());
+    std::vector<std::thread> threads;
+    threads.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        threads.emplace_back([this, &specs, &results, &errors, i] {
+            try {
+                results[i] = run(specs[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (const auto &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+    return results;
+}
+
+} // namespace sp::sys

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ExperimentRunner: one workload, many systems.
+ *
+ * Every evaluation in the paper compares several system design points
+ * over the *same* trace. The runner owns that shared state -- it
+ * generates the trace dataset and the per-batch statistics exactly
+ * once -- and then simulates any number of SystemSpecs over it,
+ * sequentially or with one std::thread per system (the timing models
+ * are independent and read-only over the dataset).
+ *
+ *   ExperimentRunner runner(model, hw, {.iterations = 10, .warmup = 5});
+ *   auto results = runner.runAll({SystemSpec::parse("hybrid"),
+ *                                 SystemSpec::parse("static:cache=0.02"),
+ *                                 SystemSpec::parse("scratchpipe")});
+ *
+ * Results come back in spec order; toJson(results) serialises a whole
+ * comparison for downstream tooling.
+ */
+
+#ifndef SP_SYS_EXPERIMENT_H
+#define SP_SYS_EXPERIMENT_H
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/hardware_config.h"
+#include "sys/batch_stats.h"
+#include "sys/run_result.h"
+#include "sys/spec.h"
+#include "sys/system_config.h"
+
+namespace sp::sys
+{
+
+/** Iteration counts and execution mode of one experiment. */
+struct ExperimentOptions
+{
+    /** Measured iterations per system. */
+    uint64_t iterations = 10;
+    /** Steady-state warm-up iterations before measurement. */
+    uint64_t warmup = 5;
+    /** Simulate systems concurrently, one std::thread each. */
+    bool parallel = false;
+};
+
+/** Shared-workload driver for comparing system design points. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * Validates `model` and materialises the trace + statistics for
+     * warmup + iterations batches (plus the pipeline look-ahead).
+     */
+    ExperimentRunner(const ModelConfig &model,
+                     const sim::HardwareConfig &hardware,
+                     const ExperimentOptions &options = {});
+
+    const ModelConfig &model() const { return model_; }
+    const sim::HardwareConfig &hardware() const { return hardware_; }
+    const ExperimentOptions &options() const { return options_; }
+    const data::TraceDataset &dataset() const { return *dataset_; }
+    const BatchStats &stats() const { return *stats_; }
+
+    /** Build `spec`'s system from the registry and simulate it. */
+    RunResult run(const SystemSpec &spec) const;
+
+    /** Shorthand for run(SystemSpec::parse(text)). */
+    RunResult run(const std::string &spec_text) const;
+
+    /**
+     * Simulate every spec over the shared workload, in spec order.
+     * With options().parallel each system runs on its own thread;
+     * the first error (fatal() or panic()) is rethrown on the caller.
+     */
+    std::vector<RunResult> runAll(const std::vector<SystemSpec> &specs) const;
+
+  private:
+    ModelConfig model_;
+    sim::HardwareConfig hardware_;
+    ExperimentOptions options_;
+    std::unique_ptr<data::TraceDataset> dataset_;
+    std::unique_ptr<BatchStats> stats_;
+};
+
+} // namespace sp::sys
+
+#endif // SP_SYS_EXPERIMENT_H

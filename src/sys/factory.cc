@@ -1,10 +1,7 @@
 #include "sys/factory.h"
 
 #include "common/logging.h"
-#include "sys/hybrid.h"
-#include "sys/multigpu.h"
-#include "sys/scratchpipe_sys.h"
-#include "sys/static_sys.h"
+#include "sys/registry.h"
 
 namespace sp::sys
 {
@@ -27,41 +24,39 @@ systemName(SystemKind kind)
     panic("unknown SystemKind");
 }
 
+const char *
+systemSpecName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Hybrid:
+        return "hybrid";
+      case SystemKind::StaticCache:
+        return "static";
+      case SystemKind::Strawman:
+        return "strawman";
+      case SystemKind::ScratchPipe:
+        return "scratchpipe";
+      case SystemKind::MultiGpu:
+        return "multigpu";
+    }
+    panic("unknown SystemKind");
+}
+
 RunResult
 simulateSystem(SystemKind kind, const ModelConfig &model,
                const sim::HardwareConfig &hardware, double cache_fraction,
                const data::TraceDataset &dataset, const BatchStats &stats,
                uint64_t iterations, uint64_t warmup)
 {
-    switch (kind) {
-      case SystemKind::Hybrid: {
-        HybridCpuGpu system(model, hardware);
-        return system.simulate(dataset, stats, iterations, warmup);
-      }
-      case SystemKind::StaticCache: {
-        StaticCacheSystem system(model, hardware, cache_fraction);
-        return system.simulate(dataset, stats, iterations, warmup);
-      }
-      case SystemKind::Strawman: {
-        ScratchPipeOptions options;
-        options.cache_fraction = cache_fraction;
-        options.pipelined = false;
-        ScratchPipeSystem system(model, hardware, options);
-        return system.simulate(dataset, stats, iterations, warmup);
-      }
-      case SystemKind::ScratchPipe: {
-        ScratchPipeOptions options;
-        options.cache_fraction = cache_fraction;
-        options.pipelined = true;
-        ScratchPipeSystem system(model, hardware, options);
-        return system.simulate(dataset, stats, iterations, warmup);
-      }
-      case SystemKind::MultiGpu: {
-        MultiGpuSystem system(model, hardware);
-        return system.simulate(dataset, stats, iterations, warmup);
-      }
-    }
-    panic("unknown SystemKind");
+    SystemSpec spec;
+    spec.name = systemSpecName(kind);
+    // The legacy calling convention passed cache_fraction positionally
+    // and ignored it for the cache-less systems; the shim preserves
+    // that (only the SystemSpec path rejects the combination).
+    if (Registry::entry(spec.name).uses_cache_fraction)
+        spec.cache_fraction = cache_fraction;
+    const auto system = Registry::build(spec, model, hardware);
+    return system->simulate(dataset, stats, iterations, warmup);
 }
 
 } // namespace sp::sys

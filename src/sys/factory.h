@@ -1,7 +1,13 @@
 /**
  * @file
- * Uniform construction of the four evaluated design points
- * (paper Section VI intro) plus the multi-GPU comparison system.
+ * Legacy positional construction of the evaluated design points.
+ *
+ * DEPRECATED: new code should build systems through sys::Registry from
+ * a SystemSpec (see sys/registry.h, sys/spec.h) or drive whole
+ * comparisons with sys::ExperimentRunner (sys/experiment.h). This
+ * header remains for one PR as a compatibility shim -- simulateSystem
+ * now routes through the registry -- and will be removed once the
+ * remaining callers are ported.
  */
 
 #ifndef SP_SYS_FACTORY_H
@@ -30,11 +36,17 @@ enum class SystemKind
 
 const char *systemName(SystemKind kind);
 
+/** Registry key for `kind` ("hybrid", "static", ...). */
+const char *systemSpecName(SystemKind kind);
+
 /**
- * Build and simulate one system over a shared dataset.
+ * DEPRECATED: build and simulate one system over a shared dataset.
+ * Use Registry::build(SystemSpec, ...) instead -- unlike this shim it
+ * can express every ScratchPipeOptions field and rejects a
+ * cache_fraction on systems that have no cache.
  *
  * @param cache_fraction GPU cache capacity as a fraction of each
- *        table; ignored by Hybrid and MultiGpu.
+ *        table; ignored by Hybrid and MultiGpu (legacy behaviour).
  */
 RunResult simulateSystem(SystemKind kind, const ModelConfig &model,
                          const sim::HardwareConfig &hardware,

@@ -1,8 +1,11 @@
 #include "sys/hybrid.h"
 
+#include <memory>
+
 #include "common/logging.h"
 #include "emb/traffic.h"
 #include "nn/flops.h"
+#include "sys/registry.h"
 
 namespace sp::sys
 {
@@ -82,7 +85,7 @@ HybridCpuGpu::simulate(const data::TraceDataset &dataset,
 
     const double inv = 1.0 / static_cast<double>(iterations);
     RunResult result;
-    result.system_name = "Hybrid CPU-GPU";
+    result.system_name = name();
     result.iterations = iterations;
     result.breakdown.add("CPU embedding forward", total_fwd * inv);
     result.breakdown.add("CPU embedding backward", total_bwd * inv);
@@ -92,6 +95,19 @@ HybridCpuGpu::simulate(const data::TraceDataset &dataset,
     result.busy.cpu_busy_seconds = cpu_busy * inv;
     result.busy.gpu_busy_seconds = gpu_busy * inv;
     return result;
+}
+
+void
+registerHybridSystem(Registry &registry)
+{
+    registry.addEntry(
+        {"hybrid", HybridCpuGpu::kDescription,
+         /*uses_cache_fraction=*/false,
+         /*uses_scratchpipe_options=*/false,
+         [](const ModelConfig &model, const sim::HardwareConfig &hw,
+            const SystemSpec &) -> std::unique_ptr<System> {
+             return std::make_unique<HybridCpuGpu>(model, hw);
+         }});
 }
 
 } // namespace sp::sys

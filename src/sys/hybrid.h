@@ -18,13 +18,14 @@
 #include "sim/latency_model.h"
 #include "sys/batch_stats.h"
 #include "sys/run_result.h"
+#include "sys/system.h"
 #include "sys/system_config.h"
 
 namespace sp::sys
 {
 
 /** Timing model of the no-cache hybrid CPU-GPU baseline. */
-class HybridCpuGpu
+class HybridCpuGpu : public System
 {
   public:
     HybridCpuGpu(const ModelConfig &model,
@@ -36,7 +37,13 @@ class HybridCpuGpu
      */
     RunResult simulate(const data::TraceDataset &dataset,
                        const BatchStats &stats, uint64_t iterations,
-                       uint64_t warmup = 0) const;
+                       uint64_t warmup = 0) const override;
+
+    static constexpr const char *kDescription =
+        "CPU-resident embeddings, GPU MLPs, no cache (Fig. 4a)";
+
+    std::string name() const override { return "Hybrid CPU-GPU"; }
+    std::string description() const override { return kDescription; }
 
   private:
     ModelConfig model_;

@@ -1,11 +1,13 @@
 #include "sys/multigpu.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
 #include "emb/traffic.h"
 #include "nn/dlrm.h"
 #include "nn/flops.h"
+#include "sys/registry.h"
 
 namespace sp::sys
 {
@@ -97,7 +99,7 @@ MultiGpuSystem::simulate(const data::TraceDataset &dataset,
 
     const double inv = 1.0 / static_cast<double>(iterations);
     RunResult result;
-    result.system_name = "8-GPU";
+    result.system_name = name();
     result.iterations = iterations;
     result.breakdown.add("GPU embedding", total_emb * inv);
     result.breakdown.add("Communication", total_comm * inv);
@@ -111,6 +113,19 @@ MultiGpuSystem::simulate(const data::TraceDataset &dataset,
                  result.seconds_per_iteration);
     result.gpu_bytes = static_cast<double>(model_.embeddingModelBytes());
     return result;
+}
+
+void
+registerMultiGpuSystem(Registry &registry)
+{
+    registry.addEntry(
+        {"multigpu", MultiGpuSystem::kDescription,
+         /*uses_cache_fraction=*/false,
+         /*uses_scratchpipe_options=*/false,
+         [](const ModelConfig &model, const sim::HardwareConfig &hw,
+            const SystemSpec &) -> std::unique_ptr<System> {
+             return std::make_unique<MultiGpuSystem>(model, hw);
+         }});
 }
 
 } // namespace sp::sys

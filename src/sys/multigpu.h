@@ -22,13 +22,14 @@
 #include "sim/latency_model.h"
 #include "sys/batch_stats.h"
 #include "sys/run_result.h"
+#include "sys/system.h"
 #include "sys/system_config.h"
 
 namespace sp::sys
 {
 
 /** Timing model of the 8x V100 model-parallel trainer. */
-class MultiGpuSystem
+class MultiGpuSystem : public System
 {
   public:
     MultiGpuSystem(const ModelConfig &model,
@@ -36,7 +37,13 @@ class MultiGpuSystem
 
     RunResult simulate(const data::TraceDataset &dataset,
                        const BatchStats &stats, uint64_t iterations,
-                       uint64_t warmup = 0) const;
+                       uint64_t warmup = 0) const override;
+
+    static constexpr const char *kDescription =
+        "8x V100 model-parallel GPU-only trainer (Section VI-F)";
+
+    std::string name() const override { return "8-GPU"; }
+    std::string description() const override { return kDescription; }
 
   private:
     ModelConfig model_;

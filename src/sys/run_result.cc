@@ -1,0 +1,100 @@
+#include "sys/run_result.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace sp::sys
+{
+
+namespace
+{
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+emitNumber(std::ostringstream &os, double value)
+{
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << value;
+}
+
+} // namespace
+
+std::string
+RunResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"system\":\"" << escape(system_name) << "\""
+       << ",\"iterations\":" << iterations
+       << ",\"seconds_per_iteration\":";
+    emitNumber(os, seconds_per_iteration);
+    os << ",\"breakdown\":{";
+    bool first = true;
+    for (const auto &stage : breakdown.stages()) {
+        os << (first ? "" : ",") << "\"" << escape(stage.name) << "\":";
+        emitNumber(os, stage.seconds);
+        first = false;
+    }
+    os << "},\"busy\":{\"iteration_seconds\":";
+    emitNumber(os, busy.iteration_seconds);
+    os << ",\"cpu_busy_seconds\":";
+    emitNumber(os, busy.cpu_busy_seconds);
+    os << ",\"gpu_busy_seconds\":";
+    emitNumber(os, busy.gpu_busy_seconds);
+    os << "},\"hit_rate\":";
+    if (hit_rate >= 0.0)
+        emitNumber(os, hit_rate);
+    else
+        os << "null";
+    os << ",\"gpu_bytes\":";
+    emitNumber(os, gpu_bytes);
+    if (!bottleneck.empty())
+        os << ",\"bottleneck\":\"" << escape(bottleneck) << "\"";
+    os << "}";
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < results.size(); ++i)
+        os << (i > 0 ? "," : "") << "\n  " << results[i].toJson();
+    os << "\n]";
+    return os.str();
+}
+
+} // namespace sp::sys

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "metrics/breakdown.h"
 #include "metrics/energy.h"
@@ -32,7 +33,17 @@ struct RunResult
     double gpu_bytes = 0.0;
     /** Binding pipeline constraint (ScratchPipe only). */
     std::string bottleneck;
+
+    /**
+     * One JSON object with every field above; hit_rate is null when
+     * not applicable and bottleneck is omitted when empty. Numbers
+     * round-trip exactly (max_digits10).
+     */
+    std::string toJson() const;
 };
+
+/** JSON array of RunResult::toJson() objects. */
+std::string toJson(const std::vector<RunResult> &results);
 
 } // namespace sp::sys
 

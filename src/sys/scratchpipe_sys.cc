@@ -1,6 +1,7 @@
 #include "sys/scratchpipe_sys.h"
 
 #include <algorithm>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "core/controller.h"
 #include "emb/traffic.h"
 #include "nn/flops.h"
+#include "sys/registry.h"
 
 namespace sp::sys
 {
@@ -18,7 +20,9 @@ ScratchPipeSystem::ScratchPipeSystem(const ModelConfig &model,
     : model_(model), latency_(hardware), options_(options)
 {
     model_.validate();
-    fatalIf(options.cache_fraction <= 0.0 || options.cache_fraction > 1.0,
+    // Written as !(in range) so NaN is rejected too.
+    fatalIf(!(options.cache_fraction > 0.0 &&
+              options.cache_fraction <= 1.0),
             "cache_fraction must be in (0, 1], got ",
             options.cache_fraction);
 
@@ -193,16 +197,15 @@ ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
 
     RunResult result;
     result.iterations = iterations;
+    result.system_name = name();
     if (options_.pipelined) {
         const auto solution = sim::solvePipeline(total);
-        result.system_name = "ScratchPipe";
         result.seconds_per_iteration = solution.cycle_time;
         result.bottleneck = solution.bottleneck;
         for (size_t s = 0; s < total.size(); ++s)
             result.breakdown.add(total[s].name,
                                  solution.stage_latencies[s]);
     } else {
-        result.system_name = "Straw-man";
         result.seconds_per_iteration = sim::sequentialIterationTime(total);
         for (const auto &stage : total)
             result.breakdown.add(stage.name, stage.latency());
@@ -233,6 +236,29 @@ ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
     }
     result.gpu_bytes = gpu_bytes;
     return result;
+}
+
+void
+registerScratchPipeSystems(Registry &registry)
+{
+    registry.addEntry(
+        {"scratchpipe", ScratchPipeSystem::kDescriptionPipelined,
+         /*uses_cache_fraction=*/true,
+         /*uses_scratchpipe_options=*/true,
+         [](const ModelConfig &model, const sim::HardwareConfig &hw,
+            const SystemSpec &spec) -> std::unique_ptr<System> {
+             return std::make_unique<ScratchPipeSystem>(
+                 model, hw, spec.scratchPipeOptions(true));
+         }});
+    registry.addEntry(
+        {"strawman", ScratchPipeSystem::kDescriptionStrawman,
+         /*uses_cache_fraction=*/true,
+         /*uses_scratchpipe_options=*/true,
+         [](const ModelConfig &model, const sim::HardwareConfig &hw,
+            const SystemSpec &spec) -> std::unique_ptr<System> {
+             return std::make_unique<ScratchPipeSystem>(
+                 model, hw, spec.scratchPipeOptions(false));
+         }});
 }
 
 } // namespace sp::sys

@@ -30,6 +30,7 @@
 #include "sim/pipeline_solver.h"
 #include "sys/batch_stats.h"
 #include "sys/run_result.h"
+#include "sys/system.h"
 #include "sys/system_config.h"
 
 namespace sp::sys
@@ -63,7 +64,7 @@ struct ScratchPipeOptions
 };
 
 /** Timing model of ScratchPipe / straw-man. */
-class ScratchPipeSystem
+class ScratchPipeSystem : public System
 {
   public:
     ScratchPipeSystem(const ModelConfig &model,
@@ -72,7 +73,23 @@ class ScratchPipeSystem
 
     RunResult simulate(const data::TraceDataset &dataset,
                        const BatchStats &stats, uint64_t iterations,
-                       uint64_t warmup = 0) const;
+                       uint64_t warmup = 0) const override;
+
+    static constexpr const char *kDescriptionPipelined =
+        "dynamic always-hit GPU scratchpad, six-stage pipeline "
+        "(Section IV-C)";
+    static constexpr const char *kDescriptionStrawman =
+        "dynamic scratchpad, sequential stages (Section IV-B)";
+
+    std::string name() const override
+    {
+        return options_.pipelined ? "ScratchPipe" : "Straw-man";
+    }
+    std::string description() const override
+    {
+        return options_.pipelined ? kDescriptionPipelined
+                                  : kDescriptionStrawman;
+    }
 
     /** Provisioned Storage slots per table (after the §VI-D bound). */
     uint32_t slotsPerTable() const { return slots_per_table_; }

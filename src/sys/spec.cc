@@ -1,0 +1,163 @@
+#include "sys/spec.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "sys/registry.h"
+
+namespace sp::sys
+{
+
+namespace
+{
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    fatalIf(end == nullptr || *end != '\0' || value.empty(),
+            "system spec: bad number '", value, "' for key '", key, "'");
+    return parsed;
+}
+
+uint32_t
+parseWindow(const std::string &key, const std::string &value)
+{
+    const double parsed = parseDouble(key, value);
+    // Bounds-check before the cast: double -> uint32_t is UB outside
+    // [0, 2^32).
+    fatalIf(!(parsed >= 0.0 && parsed <= 4294967295.0) ||
+                parsed != std::floor(parsed),
+            "system spec: '", key, "' must be a small non-negative "
+            "integer, got '", value, "'");
+    return static_cast<uint32_t>(parsed);
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "yes")
+        return true;
+    if (value == "0" || value == "false" || value == "no")
+        return false;
+    fatal("system spec: '", key, "' expects 0/1, got '", value, "'");
+}
+
+} // namespace
+
+SystemSpec
+SystemSpec::parse(const std::string &text)
+{
+    SystemSpec spec;
+    const size_t colon = text.find(':');
+    spec.name = text.substr(0, colon);
+    fatalIf(spec.name.empty(), "system spec: empty system name in '",
+            text, "'");
+    if (colon == std::string::npos)
+        return spec;
+
+    std::stringstream options(text.substr(colon + 1));
+    std::string item;
+    while (std::getline(options, item, ',')) {
+        const size_t eq = item.find('=');
+        fatalIf(eq == std::string::npos,
+                "system spec: expected key=value, got '", item, "' in '",
+                text, "'");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "cache") {
+            spec.cache_fraction = parseDouble(key, value);
+        } else if (key == "policy") {
+            spec.scratchpipe.policy = cache::policyFromName(value);
+            spec.scratchpipe_tuned = true;
+        } else if (key == "past") {
+            spec.scratchpipe.past_window = parseWindow(key, value);
+            spec.scratchpipe_tuned = true;
+        } else if (key == "future") {
+            spec.scratchpipe.future_window = parseWindow(key, value);
+            spec.scratchpipe_tuned = true;
+        } else if (key == "warm") {
+            spec.scratchpipe.warm_start = parseBool(key, value);
+            spec.scratchpipe_tuned = true;
+        } else if (key == "bound") {
+            spec.scratchpipe.enforce_capacity_bound = parseBool(key, value);
+            spec.scratchpipe_tuned = true;
+        } else {
+            fatal("system spec: unknown key '", key, "' in '", text,
+                  "' (cache/policy/past/future/warm/bound)");
+        }
+    }
+    return spec;
+}
+
+SystemSpec
+SystemSpec::withCache(const std::string &name, double fraction)
+{
+    SystemSpec spec;
+    spec.name = name;
+    spec.cache_fraction = fraction;
+    return spec;
+}
+
+std::string
+SystemSpec::summary() const
+{
+    std::ostringstream os;
+    os << name;
+    char separator = ':';
+    const auto emit = [&](const std::string &key, const std::string &v) {
+        os << separator << key << '=' << v;
+        separator = ',';
+    };
+    if (cache_fraction.has_value()) {
+        // Shortest round-trip representation ("0.02", not "0.020000").
+        char buffer[32];
+        const auto [end, ec] = std::to_chars(
+            buffer, buffer + sizeof(buffer), *cache_fraction);
+        emit("cache", ec == std::errc()
+                          ? std::string(buffer, end)
+                          : std::to_string(*cache_fraction));
+    }
+    if (scratchpipe_tuned) {
+        emit("policy", cache::policyName(scratchpipe.policy));
+        emit("past", std::to_string(scratchpipe.past_window));
+        emit("future", std::to_string(scratchpipe.future_window));
+        emit("warm", scratchpipe.warm_start ? "1" : "0");
+        emit("bound", scratchpipe.enforce_capacity_bound ? "1" : "0");
+    }
+    return os.str();
+}
+
+void
+SystemSpec::validate() const
+{
+    const Registry::Entry &entry = Registry::entry(name);
+    if (cache_fraction.has_value()) {
+        fatalIf(!entry.uses_cache_fraction, "system '", name,
+                "' has no GPU cache; remove cache=", *cache_fraction,
+                " (it was silently ignored by the legacy factory)");
+        // Written as !(in range) so NaN is rejected too.
+        fatalIf(!(*cache_fraction > 0.0 && *cache_fraction <= 1.0),
+                "cache fraction must be in (0, 1], got ",
+                *cache_fraction);
+    }
+    fatalIf(scratchpipe_tuned && !entry.uses_scratchpipe_options,
+            "system '", name, "' has no scratchpad; "
+            "policy/past/future/warm/bound do not apply");
+}
+
+ScratchPipeOptions
+SystemSpec::scratchPipeOptions(bool pipelined) const
+{
+    ScratchPipeOptions options = scratchpipe;
+    options.pipelined = pipelined;
+    if (cache_fraction.has_value())
+        options.cache_fraction = *cache_fraction;
+    return options;
+}
+
+} // namespace sp::sys

@@ -1,12 +1,14 @@
 #include "sys/static_sys.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/logging.h"
 #include "emb/embedding_ops.h"
 #include "emb/traffic.h"
 #include "nn/flops.h"
+#include "sys/registry.h"
 
 namespace sp::sys
 {
@@ -17,7 +19,8 @@ StaticCacheSystem::StaticCacheSystem(const ModelConfig &model,
     : model_(model), latency_(hardware), cache_fraction_(cache_fraction)
 {
     model_.validate();
-    fatalIf(cache_fraction <= 0.0 || cache_fraction > 1.0,
+    // Written as !(in range) so NaN is rejected too.
+    fatalIf(!(cache_fraction > 0.0 && cache_fraction <= 1.0),
             "cache_fraction must be in (0, 1], got ", cache_fraction);
     cached_rows_ = static_cast<uint64_t>(
         cache_fraction * static_cast<double>(model_.trace.rows_per_table));
@@ -136,7 +139,7 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
 
     const double inv = 1.0 / static_cast<double>(iterations);
     RunResult result;
-    result.system_name = "Static cache";
+    result.system_name = name();
     result.iterations = iterations;
     result.breakdown.add("CPU embedding forward", total_fwd * inv);
     result.breakdown.add("CPU embedding backward", total_bwd * inv);
@@ -152,6 +155,20 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
     result.gpu_bytes =
         static_cast<double>(cached_rows_) * trace.num_tables * rb;
     return result;
+}
+
+void
+registerStaticCacheSystem(Registry &registry)
+{
+    registry.addEntry(
+        {"static", StaticCacheSystem::kDescription,
+         /*uses_cache_fraction=*/true,
+         /*uses_scratchpipe_options=*/false,
+         [](const ModelConfig &model, const sim::HardwareConfig &hw,
+            const SystemSpec &spec) -> std::unique_ptr<System> {
+             return std::make_unique<StaticCacheSystem>(
+                 model, hw, spec.cacheFractionOr(0.10));
+         }});
 }
 
 } // namespace sp::sys

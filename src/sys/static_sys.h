@@ -24,13 +24,14 @@
 #include "sim/latency_model.h"
 #include "sys/batch_stats.h"
 #include "sys/run_result.h"
+#include "sys/system.h"
 #include "sys/system_config.h"
 
 namespace sp::sys
 {
 
 /** Timing model of the static-cache CPU-GPU baseline. */
-class StaticCacheSystem
+class StaticCacheSystem : public System
 {
   public:
     /**
@@ -43,7 +44,14 @@ class StaticCacheSystem
 
     RunResult simulate(const data::TraceDataset &dataset,
                        const BatchStats &stats, uint64_t iterations,
-                       uint64_t warmup = 0) const;
+                       uint64_t warmup = 0) const override;
+
+    static constexpr const char *kDescription =
+        "CPU-GPU with a static top-N GPU cache (Fig. 4b, Yin et al. "
+        "baseline)";
+
+    std::string name() const override { return "Static cache"; }
+    std::string description() const override { return kDescription; }
 
     /** Cached rows per table. */
     uint64_t cachedRowsPerTable() const { return cached_rows_; }

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Polymorphic interface over the evaluated system design points.
+ *
+ * Every timing-mode system model (paper Section VI: hybrid CPU-GPU,
+ * static cache, straw-man, ScratchPipe, 8-GPU) implements this
+ * interface so drivers, benches and the ExperimentRunner can hold a
+ * `std::unique_ptr<System>` and treat all design points uniformly.
+ * Instances are built from a SystemSpec through sys::Registry; direct
+ * construction of the concrete classes remains available for tests.
+ */
+
+#ifndef SP_SYS_SYSTEM_H
+#define SP_SYS_SYSTEM_H
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "sys/batch_stats.h"
+#include "sys/run_result.h"
+
+namespace sp::sys
+{
+
+/** Abstract system model: simulate a workload, describe yourself. */
+class System
+{
+  public:
+    virtual ~System() = default;
+
+    /**
+     * Simulate `iterations` measured batches of `dataset` after
+     * `warmup` steady-state batches (timing only).
+     * @param stats Shared per-batch unique-ID counts.
+     */
+    virtual RunResult simulate(const data::TraceDataset &dataset,
+                               const BatchStats &stats,
+                               uint64_t iterations,
+                               uint64_t warmup = 0) const = 0;
+
+    /** Display name, identical to RunResult::system_name. */
+    virtual std::string name() const = 0;
+
+    /** One-line description (paper reference + role). */
+    virtual std::string description() const = 0;
+};
+
+} // namespace sp::sys
+
+#endif // SP_SYS_SYSTEM_H

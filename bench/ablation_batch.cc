@@ -21,7 +21,6 @@ main()
                        "paper: robustness under larger/smaller batches; "
                        "speedups normalized to static cache (10%)");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     metrics::TablePrinter table({"locality", "batch", "static_ms",
                                  "scratchpipe_ms", "speedup"});
 
@@ -35,10 +34,10 @@ main()
                 bench::makeWorkload(locality, &model);
 
             const double t_static =
-                workload.run(sys::SystemKind::StaticCache, hw, 0.10)
+                workload.run("static:cache=0.10")
                     .seconds_per_iteration;
             const double t_sp =
-                workload.run(sys::SystemKind::ScratchPipe, hw, 0.10)
+                workload.run("scratchpipe:cache=0.10")
                     .seconds_per_iteration;
             table.addRow(
                 {data::localityName(locality), std::to_string(batch),

@@ -22,7 +22,6 @@ main()
                        "paper: effectiveness under more MLP-heavy (less "
                        "embedding-intensive) RecSys configurations");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
 
     struct Arch
     {
@@ -49,10 +48,10 @@ main()
                 bench::makeWorkload(locality, &model);
 
             const double t_static =
-                workload.run(sys::SystemKind::StaticCache, hw, 0.10)
+                workload.run("static:cache=0.10")
                     .seconds_per_iteration;
             const auto sp =
-                workload.run(sys::SystemKind::ScratchPipe, hw, 0.10);
+                workload.run("scratchpipe:cache=0.10");
             table.addRow(
                 {data::localityName(locality), arch.name,
                  bench::ms(t_static), bench::ms(sp.seconds_per_iteration),

@@ -25,7 +25,6 @@
 #include "data/dataset.h"
 #include "sim/hardware_config.h"
 #include "sys/experiment.h"
-#include "sys/factory.h"
 #include "sys/system_config.h"
 
 namespace sp::bench
@@ -61,15 +60,6 @@ struct Workload
     sys::RunResult run(const std::string &spec_text) const
     {
         return runner->run(spec_text);
-    }
-
-    /** DEPRECATED positional form; prefer the SystemSpec overloads. */
-    sys::RunResult
-    run(sys::SystemKind kind, const sim::HardwareConfig &hardware,
-        double cache_fraction) const
-    {
-        return sys::simulateSystem(kind, model, hardware, cache_fraction,
-                                   dataset(), stats(), measure, warmup);
     }
 };
 

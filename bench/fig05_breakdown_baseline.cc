@@ -22,7 +22,6 @@ main()
                        "paper: Fig. 5 -- hybrid CPU-GPU vs static cache "
                        "(2%, 10%), stacked latency in ms");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     metrics::TablePrinter table({"system", "locality", "cpu_emb_fwd_ms",
                                  "cpu_emb_bwd_ms", "gpu_ms", "total_ms",
                                  "hit_rate"});
@@ -33,17 +32,15 @@ main()
         struct Setup
         {
             const char *name;
-            sys::SystemKind kind;
-            double fraction;
+            const char *spec;
         };
         const Setup setups[] = {
-            {"Hybrid CPU-GPU", sys::SystemKind::Hybrid, 0.0},
-            {"Static cache (2%)", sys::SystemKind::StaticCache, 0.02},
-            {"Static cache (10%)", sys::SystemKind::StaticCache, 0.10},
+            {"Hybrid CPU-GPU", "hybrid"},
+            {"Static cache (2%)", "static:cache=0.02"},
+            {"Static cache (10%)", "static:cache=0.10"},
         };
         for (const auto &setup : setups) {
-            const auto result =
-                workload.run(setup.kind, hw, setup.fraction);
+            const auto result = workload.run(setup.spec);
             table.addRow(
                 {setup.name, data::localityName(locality),
                  bench::ms(result.breakdown.get("CPU embedding forward")),

@@ -29,9 +29,9 @@ main()
     for (auto locality : data::kAllLocalities) {
         const bench::Workload workload = bench::makeWorkload(locality);
         const auto r_static =
-            workload.run(sys::SystemKind::StaticCache, hw, 0.10);
+            workload.run("static:cache=0.10");
         const auto r_sp =
-            workload.run(sys::SystemKind::ScratchPipe, hw, 0.10);
+            workload.run("scratchpipe:cache=0.10");
 
         const double j_static = energy.iterationEnergy(r_static.busy);
         const double j_sp = energy.iterationEnergy(r_sp.busy);

@@ -21,7 +21,6 @@ main()
         "paper: Fig. 15(b) -- 1/20/50 gathers per table, speedup "
         "normalized to static cache (10%)");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     metrics::TablePrinter table({"locality", "lookups", "hybrid",
                                  "static", "strawman", "scratchpipe"});
 
@@ -36,16 +35,16 @@ main()
                 bench::makeWorkload(locality, &model);
 
             const double t_hybrid =
-                workload.run(sys::SystemKind::Hybrid, hw, 0.0)
+                workload.run("hybrid")
                     .seconds_per_iteration;
             const double t_static =
-                workload.run(sys::SystemKind::StaticCache, hw, 0.10)
+                workload.run("static:cache=0.10")
                     .seconds_per_iteration;
             const double t_straw =
-                workload.run(sys::SystemKind::Strawman, hw, 0.10)
+                workload.run("strawman:cache=0.10")
                     .seconds_per_iteration;
             const double t_sp =
-                workload.run(sys::SystemKind::ScratchPipe, hw, 0.10)
+                workload.run("scratchpipe:cache=0.10")
                     .seconds_per_iteration;
 
             table.addRow(

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * perf_simcore: simulation-engine microbenchmarks.
+ *
+ * Times the three layers the parallel engine accelerates --
+ *
+ *   trace-gen  TraceDataset construction (batches fan out over the
+ *              worker pool);
+ *   plan       per-table ScratchPipeController::plan fan-out, reported
+ *              as planned IDs/s (the controller hot path: batched
+ *              Hit-Map probes + allocation-free PlanResult);
+ *   runner     an end-to-end ExperimentRunner sweep over several
+ *              system specs (--jobs routing);
+ *
+ * -- once serially (pool width 1) and once on a pool as wide as the
+ * host, then emits BENCH_simcore.json so the perf trajectory is
+ * tracked from PR 2 onward. Results are bit-identical between the two
+ * widths by construction (asserted here for the planning pass).
+ *
+ *   perf_simcore                 paper-ish scale (8 x 10^6-row tables)
+ *   perf_simcore --quick         CI scale, a few seconds
+ *   perf_simcore --jobs 16       pin the parallel width
+ *   perf_simcore --out bench.json
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "common/args.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/controller.h"
+#include "data/dataset.h"
+#include "metrics/table_printer.h"
+#include "sys/experiment.h"
+#include "sys/plan_fanout.h"
+#include "sys/registry.h"
+
+using namespace sp;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+seconds(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BenchResult
+{
+    std::string name;
+    double serial_s = 0.0;
+    double parallel_s = 0.0;
+    double work_units = 0.0; // IDs planned, IDs generated, systems run
+    const char *unit = "";
+
+    double
+    speedup() const
+    {
+        return parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    }
+    double
+    throughput() const
+    {
+        return parallel_s > 0.0 ? work_units / parallel_s : 0.0;
+    }
+};
+
+/** Time `fn()` at pool width `jobs` (the global pool drives every
+ *  parallel site), best of `reps`. */
+double
+timeAtWidth(size_t jobs, int reps, const std::function<void()> &fn)
+{
+    common::ThreadPool::setGlobalThreads(jobs);
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        fn();
+        const double elapsed = seconds(start);
+        if (r == 0 || elapsed < best)
+            best = elapsed;
+    }
+    return best;
+}
+
+BenchResult
+benchTraceGeneration(const sys::ModelConfig &model, uint64_t batches,
+                     size_t jobs, int reps)
+{
+    BenchResult result;
+    result.name = "trace_generation";
+    result.unit = "IDs/s";
+    result.work_units = static_cast<double>(batches) *
+                        static_cast<double>(model.trace.idsPerBatch());
+    result.serial_s = timeAtWidth(1, reps, [&model, batches] {
+        data::TraceDataset dataset(model.trace, batches);
+    });
+    result.parallel_s = timeAtWidth(jobs, reps, [&model, batches] {
+        data::TraceDataset dataset(model.trace, batches);
+    });
+    return result;
+}
+
+/** One full pass of per-table planning over `dataset`; returns the
+ *  total hit count as a determinism fingerprint. */
+uint64_t
+planPass(const sys::ModelConfig &model, const data::TraceDataset &dataset)
+{
+    const auto &trace = model.trace;
+    core::ControllerConfig cc;
+    cc.num_slots = std::max<uint32_t>(
+        core::ScratchPipeController::worstCaseSlots(3, 2,
+                                                    trace.idsPerTable()),
+        static_cast<uint32_t>(0.05 * trace.rows_per_table));
+    cc.dim = model.embedding_dim;
+    cc.backing = cache::SlotArray::Backing::Phantom;
+    cc.warm_start = true;
+    std::vector<core::ScratchPipeController> controllers;
+    controllers.reserve(trace.num_tables);
+    for (size_t t = 0; t < trace.num_tables; ++t) {
+        cc.policy_seed = 0x5eed + t;
+        controllers.emplace_back(cc);
+    }
+
+    // The same fan-out the timing systems use, so the bench measures
+    // the production planning path.
+    sys::PlanFanout fanout(trace.num_tables, cc.future_window);
+    uint64_t total = 0;
+    for (uint64_t b = 0; b < dataset.numBatches(); ++b) {
+        fanout.run(controllers, dataset, b);
+        for (const auto &outcome : fanout.outcomes())
+            total += outcome.hits;
+    }
+    return total;
+}
+
+BenchResult
+benchPlanning(const sys::ModelConfig &model, uint64_t batches, size_t jobs,
+              int reps)
+{
+    // Generate once (outside the timed region) at full width.
+    common::ThreadPool::setGlobalThreads(jobs);
+    const data::TraceDataset dataset(model.trace, batches);
+
+    BenchResult result;
+    result.name = "plan_throughput";
+    result.unit = "IDs/s";
+    result.work_units = static_cast<double>(batches) *
+                        static_cast<double>(model.trace.idsPerBatch());
+
+    uint64_t serial_hits = 0, parallel_hits = 0;
+    result.serial_s = timeAtWidth(1, reps, [&] {
+        serial_hits = planPass(model, dataset);
+    });
+    result.parallel_s = timeAtWidth(jobs, reps, [&] {
+        parallel_hits = planPass(model, dataset);
+    });
+    fatalIf(serial_hits != parallel_hits,
+            "parallel planning diverged from serial: ", parallel_hits,
+            " hits vs ", serial_hits);
+    return result;
+}
+
+BenchResult
+benchRunnerSweep(const sys::ModelConfig &model, uint64_t iterations,
+                 size_t jobs, int reps)
+{
+    const std::vector<sys::SystemSpec> specs = {
+        sys::SystemSpec::parse("hybrid"),
+        sys::SystemSpec::parse("static:cache=0.05"),
+        sys::SystemSpec::parse("strawman"),
+        sys::SystemSpec::parse("scratchpipe"),
+        sys::SystemSpec::parse("scratchpipe:policy=lfu"),
+        sys::SystemSpec::parse("multigpu")};
+    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
+
+    BenchResult result;
+    result.name = "runner_sweep";
+    result.unit = "systems/s";
+    result.work_units = static_cast<double>(specs.size());
+
+    const auto sweep = [&](uint32_t sweep_jobs) {
+        sys::ExperimentOptions options;
+        options.iterations = iterations;
+        options.warmup = 2;
+        options.jobs = sweep_jobs;
+        const sys::ExperimentRunner runner(model, hw, options);
+        runner.runAll(specs);
+    };
+    result.serial_s = timeAtWidth(1, reps, [&] { sweep(1); });
+    result.parallel_s = timeAtWidth(jobs, reps, [&] {
+        sweep(static_cast<uint32_t>(jobs));
+    });
+    return result;
+}
+
+void
+writeJson(const std::string &path, const std::vector<BenchResult> &results,
+          const sys::ModelConfig &model, size_t jobs, bool quick)
+{
+    std::ostringstream os;
+    os << "{\"bench\":\"perf_simcore\",\"quick\":"
+       << (quick ? "true" : "false") << ",\"jobs\":" << jobs
+       << ",\"tables\":" << model.trace.num_tables
+       << ",\"rows_per_table\":" << model.trace.rows_per_table
+       << ",\"batch_size\":" << model.trace.batch_size
+       << ",\"results\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << (i == 0 ? "" : ",") << "{\"name\":\"" << r.name
+           << "\",\"serial_seconds\":" << r.serial_s
+           << ",\"parallel_seconds\":" << r.parallel_s
+           << ",\"speedup\":" << r.speedup()
+           << ",\"throughput\":" << r.throughput() << ",\"unit\":\""
+           << r.unit << "\"}";
+    }
+    os << "]}";
+
+    std::ofstream file(path);
+    fatalIf(!file, "cannot open '", path, "' for writing");
+    file << os.str() << "\n";
+    fatalIf(!file, "I/O error while writing '", path, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("perf_simcore: simulation-engine microbenchmarks "
+                   "(trace generation, planning throughput, runner "
+                   "sweeps), serial vs pooled");
+    args.addBool("quick", "CI scale: small tables, one rep");
+    args.addInt("jobs", 0, "parallel pool width (0 = all cores)");
+    args.addInt("tables", 8, "embedding tables");
+    args.addInt("rows", 1'000'000, "rows per table");
+    args.addInt("batch", 2048, "mini-batch size");
+    args.addInt("batches", 12, "mini-batches generated/planned");
+    args.addString("out", "BENCH_simcore.json", "JSON output path");
+
+    try {
+        if (!args.parse(argc, argv)) {
+            std::cout << args.usage();
+            return 0;
+        }
+        const bool quick = args.getBool("quick");
+        const size_t jobs =
+            args.getInt("jobs") > 0
+                ? static_cast<size_t>(args.getInt("jobs"))
+                : common::ThreadPool::defaultThreads();
+        const int reps = quick ? 1 : 3;
+
+        sys::ModelConfig model = sys::ModelConfig::paperDefault();
+        model.trace.num_tables =
+            static_cast<size_t>(args.getInt("tables"));
+        model.trace.rows_per_table =
+            static_cast<uint64_t>(args.getInt("rows"));
+        model.trace.batch_size =
+            static_cast<size_t>(args.getInt("batch"));
+        uint64_t batches = static_cast<uint64_t>(args.getInt("batches"));
+        if (quick) {
+            model.trace.rows_per_table =
+                std::min<uint64_t>(model.trace.rows_per_table, 100'000);
+            model.trace.batch_size =
+                std::min<size_t>(model.trace.batch_size, 512);
+            batches = std::min<uint64_t>(batches, 8);
+        }
+
+        std::cout << "perf_simcore: " << model.trace.num_tables
+                  << " tables x " << model.trace.rows_per_table
+                  << " rows, batch " << model.trace.batch_size << ", "
+                  << batches << " batches, pool width " << jobs << "\n\n";
+
+        std::vector<BenchResult> results;
+        results.push_back(
+            benchTraceGeneration(model, batches, jobs, reps));
+        results.push_back(benchPlanning(model, batches, jobs, reps));
+        results.push_back(
+            benchRunnerSweep(model, quick ? 3 : 5, jobs, reps));
+
+        metrics::TablePrinter table({"bench", "serial_s", "parallel_s",
+                                     "speedup", "throughput", "unit"});
+        for (const auto &r : results) {
+            table.addRow({r.name,
+                          metrics::TablePrinter::num(r.serial_s, 3),
+                          metrics::TablePrinter::num(r.parallel_s, 3),
+                          metrics::TablePrinter::num(r.speedup(), 2) + "x",
+                          metrics::TablePrinter::num(r.throughput(), 0),
+                          r.unit});
+        }
+        table.print(std::cout);
+
+        writeJson(args.getString("out"), results, model, jobs, quick);
+        std::cout << "\nwrote " << args.getString("out") << "\n";
+    } catch (const FatalError &error) {
+        std::cerr << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

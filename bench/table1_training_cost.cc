@@ -23,7 +23,6 @@ main()
         "Table I: training cost, ScratchPipe vs 8-GPU",
         "paper: Table I -- $ for 1M iterations at AWS on-demand prices");
 
-    const sim::HardwareConfig hw = sim::HardwareConfig::paperTestbed();
     const auto p3_2x = metrics::AwsInstance::p3_2xlarge();
     const auto p3_16x = metrics::AwsInstance::p3_16xlarge();
     constexpr uint64_t kIters = 1'000'000;
@@ -36,9 +35,9 @@ main()
     for (auto locality : data::kAllLocalities) {
         const bench::Workload workload = bench::makeWorkload(locality);
         const auto sp =
-            workload.run(sys::SystemKind::ScratchPipe, hw, 0.10);
+            workload.run("scratchpipe:cache=0.10");
         const auto multi =
-            workload.run(sys::SystemKind::MultiGpu, hw, 0.0);
+            workload.run("multigpu");
 
         const double cost_sp =
             metrics::trainingCost(p3_2x, sp.seconds_per_iteration, kIters);

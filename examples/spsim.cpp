@@ -9,7 +9,7 @@
  *   spsim --list-systems
  *   spsim --system scratchpipe --locality low --cache 0.05
  *   spsim --system scratchpipe:policy=lfu,past=4 --format json
- *   spsim --system hybrid,static:cache=0.02,scratchpipe --parallel
+ *   spsim --system hybrid,static:cache=0.02,scratchpipe --jobs 8
  *
  * --system takes a comma-separated list of system specs (see
  * sys/spec.h for the grammar); all of them run over one shared
@@ -23,6 +23,7 @@
 
 #include "common/args.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "metrics/cost.h"
 #include "metrics/energy.h"
 #include "metrics/table_printer.h"
@@ -174,7 +175,11 @@ main(int argc, char **argv)
     args.addInt("warmup", 5, "warm-up iterations");
     args.addInt("seed", 42, "trace seed");
     args.addString("format", "table", "table|csv|json");
-    args.addBool("parallel", "simulate systems on separate threads");
+    args.addBool("parallel", "simulate systems on the worker pool");
+    args.addInt("jobs", 0,
+                "worker threads for every parallel site (trace "
+                "generation, per-table planning, --parallel sweeps); "
+                "0 = all cores, 1 = fully serial");
     args.addBool("list-systems", "print registered systems and exit");
 
     try {
@@ -216,11 +221,23 @@ main(int argc, char **argv)
         model.trace.seed = static_cast<uint64_t>(args.getInt("seed"));
         model.embedding_dim = static_cast<size_t>(args.getInt("dim"));
 
+        const int64_t jobs = args.getInt("jobs");
+        fatalIf(jobs < 0, "--jobs must be >= 0, got ", jobs);
+        // Size the process-wide pool before any parallel work runs.
+        common::ThreadPool::setGlobalThreads(
+            jobs > 0 ? static_cast<size_t>(jobs)
+                     : common::ThreadPool::defaultThreads());
+
         sys::ExperimentOptions options;
         options.iterations =
             static_cast<uint64_t>(args.getInt("iterations"));
         options.warmup = static_cast<uint64_t>(args.getInt("warmup"));
-        options.parallel = args.getBool("parallel");
+        // --jobs given: that width drives the sweep too (0 = all
+        // cores). Otherwise the sweep stays sequential unless
+        // --parallel asks for an all-cores fan-out.
+        options.jobs = args.wasSet("jobs")
+                           ? static_cast<uint32_t>(jobs)
+                           : (args.getBool("parallel") ? 0 : 1);
 
         const sim::HardwareConfig hw =
             sim::HardwareConfig::paperTestbed();

@@ -1,5 +1,6 @@
 #include "cache/hit_map.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
@@ -34,17 +35,9 @@ HitMap::bucketFor(uint32_t key) const
     return hashKey(key) & mask_;
 }
 
-void
-HitMap::prefetch(uint32_t key) const
-{
-    __builtin_prefetch(entries_.data() + (hashKey(key) & mask_));
-}
-
 uint32_t
-HitMap::find(uint32_t key) const
+HitMap::probeFrom(size_t bucket, uint32_t key) const
 {
-    panicIf(key == kEmptyKey, "HitMap does not support key 0xffffffff");
-    size_t bucket = bucketFor(key);
     for (;;) {
         const uint64_t entry = entries_[bucket];
         if (entry == kEmptyEntry)
@@ -52,6 +45,55 @@ HitMap::find(uint32_t key) const
         if (static_cast<uint32_t>(entry >> 32) == key)
             return static_cast<uint32_t>(entry);
         bucket = (bucket + 1) & mask_;
+    }
+}
+
+uint32_t
+HitMap::find(uint32_t key) const
+{
+    panicIf(key == kEmptyKey, "HitMap does not support key 0xffffffff");
+    return probeFrom(bucketFor(key), key);
+}
+
+void
+HitMap::findMany(std::span<const uint32_t> keys,
+                 std::span<uint32_t> out) const
+{
+    panicIf(out.size() != keys.size(),
+            "findMany output size ", out.size(), " != key count ",
+            keys.size());
+
+    // Two-stage software pipeline over a small ring: stage 1 hashes
+    // key i+D and prefetches its start bucket; stage 2 probes key i
+    // from the bucket hashed D iterations ago. Keeping the hashed
+    // bucket in the ring avoids recomputing it at probe time, and the
+    // prefetch distance gives DRAM time to deliver the line.
+    constexpr size_t kDistance = 12;
+    const size_t n = keys.size();
+    size_t ring[kDistance];
+
+    const size_t lead = std::min(n, kDistance);
+    for (size_t i = 0; i < lead; ++i) {
+        panicIf(keys[i] == kEmptyKey,
+                "HitMap does not support key 0xffffffff");
+        const size_t bucket = bucketFor(keys[i]);
+        ring[i % kDistance] = bucket;
+        __builtin_prefetch(entries_.data() + bucket);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (i + kDistance < n) {
+            panicIf(keys[i + kDistance] == kEmptyKey,
+                    "HitMap does not support key 0xffffffff");
+            const size_t ahead = bucketFor(keys[i + kDistance]);
+            __builtin_prefetch(entries_.data() + ahead);
+            // The probe below frees ring slot i % kDistance; the
+            // lookahead bucket lands in it right after.
+            const size_t bucket = ring[i % kDistance];
+            ring[i % kDistance] = ahead;
+            out[i] = probeFrom(bucket, keys[i]);
+        } else {
+            out[i] = probeFrom(ring[i % kDistance], keys[i]);
+        }
     }
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 namespace sp::cache
@@ -39,6 +40,16 @@ class HitMap
     /** Slot for `key`, or kNotFound. */
     uint32_t find(uint32_t key) const;
 
+    /**
+     * Batched probe: out[i] = find(keys[i]). Software-pipelined --
+     * start buckets are hashed and prefetched a fixed distance ahead
+     * of the probes, hiding the DRAM latency that dominates planning
+     * at paper scale (the table is tens of MB per controller).
+     * `out` must hold keys.size() entries.
+     */
+    void findMany(std::span<const uint32_t> keys,
+                  std::span<uint32_t> out) const;
+
     /** True if `key` is present. */
     bool contains(uint32_t key) const { return find(key) != kNotFound; }
 
@@ -60,13 +71,6 @@ class HitMap
     /** Current bucket count (power of two). */
     size_t capacity() const { return entries_.size(); }
 
-    /**
-     * Hint the cache hierarchy that `key` will be probed shortly.
-     * The controller's scan loops issue this a few IDs ahead; probe
-     * latency is the dominant cost of planning at paper scale.
-     */
-    void prefetch(uint32_t key) const;
-
     /** Approximate heap bytes used (overhead accounting, §VI-D). */
     size_t memoryBytes() const;
 
@@ -78,6 +82,7 @@ class HitMap
 
     static uint32_t hashKey(uint32_t key);
     size_t bucketFor(uint32_t key) const;
+    uint32_t probeFrom(size_t bucket, uint32_t key) const;
     void grow();
 
     std::vector<uint64_t> entries_;

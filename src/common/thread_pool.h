@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared work-pool execution layer.
+ *
+ * One bounded pool serves every parallel site in the simulator: trace
+ * generation, per-batch statistics, per-table [Plan] fan-out, and
+ * whole-system sweeps in ExperimentRunner. Two primitives:
+ *
+ *   submit(fn)        enqueue an arbitrary task, get a std::future;
+ *   parallelFor(n,fn) run fn(0..n-1) cooperatively: the calling
+ *                     thread participates, so nesting a parallelFor
+ *                     inside a pool task can never deadlock -- if all
+ *                     workers are busy the caller simply executes
+ *                     every index itself.
+ *
+ * Every parallel site in this codebase writes result i from call
+ * fn(i) only, so outputs are bit-identical to a serial loop no matter
+ * how indices interleave across threads.
+ *
+ * ThreadPool::global() is the process-wide pool. Its width defaults
+ * to hardware_concurrency (overridable via the SP_JOBS environment
+ * variable) and can be set explicitly with setGlobalThreads() --
+ * call it at startup, before any parallel work, as spsim --jobs does.
+ */
+
+#ifndef SP_COMMON_THREAD_POOL_H
+#define SP_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sp::common
+{
+
+/** Fixed-width thread pool with a cooperative parallel-for. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; clamped to at least 1. */
+    explicit ThreadPool(size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+    /** Enqueue `fn` on a worker; the future carries its result. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run fn(0), ..., fn(n-1), distributing indices over the workers
+     * *and* the calling thread. Returns once every index has run.
+     * The first exception is rethrown on the caller after the
+     * remaining indices are drained (un-run indices are skipped once
+     * an exception is recorded). A pool of width 1 runs serially on
+     * the caller.
+     *
+     * `max_helpers` caps the worker tasks enqueued alongside the
+     * caller, bounding concurrency to max_helpers + 1 lanes without
+     * spinning up a second pool (ExperimentRunner's --jobs bound).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                     size_t max_helpers = SIZE_MAX);
+
+    /** The process-wide pool (created on first use). */
+    static ThreadPool &global();
+
+    /**
+     * Width of global() before it is created: SP_JOBS when set to a
+     * positive integer, else std::thread::hardware_concurrency().
+     */
+    static size_t defaultThreads();
+
+    /**
+     * Resize the process-wide pool. Startup-time only: the previous
+     * pool (if any) is drained and destroyed, so no other thread may
+     * be using global() concurrently.
+     */
+    static void setGlobalThreads(size_t threads);
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/** Shorthand: global().parallelFor(n, fn). */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+} // namespace sp::common
+
+#endif // SP_COMMON_THREAD_POOL_H

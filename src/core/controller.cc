@@ -37,12 +37,17 @@ ScratchPipeController::ScratchPipeController(const ControllerConfig &config)
     }
 }
 
-PlanResult
+const PlanResult &
 ScratchPipeController::plan(
     std::span<const uint32_t> current_ids,
     std::span<const std::span<const uint32_t>> future_ids)
 {
-    PlanResult result;
+    // Reset the reusable schedule; clear() keeps vector capacity, so
+    // a warmed-up controller plans without touching the heap.
+    plan_.hits = 0;
+    plan_.misses = 0;
+    plan_.fills.clear();
+    plan_.evictions.clear();
 
     // Step B of Algorithm 1: slide the window.
     holds_.advance();
@@ -62,13 +67,12 @@ ScratchPipeController::plan(
     // the plan that inserted it within the past window. Narrower
     // windows (the straw-man's 0) lack that cover, so the pass stays.
     // Probe latency against the multi-MB Hit-Map dominates planning
-    // at paper scale; each scan loop prefetches a few IDs ahead.
-    constexpr size_t kPrefetch = 12;
+    // at paper scale; every scan goes through the software-pipelined
+    // batched probe.
     if (config_.future_window < 2) {
-        for (size_t i = 0; i < current_ids.size(); ++i) {
-            if (i + kPrefetch < current_ids.size())
-                map_.prefetch(current_ids[i + kPrefetch]);
-            const uint32_t slot = map_.find(current_ids[i]);
+        probe_.resize(current_ids.size());
+        map_.findMany(current_ids, probe_);
+        for (const uint32_t slot : probe_) {
             if (slot != cache::HitMap::kNotFound)
                 holds_.markCurrent(slot);
         }
@@ -78,29 +82,38 @@ ScratchPipeController::plan(
                            static_cast<uint32_t>(future_ids.size()));
     for (uint32_t d = 1; d <= window; ++d) {
         const auto ids = future_ids[d - 1];
-        for (size_t i = 0; i < ids.size(); ++i) {
-            if (i + kPrefetch < ids.size())
-                map_.prefetch(ids[i + kPrefetch]);
-            const uint32_t slot = map_.find(ids[i]);
+        probe_.resize(ids.size());
+        map_.findMany(ids, probe_);
+        for (const uint32_t slot : probe_) {
             if (slot != cache::HitMap::kNotFound)
                 holds_.markFuture(slot, d);
         }
     }
 
     // Step C: classify the current batch and assign victims to misses.
+    // The batched pre-probe is taken before any insert/erase of this
+    // pass, so each result needs an O(1) revalidation against the live
+    // state: a pre-probe miss may have been filled by an earlier
+    // duplicate of the same ID, and a pre-probe hit may have been
+    // evicted by an earlier miss (possible only while hold marks are
+    // still warming up, e.g. the first plans after warm_start). Both
+    // cases fall back to a live probe, so the outcome is exactly what
+    // the old one-find-per-ID loop produced.
+    probe_.resize(current_ids.size());
+    map_.findMany(current_ids, probe_);
     for (size_t i = 0; i < current_ids.size(); ++i) {
-        if (i + kPrefetch < current_ids.size())
-            map_.prefetch(current_ids[i + kPrefetch]);
         const uint32_t id = current_ids[i];
-        uint32_t slot = map_.find(id);
+        uint32_t slot = probe_[i];
+        if (slot == cache::HitMap::kNotFound || slot_key_[slot] != id)
+            slot = map_.find(id);
         if (slot != cache::HitMap::kNotFound) {
-            ++result.hits;
+            ++plan_.hits;
             policy_->touch(slot);
             holds_.markCurrent(slot);
             continue;
         }
 
-        ++result.misses;
+        ++plan_.misses;
         const uint32_t victim = policy_->chooseVictim(
             [this](uint32_t s) { return !holds_.isHeld(s); });
         fatalIf(victim == cache::ReplacementPolicy::kNoVictim,
@@ -111,21 +124,21 @@ ScratchPipeController::plan(
         const uint32_t old_key = slot_key_[victim];
         if (old_key != kNoKey) {
             map_.erase(old_key);
-            result.evictions.push_back(EvictOp{old_key, victim});
+            plan_.evictions.push_back(EvictOp{old_key, victim});
         }
         map_.insert(id, victim);
         slot_key_[victim] = id;
-        result.fills.push_back(FillOp{id, victim});
+        plan_.fills.push_back(FillOp{id, victim});
         policy_->touch(victim);
         holds_.markCurrent(victim);
     }
 
     ++stats_.plans;
-    stats_.hits += result.hits;
-    stats_.misses += result.misses;
-    stats_.fills += result.fills.size();
-    stats_.evictions += result.evictions.size();
-    return result;
+    stats_.hits += plan_.hits;
+    stats_.misses += plan_.misses;
+    stats_.fills += plan_.fills.size();
+    stats_.evictions += plan_.evictions.size();
+    return plan_;
 }
 
 bool

@@ -133,11 +133,17 @@ class ScratchPipeController
      *                    most future_window entries are consulted
      *                    (fewer near the end of the trace).
      *
+     * Returns a reference to per-controller scratch that is reused
+     * (capacity retained, so the steady-state hot path allocates
+     * nothing) and overwritten by the next plan() call; copy the
+     * PlanResult to retain it across plans.
+     *
      * fatal()s when no hold-mask-eligible victim exists -- the
      * capacity-bound violation of Section VI-D.
      */
-    PlanResult plan(std::span<const uint32_t> current_ids,
-                    std::span<const std::span<const uint32_t>> future_ids);
+    const PlanResult &
+    plan(std::span<const uint32_t> current_ids,
+         std::span<const std::span<const uint32_t>> future_ids);
 
     /** True iff `id` is resident in the scratchpad right now. */
     bool isResident(uint32_t id) const;
@@ -212,6 +218,11 @@ class ScratchPipeController
     cache::SlotArray storage_;
     std::vector<uint32_t> slot_key_;
     ControllerStats stats_;
+    // Reusable plan() scratch: the returned schedule and the batched
+    // Hit-Map probe results. Cleared (capacity kept) every plan, so
+    // the steady-state hot path performs no heap allocation.
+    PlanResult plan_;
+    std::vector<uint32_t> probe_;
 };
 
 } // namespace sp::core

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace sp::data
 {
@@ -34,9 +35,13 @@ TraceDataset::TraceDataset(const TraceConfig &config, uint64_t num_batches)
     : config_(config), generator_(config)
 {
     fatalIf(num_batches == 0, "dataset needs at least one batch");
-    batches_.reserve(num_batches);
-    for (uint64_t i = 0; i < num_batches; ++i)
-        batches_.push_back(generator_.makeBatch(i));
+    // Each batch is an independent seeded stream (deterministic per
+    // index, see trace.h), so generation parallelises with
+    // bit-identical results: worker i only writes batches_[i].
+    batches_.resize(num_batches);
+    common::parallelFor(num_batches, [this](size_t i) {
+        batches_[i] = generator_.makeBatch(i);
+    });
 }
 
 TraceDataset::TraceDataset(const TraceConfig &config,

@@ -159,10 +159,17 @@ adagradScatter(RowAccessor &table, RowAccessor &state,
 size_t
 countUnique(std::span<const uint32_t> ids)
 {
-    std::vector<uint32_t> sorted(ids.begin(), ids.end());
-    std::sort(sorted.begin(), sorted.end());
+    std::vector<uint32_t> scratch;
+    return countUnique(ids, scratch);
+}
+
+size_t
+countUnique(std::span<const uint32_t> ids, std::vector<uint32_t> &scratch)
+{
+    scratch.assign(ids.begin(), ids.end());
+    std::sort(scratch.begin(), scratch.end());
     return static_cast<size_t>(
-        std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+        std::unique(scratch.begin(), scratch.end()) - scratch.begin());
 }
 
 std::vector<uint32_t>

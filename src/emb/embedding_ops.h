@@ -96,6 +96,15 @@ void adagradScatter(RowAccessor &table, RowAccessor &state,
 /** Number of distinct IDs in `ids` (timing-mode helper). */
 size_t countUnique(std::span<const uint32_t> ids);
 
+/**
+ * countUnique with a caller-provided scratch buffer: `scratch` is
+ * resized to hold a sorted copy of `ids` but keeps its capacity, so
+ * repeated calls (the per-batch statistics loops) stop paying a heap
+ * allocation per call.
+ */
+size_t countUnique(std::span<const uint32_t> ids,
+                   std::vector<uint32_t> &scratch);
+
 /** Distinct IDs of `ids`, ascending (timing-mode helper). */
 std::vector<uint32_t> uniqueIds(std::span<const uint32_t> ids);
 

@@ -1,6 +1,7 @@
 #include "sys/batch_stats.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "emb/embedding_ops.h"
 
 namespace sp::sys
@@ -12,13 +13,18 @@ BatchStats::BatchStats(const data::TraceDataset &dataset,
     fatalIf(iterations > dataset.numBatches(),
             "dataset has ", dataset.numBatches(), " batches, need ",
             iterations);
+    // Batches are independent, so the unique counts compute in
+    // parallel; each worker reuses one sort buffer across its share
+    // of the batches instead of allocating per countUnique call.
     unique_.resize(iterations);
-    for (uint64_t b = 0; b < iterations; ++b) {
+    common::parallelFor(iterations, [this, &dataset](size_t b) {
+        static thread_local std::vector<uint32_t> scratch;
         const auto &batch = dataset.batch(b);
         unique_[b].reserve(batch.numTables());
         for (size_t t = 0; t < batch.numTables(); ++t)
-            unique_[b].push_back(emb::countUnique(batch.table_ids[t]));
-    }
+            unique_[b].push_back(
+                emb::countUnique(batch.table_ids[t], scratch));
+    });
 }
 
 size_t

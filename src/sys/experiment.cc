@@ -1,9 +1,7 @@
 #include "sys/experiment.h"
 
-#include <exception>
-#include <thread>
-
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "sys/registry.h"
 
 namespace sp::sys
@@ -48,6 +46,13 @@ ExperimentRunner::run(const std::string &spec_text) const
     return run(SystemSpec::parse(spec_text));
 }
 
+size_t
+ExperimentRunner::effectiveJobs() const
+{
+    return options_.jobs > 0 ? options_.jobs
+                             : common::ThreadPool::defaultThreads();
+}
+
 std::vector<RunResult>
 ExperimentRunner::runAll(const std::vector<SystemSpec> &specs) const
 {
@@ -57,29 +62,24 @@ ExperimentRunner::runAll(const std::vector<SystemSpec> &specs) const
         spec.validate();
 
     std::vector<RunResult> results(specs.size());
-    if (!options_.parallel || specs.size() <= 1) {
+    const size_t jobs = effectiveJobs();
+    if (specs.size() <= 1 || jobs <= 1) {
         for (size_t i = 0; i < specs.size(); ++i)
             results[i] = run(specs[i]);
         return results;
     }
 
-    std::vector<std::exception_ptr> errors(specs.size());
-    std::vector<std::thread> threads;
-    threads.reserve(specs.size());
-    for (size_t i = 0; i < specs.size(); ++i) {
-        threads.emplace_back([this, &specs, &results, &errors, i] {
-            try {
-                results[i] = run(specs[i]);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-        });
-    }
-    for (auto &thread : threads)
-        thread.join();
-    for (const auto &error : errors)
-        if (error)
-            std::rethrow_exception(error);
+    // Fan the specs out over the shared global pool, capped at `jobs`
+    // concurrent systems (caller + jobs-1 helpers). This replaces the
+    // old unbounded thread-per-spec spawn -- a 40-spec sweep no
+    // longer oversubscribes the host 40 ways -- without stacking a
+    // second pool on top of the one the inner sites (trace
+    // generation, per-table planning) already use. parallelFor
+    // rethrows the first error.
+    common::ThreadPool::global().parallelFor(
+        specs.size(),
+        [this, &specs, &results](size_t i) { results[i] = run(specs[i]); },
+        jobs - 1);
     return results;
 }
 

@@ -5,9 +5,10 @@
  * Every evaluation in the paper compares several system design points
  * over the *same* trace. The runner owns that shared state -- it
  * generates the trace dataset and the per-batch statistics exactly
- * once -- and then simulates any number of SystemSpecs over it,
- * sequentially or with one std::thread per system (the timing models
- * are independent and read-only over the dataset).
+ * once (in parallel over the shared worker pool) -- and then
+ * simulates any number of SystemSpecs over it, sequentially or on a
+ * bounded thread pool (the timing models are independent and
+ * read-only over the dataset).
  *
  *   ExperimentRunner runner(model, hw, {.iterations = 10, .warmup = 5});
  *   auto results = runner.runAll({SystemSpec::parse("hybrid"),
@@ -41,8 +42,14 @@ struct ExperimentOptions
     uint64_t iterations = 10;
     /** Steady-state warm-up iterations before measurement. */
     uint64_t warmup = 5;
-    /** Simulate systems concurrently, one std::thread each. */
-    bool parallel = false;
+    /**
+     * Systems simulated concurrently by runAll (bounded, replacing
+     * the old thread-per-spec spawn): 1 (default) sweeps
+     * sequentially, N caps the fan-out at N in-flight systems, and 0
+     * means ThreadPool::defaultThreads() (hardware_concurrency,
+     * overridable via SP_JOBS).
+     */
+    uint32_t jobs = 1;
 };
 
 /** Shared-workload driver for comparing system design points. */
@@ -71,10 +78,16 @@ class ExperimentRunner
 
     /**
      * Simulate every spec over the shared workload, in spec order.
-     * With options().parallel each system runs on its own thread;
-     * the first error (fatal() or panic()) is rethrown on the caller.
+     * With options().jobs != 1 the systems fan out over the shared
+     * worker pool, at most effectiveJobs() in flight at once; results
+     * are bit-identical to a sequential sweep (systems are
+     * independent and read-only over the shared dataset). The first
+     * error (fatal() or panic()) is rethrown on the caller.
      */
     std::vector<RunResult> runAll(const std::vector<SystemSpec> &specs) const;
+
+    /** Effective parallel width of runAll (resolves jobs == 0). */
+    size_t effectiveJobs() const;
 
   private:
     ModelConfig model_;

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "data/access_stats.h"
 #include "emb/embedding_ops.h"
 
@@ -349,19 +350,24 @@ FunctionalScratchPipeTrainer::planBatch(const data::TraceDataset &dataset,
     staged.per_table.resize(config_.trace.num_tables);
     const auto &mini = dataset.batch(index);
 
-    for (size_t t = 0; t < config_.trace.num_tables; ++t) {
-        std::vector<std::span<const uint32_t>> futures;
-        const uint32_t fw =
-            options_.pipelined ? options_.future_window : 0;
-        for (uint32_t d = 1; d <= fw; ++d) {
-            const auto *next = dataset.lookAhead(index, d);
-            if (next == nullptr)
-                break;
-            futures.emplace_back(next->table_ids[t]);
-        }
-        staged.per_table[t].plan =
-            controllers_[t].plan(mini.table_ids[t], futures);
-    }
+    // One controller per table: the [Plan] stages are independent and
+    // fan out across the shared pool (table t writes per_table[t]
+    // only).
+    const uint32_t fw = options_.pipelined ? options_.future_window : 0;
+    common::parallelFor(
+        config_.trace.num_tables,
+        [this, &staged, &dataset, &mini, index, fw](size_t t) {
+            std::vector<std::span<const uint32_t>> futures;
+            futures.reserve(fw);
+            for (uint32_t d = 1; d <= fw; ++d) {
+                const auto *next = dataset.lookAhead(index, d);
+                if (next == nullptr)
+                    break;
+                futures.emplace_back(next->table_ids[t]);
+            }
+            staged.per_table[t].plan =
+                controllers_[t].plan(mini.table_ids[t], futures);
+        });
     inflight_.emplace(index, std::move(staged));
 }
 

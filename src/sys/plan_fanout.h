@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared per-table [Plan] fan-out for the timing systems.
+ *
+ * ScratchPipeSystem and ScratchPipeMultiGpuSystem run one controller
+ * per table over the same batch loop; the per-table plan calls are
+ * independent, so they fan out across the worker pool. This helper
+ * owns the reusable scratch (future-window span lists, per-table
+ * outcomes) and the fan-out itself so the two systems cannot diverge.
+ * Table t only writes slot t, keeping results bit-identical to a
+ * serial table loop.
+ */
+
+#ifndef SP_SYS_PLAN_FANOUT_H
+#define SP_SYS_PLAN_FANOUT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/controller.h"
+#include "data/dataset.h"
+
+namespace sp::sys
+{
+
+/** One table's plan outcome for a single batch. */
+struct TablePlanOutcome
+{
+    uint64_t fills = 0;
+    uint64_t evicts = 0;
+    uint64_t hits = 0;
+    uint64_t ids = 0;
+};
+
+/** Pool-parallel per-table planning with reusable scratch. */
+class PlanFanout
+{
+  public:
+    PlanFanout(size_t num_tables, uint32_t future_window)
+        : future_window_(future_window), outcomes_(num_tables),
+          future_scratch_(num_tables)
+    {
+        for (auto &scratch : future_scratch_)
+            scratch.reserve(future_window);
+    }
+
+    /** Plan batch `index` on every controller, in parallel. */
+    void
+    run(std::vector<core::ScratchPipeController> &controllers,
+        const data::TraceDataset &dataset, uint64_t index)
+    {
+        const auto &mini = dataset.batch(index);
+        common::parallelFor(controllers.size(), [&, index](size_t t) {
+            // Future window from the dataset's look-ahead capability.
+            auto &futures = future_scratch_[t];
+            futures.clear();
+            for (uint32_t d = 1; d <= future_window_; ++d) {
+                const auto *next = dataset.lookAhead(index, d);
+                if (next == nullptr)
+                    break;
+                futures.emplace_back(next->table_ids[t]);
+            }
+            const auto &plan =
+                controllers[t].plan(mini.table_ids[t], futures);
+            outcomes_[t] = {plan.fills.size(), plan.evictions.size(),
+                            plan.hits, plan.hits + plan.misses};
+        });
+    }
+
+    const std::vector<TablePlanOutcome> &outcomes() const
+    {
+        return outcomes_;
+    }
+
+  private:
+    uint32_t future_window_;
+    std::vector<TablePlanOutcome> outcomes_;
+    std::vector<std::vector<std::span<const uint32_t>>> future_scratch_;
+};
+
+} // namespace sp::sys
+
+#endif // SP_SYS_PLAN_FANOUT_H

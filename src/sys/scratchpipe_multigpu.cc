@@ -9,6 +9,7 @@
 #include "emb/traffic.h"
 #include "nn/dlrm.h"
 #include "nn/flops.h"
+#include "sys/plan_fanout.h"
 
 namespace sp::sys
 {
@@ -91,9 +92,18 @@ ScratchPipeMultiGpuSystem::simulate(const data::TraceDataset &dataset,
     const double flops = nn::dlrmIterationFlops(dlrm, batch) / gpus;
 
     uint64_t total_hits = 0, total_ids = 0;
+
+    // Per-table [Plan] fan-out across the shared pool (one controller
+    // per table, all independent).
+    PlanFanout fanout(trace.num_tables, cc.future_window);
+
     for (uint64_t i = 0; i < warmup + iterations; ++i) {
-        const auto &mini = dataset.batch(i);
         const bool measured = i >= warmup;
+
+        fanout.run(controllers, dataset, i);
+        if (!measured)
+            continue;
+        const auto &plan_outcomes = fanout.outcomes();
 
         // Per-GPU fill/evict volume: the busiest GPU binds the
         // GPU-side stages, the *sum* binds shared CPU DRAM.
@@ -103,29 +113,16 @@ ScratchPipeMultiGpuSystem::simulate(const data::TraceDataset &dataset,
             uint64_t fills_gpu = 0, evicts_gpu = 0;
             for (size_t t = g; t < trace.num_tables;
                  t += static_cast<size_t>(gpus)) {
-                std::vector<std::span<const uint32_t>> futures;
-                for (uint32_t d = 1; d <= cc.future_window; ++d) {
-                    const auto *next = dataset.lookAhead(i, d);
-                    if (next == nullptr)
-                        break;
-                    futures.emplace_back(next->table_ids[t]);
-                }
-                const auto plan =
-                    controllers[t].plan(mini.table_ids[t], futures);
-                if (!measured)
-                    continue;
-                fills_gpu += plan.fills.size();
-                evicts_gpu += plan.evictions.size();
-                total_hits += plan.hits;
-                total_ids += plan.hits + plan.misses;
+                fills_gpu += plan_outcomes[t].fills;
+                evicts_gpu += plan_outcomes[t].evicts;
+                total_hits += plan_outcomes[t].hits;
+                total_ids += plan_outcomes[t].ids;
             }
             fills_total += fills_gpu;
             evicts_total += evicts_gpu;
             fills_max_gpu = std::max(fills_max_gpu, fills_gpu);
             evicts_max_gpu = std::max(evicts_max_gpu, evicts_gpu);
         }
-        if (!measured)
-            continue;
 
         const double n_total = static_cast<double>(trace.idsPerBatch());
         // [Load]

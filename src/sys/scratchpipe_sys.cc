@@ -9,6 +9,7 @@
 #include "core/controller.h"
 #include "emb/traffic.h"
 #include "nn/flops.h"
+#include "sys/plan_fanout.h"
 #include "sys/registry.h"
 
 namespace sp::sys
@@ -92,34 +93,27 @@ ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
     uint64_t total_hits = 0, total_ids = 0;
     const double flops = nn::dlrmIterationFlops(model_.dlrmConfig(), batch);
 
+    // Tables are independent (one controller each), so their [Plan]
+    // stages fan out across the shared pool.
+    PlanFanout fanout(trace.num_tables, cc.future_window);
+
     // Warm-up batches run through the controllers (populating the
     // scratchpad toward steady state, as the paper's measurements do)
     // but contribute nothing to the timing accumulators.
     for (uint64_t i = 0; i < warmup + iterations; ++i) {
-        const auto &mini = dataset.batch(i);
         const bool measured = i >= warmup;
 
-        uint64_t fills = 0, evicts = 0;
-        for (size_t t = 0; t < trace.num_tables; ++t) {
-            // Future window from the dataset's look-ahead capability.
-            std::vector<std::span<const uint32_t>> futures;
-            for (uint32_t d = 1; d <= cc.future_window; ++d) {
-                const auto *next = dataset.lookAhead(i, d);
-                if (next == nullptr)
-                    break;
-                futures.emplace_back(next->table_ids[t]);
-            }
-            const auto plan =
-                controllers[t].plan(mini.table_ids[t], futures);
-            if (!measured)
-                continue;
-            fills += plan.fills.size();
-            evicts += plan.evictions.size();
-            total_hits += plan.hits;
-            total_ids += plan.hits + plan.misses;
-        }
+        fanout.run(controllers, dataset, i);
         if (!measured)
             continue;
+
+        uint64_t fills = 0, evicts = 0;
+        for (const auto &outcome : fanout.outcomes()) {
+            fills += outcome.fills;
+            evicts += outcome.evicts;
+            total_hits += outcome.hits;
+            total_ids += outcome.ids;
+        }
 
         const double fill_bytes = static_cast<double>(fills) * rb_state;
         const double evict_bytes = static_cast<double>(evicts) * rb_state;

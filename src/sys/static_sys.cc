@@ -50,7 +50,7 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
 
     // The static cache never changes contents, so warm-up batches are
     // simply skipped.
-    std::vector<uint32_t> subset;
+    std::vector<uint32_t> subset, unique_scratch;
     for (uint64_t i = warmup; i < warmup + iterations; ++i) {
         const auto &mini = dataset.batch(i);
 
@@ -72,13 +72,13 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
 
             // Unique counts within the hit/miss partitions size the
             // coalesced scatters.
-            const size_t u_miss = emb::countUnique(subset);
+            const size_t u_miss = emb::countUnique(subset, unique_scratch);
             subset.clear();
             for (uint32_t id : ids) {
                 if (id < cached_rows_)
                     subset.push_back(id);
             }
-            const size_t u_hit = emb::countUnique(subset);
+            const size_t u_hit = emb::countUnique(subset, unique_scratch);
 
             // CPU side: gather missed rows, and the full missed-ID
             // backward (duplicate + coalesce + scatter).

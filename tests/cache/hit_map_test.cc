@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <unordered_map>
+#include <vector>
 
 #include "cache/hit_map.h"
 #include "common/logging.h"
@@ -160,6 +161,111 @@ TEST(HitMap, RandomOpsMatchReferenceModel)
             it == reference.end() ? HitMap::kNotFound : it->second;
         EXPECT_EQ(map.find(key), expected);
     }
+}
+
+TEST(HitMapFindMany, MatchesFindOnEverySize)
+{
+    // Sizes straddle the software-pipeline prefetch distance so the
+    // lead-in loop, the steady state, and the drain all get hit.
+    for (const size_t n :
+         {size_t{0}, size_t{1}, size_t{5}, size_t{11}, size_t{12},
+          size_t{13}, size_t{100}, size_t{4096}}) {
+        HitMap map;
+        for (uint32_t k = 0; k < 300; ++k)
+            map.insert(k * 3, k);
+
+        tensor::Rng rng(77 + static_cast<uint64_t>(n));
+        std::vector<uint32_t> keys(n);
+        for (auto &key : keys)
+            key = static_cast<uint32_t>(rng.uniformInt(1200));
+
+        std::vector<uint32_t> got(n);
+        map.findMany(keys, got);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(got[i], map.find(keys[i])) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(HitMapFindMany, HandlesDuplicateAndMissingKeys)
+{
+    HitMap map;
+    map.insert(7, 70);
+    map.insert(9, 90);
+    const std::vector<uint32_t> keys = {7, 8, 7, 9, 9, 7, 1000};
+    std::vector<uint32_t> got(keys.size());
+    map.findMany(keys, got);
+    const std::vector<uint32_t> expected = {
+        70, HitMap::kNotFound, 70, 90, 90, 70, HitMap::kNotFound};
+    EXPECT_EQ(got, expected);
+}
+
+TEST(HitMapFindMany, SizeMismatchPanics)
+{
+    HitMap map;
+    const std::vector<uint32_t> keys = {1, 2, 3};
+    std::vector<uint32_t> out(2);
+    EXPECT_THROW(map.findMany(keys, out), PanicError);
+}
+
+TEST(HitMapFindMany, ReservedKeyRejected)
+{
+    HitMap map;
+    map.insert(1, 10);
+    std::vector<uint32_t> keys(20, 1);
+    keys[15] = 0xffffffffu; // caught by the lookahead hashing stage
+    std::vector<uint32_t> out(keys.size());
+    EXPECT_THROW(map.findMany(keys, out), PanicError);
+}
+
+/**
+ * Randomized insert/erase/grow stress: a wide key space over a tiny
+ * initial table forces repeated grow() rehashes between batched
+ * probes; every findMany sweep must agree with std::unordered_map.
+ */
+TEST(HitMapFindMany, RandomGrowStressMatchesReferenceModel)
+{
+    HitMap map(4);
+    std::unordered_map<uint32_t, uint32_t> reference;
+    tensor::Rng rng(20220613);
+    constexpr uint32_t key_space = 100'000;
+
+    std::vector<uint32_t> keys, got;
+    for (int round = 0; round < 60; ++round) {
+        // Mutation burst: mostly inserts so the table keeps growing,
+        // with enough erases to exercise backward-shift chains.
+        for (int op = 0; op < 1500; ++op) {
+            const uint32_t key =
+                static_cast<uint32_t>(rng.uniformInt(key_space));
+            if (rng.uniform() < 0.75) {
+                if (reference.find(key) == reference.end()) {
+                    const uint32_t value =
+                        static_cast<uint32_t>(round * 1500 + op);
+                    map.insert(key, value);
+                    reference[key] = value;
+                }
+            } else if (reference.find(key) != reference.end()) {
+                map.erase(key);
+                reference.erase(key);
+            }
+        }
+        ASSERT_EQ(map.size(), reference.size());
+
+        // Batched probe sweep over a random (hit-heavy) key mix.
+        keys.clear();
+        for (int i = 0; i < 2000; ++i)
+            keys.push_back(
+                static_cast<uint32_t>(rng.uniformInt(key_space)));
+        got.assign(keys.size(), 0);
+        map.findMany(keys, got);
+        for (size_t i = 0; i < keys.size(); ++i) {
+            const auto it = reference.find(keys[i]);
+            const uint32_t expected =
+                it == reference.end() ? HitMap::kNotFound : it->second;
+            ASSERT_EQ(got[i], expected)
+                << "round " << round << " key " << keys[i];
+        }
+    }
+    EXPECT_GT(map.capacity(), 64u); // the stress must actually grow it
 }
 
 } // namespace

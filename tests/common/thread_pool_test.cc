@@ -1,0 +1,126 @@
+/** @file ThreadPool / parallelFor unit tests. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sp::common
+{
+namespace
+{
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResultThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManySubmissionsAllComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4},
+                           size_t{64}, size_t{1000}}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(n, [&hits](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(ThreadPool, ParallelForIsDeterministicByIndex)
+{
+    // Writing slot i from call i gives serial-identical results no
+    // matter how indices interleave -- the contract every parallel
+    // site in the simulator relies on.
+    ThreadPool pool(8);
+    std::vector<uint64_t> out(5000);
+    pool.parallelFor(out.size(),
+                     [&out](size_t i) { out[i] = i * i + 1; });
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], i * i + 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("bad");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // A parallelFor issued from inside a pool task must complete even
+    // when every worker is busy: the inner caller participates in its
+    // own loop.
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&pool, &total](size_t) {
+        pool.parallelFor(8, [&total](size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    pool.parallelFor(5, [&order](size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    // Width-1 pools run parallelFor serially on the caller, in order.
+    const std::vector<int> expected = {0, 1, 2, 3, 4};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsableAndSized)
+{
+    ThreadPool &pool = ThreadPool::global();
+    EXPECT_GE(pool.size(), 1u);
+    std::atomic<int> counter{0};
+    parallelFor(32, [&counter](size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, DefaultThreadsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+} // namespace
+} // namespace sp::common

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Determinism guarantees of the parallel simulation engine.
+ *
+ * Every parallel site (trace generation, per-batch statistics,
+ * per-table [Plan] fan-out, pooled runAll) must be bit-identical to
+ * its serial counterpart: batch k is an independent seeded stream and
+ * slot i is written by call i only. These tests pin that contract --
+ * a sweep run with --jobs N must serialise to exactly the same JSON
+ * as --jobs 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "emb/embedding_ops.h"
+#include "sys/batch_stats.h"
+#include "sys/experiment.h"
+#include "sys/registry.h"
+
+namespace sp::sys
+{
+namespace
+{
+
+const sim::HardwareConfig kHw = sim::HardwareConfig::paperTestbed();
+
+ModelConfig
+testModel()
+{
+    ModelConfig model = ModelConfig::functionalScale();
+    model.trace.locality = data::Locality::Medium;
+    model.trace.seed = 1234;
+    return model;
+}
+
+TEST(ParallelDeterminism, PooledTraceGenerationIsBitIdentical)
+{
+    // The dataset constructor fans batch generation out over the
+    // global pool; every batch must equal the one a direct (serial)
+    // TraceGenerator call produces.
+    const ModelConfig model = testModel();
+    const data::TraceDataset dataset(model.trace, 12);
+    const data::TraceGenerator generator(model.trace);
+    for (uint64_t b = 0; b < dataset.numBatches(); ++b) {
+        const data::MiniBatch expected = generator.makeBatch(b);
+        const data::MiniBatch &got = dataset.batch(b);
+        ASSERT_EQ(got.index, expected.index);
+        ASSERT_EQ(got.table_ids, expected.table_ids) << "batch " << b;
+    }
+}
+
+TEST(ParallelDeterminism, PooledBatchStatsMatchSerialCounts)
+{
+    const ModelConfig model = testModel();
+    const data::TraceDataset dataset(model.trace, 10);
+    const BatchStats stats(dataset, 10);
+    std::vector<uint32_t> scratch;
+    for (uint64_t b = 0; b < 10; ++b)
+        for (size_t t = 0; t < model.trace.num_tables; ++t)
+            ASSERT_EQ(stats.unique(b, t),
+                      emb::countUnique(dataset.batch(b).table_ids[t],
+                                       scratch))
+                << "batch " << b << " table " << t;
+}
+
+std::vector<SystemSpec>
+sweepSpecs()
+{
+    return {SystemSpec::parse("hybrid"),
+            SystemSpec::parse("static:cache=0.1"),
+            SystemSpec::parse("strawman"),
+            SystemSpec::parse("scratchpipe"),
+            SystemSpec::parse("scratchpipe:policy=lfu,cache=0.2"),
+            SystemSpec::parse("multigpu")};
+}
+
+std::string
+sweepJson(uint32_t jobs)
+{
+    ExperimentOptions options;
+    options.iterations = 4;
+    options.warmup = 2;
+    options.jobs = jobs;
+    const ExperimentRunner runner(testModel(), kHw, options);
+    return toJson(runner.runAll(sweepSpecs()));
+}
+
+TEST(ParallelDeterminism, JobsSweepJsonBitIdenticalToSequential)
+{
+    // The acceptance bar of the parallel engine: RunResult output is
+    // byte-for-byte identical between --jobs 1 and --jobs N.
+    const std::string serial = sweepJson(1);
+    EXPECT_EQ(serial, sweepJson(2));
+    EXPECT_EQ(serial, sweepJson(8));
+}
+
+TEST(ParallelDeterminism, RunAllBadSpecFailsFastBeforeTheFanOut)
+{
+    ExperimentOptions options;
+    options.iterations = 2;
+    options.jobs = 4;
+    const ExperimentRunner runner(testModel(), kHw, options);
+    // hybrid has no cache; validation throws before any pool work.
+    std::vector<SystemSpec> specs = sweepSpecs();
+    specs[0].cache_fraction = 0.5;
+    EXPECT_THROW(runner.runAll(specs), FatalError);
+}
+
+TEST(ParallelDeterminism, RunAllErrorsSurfaceFromTheFanOut)
+{
+    ExperimentOptions options;
+    options.iterations = 2;
+    options.jobs = 4;
+    const ExperimentRunner runner(testModel(), kHw, options);
+    // This spec passes validation but fatals mid-simulate, inside the
+    // fan-out: one slot with the capacity bound disabled means the
+    // first batch has no hold-mask-eligible victim (paper §VI-D).
+    const std::vector<SystemSpec> specs = {
+        SystemSpec::parse("hybrid"),
+        SystemSpec::parse("scratchpipe:cache=0.0000001,bound=0")};
+    EXPECT_THROW(runner.runAll(specs), FatalError);
+}
+
+TEST(ParallelDeterminism, EffectiveJobsResolvesZeroToDefault)
+{
+    ExperimentOptions options;
+    options.jobs = 0;
+    const ExperimentRunner runner(testModel(), kHw, options);
+    EXPECT_EQ(runner.effectiveJobs(),
+              common::ThreadPool::defaultThreads());
+    ExperimentOptions pinned;
+    pinned.jobs = 3;
+    const ExperimentRunner runner3(testModel(), kHw, pinned);
+    EXPECT_EQ(runner3.effectiveJobs(), 3u);
+}
+
+} // namespace
+} // namespace sp::sys

@@ -3,10 +3,11 @@
  * Tests for the SystemSpec / Registry / ExperimentRunner API.
  *
  * Covers the spec grammar, registry round-trips (every registered
- * system builds and simulates), bit-exact parity between the registry
- * path and the legacy simulateSystem shim, the cache-fraction
- * validation that replaces the old silent-ignore behaviour, and the
- * JSON emission consumed by spsim --format json.
+ * system builds and simulates), bit-exact parity between the
+ * ExperimentRunner convenience path and direct Registry::build +
+ * simulate, the cache-fraction validation that replaces the old
+ * silent-ignore behaviour, and the JSON emission consumed by spsim
+ * --format json.
  */
 
 #include <gtest/gtest.h>
@@ -17,7 +18,6 @@
 
 #include "common/logging.h"
 #include "sys/experiment.h"
-#include "sys/factory.h"
 #include "sys/registry.h"
 
 namespace sp::sys
@@ -268,28 +268,31 @@ expectIdentical(const RunResult &a, const RunResult &b)
     }
 }
 
-TEST(Registry, BitIdenticalToLegacyShimForAllFiveKinds)
+TEST(Registry, RunnerBitIdenticalToDirectBuildForAllFiveSystems)
 {
-    const ModelConfig model = smallModel();
-    const data::TraceDataset dataset(model.trace, 6);
-    const BatchStats stats(dataset, 4);
+    // The ExperimentRunner convenience path must charge exactly what a
+    // hand-built Registry system does over an equivalent workload
+    // (this parity test previously pinned the registry against the
+    // removed simulateSystem shim).
+    ExperimentOptions options;
+    options.iterations = 3;
+    options.warmup = 1;
+    const ExperimentRunner runner(smallModel(), kHw, options);
     constexpr double kFraction = 0.05;
-    for (SystemKind kind :
-         {SystemKind::Hybrid, SystemKind::StaticCache,
-          SystemKind::Strawman, SystemKind::ScratchPipe,
-          SystemKind::MultiGpu}) {
-        const RunResult legacy = simulateSystem(
-            kind, model, kHw, kFraction, dataset, stats, 3, 1);
-
+    for (const auto &name : Registry::names()) {
         SystemSpec spec;
-        spec.name = systemSpecName(kind);
-        if (Registry::entry(spec.name).uses_cache_fraction)
+        spec.name = name;
+        if (Registry::entry(name).uses_cache_fraction)
             spec.cache_fraction = kFraction;
-        const auto system = Registry::build(spec, model, kHw);
-        const RunResult ours = system->simulate(dataset, stats, 3, 1);
 
-        SCOPED_TRACE(systemName(kind));
-        expectIdentical(legacy, ours);
+        const RunResult via_runner = runner.run(spec);
+        const auto system =
+            Registry::build(spec, runner.model(), runner.hardware());
+        const RunResult direct =
+            system->simulate(runner.dataset(), runner.stats(), 3, 1);
+
+        SCOPED_TRACE(name);
+        expectIdentical(via_runner, direct);
     }
 }
 
@@ -315,7 +318,7 @@ TEST(ExperimentRunner, ParallelMatchesSequential)
     sequential.iterations = 3;
     sequential.warmup = 1;
     ExperimentOptions parallel = sequential;
-    parallel.parallel = true;
+    parallel.jobs = 0; // all cores
 
     const std::vector<SystemSpec> specs = {
         SystemSpec::parse("hybrid"), SystemSpec::parse("static:cache=0.1"),

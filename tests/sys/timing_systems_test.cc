@@ -12,9 +12,9 @@
 
 #include "common/logging.h"
 #include "core/controller.h"
-#include "sys/factory.h"
 #include "sys/hybrid.h"
 #include "sys/multigpu.h"
+#include "sys/registry.h"
 #include "sys/scratchpipe_sys.h"
 #include "sys/static_sys.h"
 
@@ -332,34 +332,44 @@ TEST(TimingMultiGpu, HotRowContentionRaisesTime)
     EXPECT_GT(t_h, t_r);
 }
 
-TEST(TimingFactory, AllSystemsSimulate)
+TEST(TimingRegistry, AllSystemsSimulate)
 {
     Workload w(data::Locality::Medium);
-    for (SystemKind kind :
-         {SystemKind::Hybrid, SystemKind::StaticCache, SystemKind::Strawman,
-          SystemKind::ScratchPipe, SystemKind::MultiGpu}) {
-        const RunResult result = simulateSystem(
-            kind, w.model, kHw, 0.05, w.dataset, w.stats, w.iters);
-        EXPECT_GT(result.seconds_per_iteration, 0.0)
-            << systemName(kind);
-        EXPECT_EQ(result.system_name, systemName(kind));
+    const struct
+    {
+        const char *spec;
+        const char *name;
+    } systems[] = {{"hybrid", "Hybrid CPU-GPU"},
+                   {"static:cache=0.05", "Static cache"},
+                   {"strawman:cache=0.05", "Straw-man"},
+                   {"scratchpipe:cache=0.05", "ScratchPipe"},
+                   {"multigpu", "8-GPU"}};
+    for (const auto &entry : systems) {
+        const auto system =
+            Registry::build(SystemSpec::parse(entry.spec), w.model, kHw);
+        const RunResult result =
+            system->simulate(w.dataset, w.stats, w.iters);
+        EXPECT_GT(result.seconds_per_iteration, 0.0) << entry.spec;
+        EXPECT_EQ(result.system_name, entry.name);
         EXPECT_EQ(result.iterations, w.iters);
     }
 }
 
-TEST(TimingFactory, BusyTimesWithinIteration)
+TEST(TimingRegistry, BusyTimesWithinIteration)
 {
     Workload w(data::Locality::Medium);
-    for (SystemKind kind :
-         {SystemKind::Hybrid, SystemKind::StaticCache,
-          SystemKind::ScratchPipe, SystemKind::MultiGpu}) {
-        const RunResult result = simulateSystem(
-            kind, w.model, kHw, 0.05, w.dataset, w.stats, w.iters);
+    for (const char *spec :
+         {"hybrid", "static:cache=0.05", "scratchpipe:cache=0.05",
+          "multigpu"}) {
+        const auto system =
+            Registry::build(SystemSpec::parse(spec), w.model, kHw);
+        const RunResult result =
+            system->simulate(w.dataset, w.stats, w.iters);
         EXPECT_GE(result.busy.cpu_busy_seconds, 0.0);
         EXPECT_GE(result.busy.gpu_busy_seconds, 0.0);
         EXPECT_LE(result.busy.cpu_busy_seconds,
                   result.busy.iteration_seconds * 1.001)
-            << systemName(kind);
+            << spec;
     }
 }
 

@@ -15,8 +15,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "ablation_batch: paper reproduction bench"))
+        return 0;
+
     bench::printBanner("Ablation (Section VI-E): batch size",
                        "paper: robustness under larger/smaller batches; "
                        "speedups normalized to static cache (10%)");

@@ -16,8 +16,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "ablation_mlp: paper reproduction bench"))
+        return 0;
+
     bench::printBanner("Ablation (Section VI-E): MLP-intensive models",
                        "paper: effectiveness under more MLP-heavy (less "
                        "embedding-intensive) RecSys configurations");

@@ -20,8 +20,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "ablation_optimizer: paper reproduction bench"))
+        return 0;
+
     bench::printBanner(
         "Ablation: embedding optimizer (SGD vs sparse AdaGrad)",
         "extension beyond the paper (which trains with SGD); AdaGrad "

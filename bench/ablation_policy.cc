@@ -16,8 +16,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "ablation_policy: paper reproduction bench"))
+        return 0;
+
     bench::printBanner("Ablation (Section VI-E): replacement policy",
                        "paper: LRU (default) vs Random vs LFU -- "
                        "ScratchPipe is robust to the choice");

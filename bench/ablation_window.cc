@@ -20,8 +20,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "ablation_window: paper reproduction bench"))
+        return 0;
+
     bench::printBanner(
         "Ablation: hold-mask window geometry",
         "paper: fixed at past 3 / future 2 by the pipeline depth; this "

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/logging.h"
+#include "common/thread_pool.h"
 #include "metrics/table_printer.h"
 
 namespace sp::bench
@@ -35,19 +37,74 @@ measureIterations()
     return envOr("SP_BENCH_MEASURE", 10);
 }
 
+void
+addJobsFlag(ArgParser &args)
+{
+    args.addInt("jobs", 0,
+                "worker threads for every parallel site (trace "
+                "generation, per-table planning, sharded mark passes, "
+                "pooled sweeps); 0 = all cores");
+}
+
+uint32_t
+applyJobsFlag(const ArgParser &args)
+{
+    const int64_t jobs = args.getInt("jobs");
+    fatalIf(jobs < 0, "--jobs must be >= 0, got ", jobs);
+    if (args.wasSet("jobs")) {
+        // Size the pool before any workload exists so every parallel
+        // site in this process runs at the requested width.
+        common::ThreadPool::setGlobalThreads(
+            jobs > 0 ? static_cast<size_t>(jobs)
+                     : common::ThreadPool::defaultThreads());
+    }
+    return static_cast<uint32_t>(common::ThreadPool::global().size());
+}
+
+bool
+parseStandardArgs(int argc, char **argv, const char *description)
+{
+    ArgParser args(description);
+    addJobsFlag(args);
+    if (!args.parse(argc, argv)) {
+        std::cout << args.usage();
+        return false;
+    }
+    applyJobsFlag(args);
+    return true;
+}
+
 Workload
 makeWorkload(data::Locality locality, const sys::ModelConfig *base)
 {
+    WorkloadOptions options;
+    options.base = base;
+    return makeWorkload(locality, options);
+}
+
+Workload
+makeWorkload(data::Locality locality, const WorkloadOptions &overrides)
+{
     Workload workload;
-    workload.model =
-        base != nullptr ? *base : sys::ModelConfig::paperDefault();
+    workload.model = overrides.base != nullptr
+                         ? *overrides.base
+                         : sys::ModelConfig::paperDefault();
     workload.model.trace.locality = locality;
-    workload.warmup = warmupIterations();
-    workload.measure = measureIterations();
+    workload.warmup =
+        overrides.warmup > 0 ? overrides.warmup : warmupIterations();
+    workload.measure =
+        overrides.measure > 0 ? overrides.measure : measureIterations();
 
     sys::ExperimentOptions options;
     options.iterations = workload.measure;
     options.warmup = workload.warmup;
+    // jobs == 0 follows the pool (sized by --jobs via applyJobsFlag),
+    // so pooled runAll sweeps honour the flag without every driver
+    // threading the width through by hand.
+    options.jobs =
+        overrides.jobs > 0
+            ? overrides.jobs
+            : static_cast<uint32_t>(common::ThreadPool::global().size());
     workload.runner = std::make_unique<sys::ExperimentRunner>(
         workload.model, sim::HardwareConfig::paperTestbed(), options);
     return workload;

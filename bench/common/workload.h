@@ -13,7 +13,10 @@
  * measured over the following `measure` batches.
  *
  * Iteration counts honour SP_BENCH_WARMUP / SP_BENCH_MEASURE so the
- * whole suite can be sped up or made more precise from the shell.
+ * whole suite can be sped up or made more precise from the shell, and
+ * every driver takes --jobs (addJobsFlag/applyJobsFlag) so the whole
+ * suite -- not just perf_simcore -- exercises the worker pool at a
+ * controlled width.
  */
 
 #ifndef SP_BENCH_COMMON_WORKLOAD_H
@@ -22,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "common/args.h"
 #include "data/dataset.h"
 #include "sim/hardware_config.h"
 #include "sys/experiment.h"
@@ -35,6 +39,30 @@ uint64_t warmupIterations();
 
 /** Measured batches (default 15). */
 uint64_t measureIterations();
+
+/**
+ * Register the shared --jobs flag: worker threads for every parallel
+ * site (trace generation, per-table planning, sharded mark passes,
+ * pooled sweeps). 0 = all cores. The default leaves the pool at
+ * ThreadPool::defaultThreads() (SP_JOBS, else all cores).
+ */
+void addJobsFlag(ArgParser &args);
+
+/**
+ * Apply --jobs: sizes the process-wide pool (call before building any
+ * workload) and returns the width, which is also the
+ * ExperimentOptions::jobs value pooled sweeps should use. Results are
+ * bit-identical at any width -- the flag only moves wall-clock.
+ */
+uint32_t applyJobsFlag(const ArgParser &args);
+
+/**
+ * The whole standard prologue for a driver with no flags of its own:
+ * parse argv with just the shared flags and size the pool. Returns
+ * false when --help was printed (the caller should exit 0). Drivers
+ * with extra flags compose addJobsFlag/applyJobsFlag instead.
+ */
+bool parseStandardArgs(int argc, char **argv, const char *description);
 
 /** One locality's trace + statistics at a given model geometry. */
 struct Workload
@@ -63,12 +91,30 @@ struct Workload
     }
 };
 
+/** Optional overrides for makeWorkload. */
+struct WorkloadOptions
+{
+    /** Geometry override (dimension/lookup/batch sweeps). */
+    const sys::ModelConfig *base = nullptr;
+    /** Warm-up batches; 0 = the SP_BENCH_WARMUP default. */
+    uint64_t warmup = 0;
+    /** Measured batches; 0 = the SP_BENCH_MEASURE default. */
+    uint64_t measure = 0;
+    /** ExperimentOptions::jobs for pooled runAll sweeps; 0 (default)
+     *  follows the pool width, i.e. whatever --jobs selected. */
+    uint32_t jobs = 0;
+};
+
 /**
  * Build a paper-geometry workload for `locality`. Pass `base` to
  * override the geometry (dimension/lookup/batch sweeps).
  */
 Workload makeWorkload(data::Locality locality,
                       const sys::ModelConfig *base = nullptr);
+
+/** makeWorkload with explicit overrides (quick modes, pooled sweeps). */
+Workload makeWorkload(data::Locality locality,
+                      const WorkloadOptions &options);
 
 /** Print the standard bench banner (figure id + paper reference). */
 void printBanner(const std::string &title, const std::string &reference);

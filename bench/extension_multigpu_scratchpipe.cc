@@ -24,8 +24,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "extension_multigpu_scratchpipe: paper reproduction bench"))
+        return 0;
+
     bench::printBanner(
         "Extension (Section VI-G): multi-GPU ScratchPipe",
         "paper: discussed qualitatively; predicted viable but not "

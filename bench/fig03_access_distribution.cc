@@ -21,8 +21,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "fig03: paper reproduction bench"))
+        return 0;
+
     bench::printBanner(
         "Figure 3: sorted embedding-table access counts",
         "paper: Fig. 3 (a) Alibaba->Low (b) Anime / (c) MovieLens->"

@@ -16,8 +16,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "fig05: paper reproduction bench"))
+        return 0;
+
     bench::printBanner("Figure 5: baseline training-time breakdown",
                        "paper: Fig. 5 -- hybrid CPU-GPU vs static cache "
                        "(2%, 10%), stacked latency in ms");

@@ -14,8 +14,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "fig12a: paper reproduction bench"))
+        return 0;
+
     bench::printBanner("Figure 12(a): baseline latency vs cache size",
                        "paper: Fig. 12(a) -- 0% is the no-cache hybrid; "
                        "2-10% are static caches");

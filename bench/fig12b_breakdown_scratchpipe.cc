@@ -15,8 +15,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "fig12b: paper reproduction bench"))
+        return 0;
+
     bench::printBanner(
         "Figure 12(b): ScratchPipe per-stage latency",
         "paper: Fig. 12(b) -- Plan/Collect/Exchange/Insert/Train, note "

@@ -27,11 +27,31 @@ main(int argc, char **argv)
 {
     ArgParser args("fig13: end-to-end speedup sweep");
     args.addBool("json", "emit raw RunResults as JSON");
+    args.addBool("quick",
+                 "small fixed geometry with pinned iteration counts "
+                 "(regression-test scale; ignores SP_BENCH_* envs)");
+    bench::addJobsFlag(args);
     if (!args.parse(argc, argv)) {
         std::cout << args.usage();
         return 0;
     }
     const bool json = args.getBool("json");
+    const bool quick = args.getBool("quick");
+    bench::applyJobsFlag(args);
+
+    // The --quick geometry backs the golden-output regression test:
+    // keep it (and the pinned warmup/measure) stable, or regenerate
+    // tests/golden/fig13_quick.json (see tests/golden/regen.sh).
+    sys::ModelConfig quick_model = sys::ModelConfig::paperDefault();
+    quick_model.trace.num_tables = 2;
+    quick_model.trace.rows_per_table = 50'000;
+    quick_model.trace.lookups_per_table = 4;
+    quick_model.trace.batch_size = 128;
+    quick_model.embedding_dim = 16;
+    bench::WorkloadOptions quick_options;
+    quick_options.base = &quick_model;
+    quick_options.warmup = 2;
+    quick_options.measure = 3;
 
     if (!json) {
         bench::printBanner(
@@ -50,7 +70,9 @@ main(int argc, char **argv)
     int points = 0;
 
     for (auto locality : data::kAllLocalities) {
-        const bench::Workload workload = bench::makeWorkload(locality);
+        const bench::Workload workload =
+            quick ? bench::makeWorkload(locality, quick_options)
+                  : bench::makeWorkload(locality);
         const auto hybrid = workload.run("hybrid");
         raw.push_back(hybrid);
         const double t_hybrid = hybrid.seconds_per_iteration;

@@ -15,8 +15,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "fig14: paper reproduction bench"))
+        return 0;
+
     bench::printBanner("Figure 14: energy, static cache vs ScratchPipe",
                        "paper: Fig. 14 -- Joules per training iteration");
 

@@ -14,8 +14,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "fig15a: paper reproduction bench"))
+        return 0;
+
     bench::printBanner(
         "Figure 15(a): embedding-dimension sensitivity",
         "paper: Fig. 15(a) -- dims 64/128/256, speedup normalized to "

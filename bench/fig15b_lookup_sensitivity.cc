@@ -14,8 +14,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "fig15b: paper reproduction bench"))
+        return 0;
+
     bench::printBanner(
         "Figure 15(b): lookups-per-table sensitivity",
         "paper: Fig. 15(b) -- 1/20/50 gathers per table, speedup "

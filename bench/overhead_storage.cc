@@ -33,8 +33,12 @@ mib(double bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "overhead_storage: paper reproduction bench"))
+        return 0;
+
     bench::printBanner("Section VI-D: implementation overhead",
                        "paper: 960 MB worst-case Storage + <1 GB Hit-Map "
                        "+ <300 MB misc => <4 GB GPU-side allocation");

@@ -8,18 +8,23 @@
  *              worker pool);
  *   plan       per-table ScratchPipeController::plan fan-out, reported
  *              as planned IDs/s (the controller hot path: batched
- *              Hit-Map probes + allocation-free PlanResult);
+ *              Hit-Map probes + allocation-free PlanResult), measured
+ *              at four engine modes -- plain fan-out, two-deep
+ *              pipeline (batch i+1 planning under batch i's
+ *              accounting), sharded mark passes, and both combined;
  *   runner     an end-to-end ExperimentRunner sweep over several
  *              system specs (--jobs routing);
  *
  * -- once serially (pool width 1) and once on a pool as wide as the
  * host, then emits BENCH_simcore.json so the perf trajectory is
- * tracked from PR 2 onward. Results are bit-identical between the two
- * widths by construction (asserted here for the planning pass).
+ * tracked from PR 2 onward. Results are bit-identical across every
+ * width and mode by construction (asserted here for the planning
+ * passes).
  *
  *   perf_simcore                 paper-ish scale (8 x 10^6-row tables)
  *   perf_simcore --quick         CI scale, a few seconds
  *   perf_simcore --jobs 16       pin the parallel width
+ *   perf_simcore --shards 4      pin the mark-pass shard width
  *   perf_simcore --out bench.json
  */
 
@@ -109,10 +114,12 @@ benchTraceGeneration(const sys::ModelConfig &model, uint64_t batches,
     return result;
 }
 
-/** One full pass of per-table planning over `dataset`; returns the
- *  total hit count as a determinism fingerprint. */
+/** One full pass of per-table planning over `dataset` at the given
+ *  engine mode (two-deep pipeline on/off, mark-pass shard width);
+ *  returns the total hit count as a determinism fingerprint. */
 uint64_t
-planPass(const sys::ModelConfig &model, const data::TraceDataset &dataset)
+planPass(const sys::ModelConfig &model, const data::TraceDataset &dataset,
+         bool overlap, uint32_t shards)
 {
     const auto &trace = model.trace;
     core::ControllerConfig cc;
@@ -123,6 +130,7 @@ planPass(const sys::ModelConfig &model, const data::TraceDataset &dataset)
     cc.dim = model.embedding_dim;
     cc.backing = cache::SlotArray::Backing::Phantom;
     cc.warm_start = true;
+    cc.plan_shards = shards;
     std::vector<core::ScratchPipeController> controllers;
     controllers.reserve(trace.num_tables);
     for (size_t t = 0; t < trace.num_tables; ++t) {
@@ -131,42 +139,68 @@ planPass(const sys::ModelConfig &model, const data::TraceDataset &dataset)
     }
 
     // The same fan-out the timing systems use, so the bench measures
-    // the production planning path.
+    // the production planning path. The "accounting" here is the hit
+    // reduction, which the pipelined mode overlaps with the next
+    // batch's plans exactly as the systems do.
     sys::PlanFanout fanout(trace.num_tables, cc.future_window);
     uint64_t total = 0;
-    for (uint64_t b = 0; b < dataset.numBatches(); ++b) {
-        fanout.run(controllers, dataset, b);
-        for (const auto &outcome : fanout.outcomes())
-            total += outcome.hits;
-    }
+    fanout.forEachBatch(
+        controllers, dataset, dataset.numBatches(), overlap,
+        [&total](uint64_t,
+                 const std::vector<sys::TablePlanOutcome> &outcomes) {
+            for (const auto &outcome : outcomes)
+                total += outcome.hits;
+        });
     return total;
 }
 
-BenchResult
+/** The plan-throughput family: the same pass at every engine mode,
+ *  all against one serial (width-1, unsharded, unpipelined) baseline,
+ *  with the fingerprints cross-checked. */
+std::vector<BenchResult>
 benchPlanning(const sys::ModelConfig &model, uint64_t batches, size_t jobs,
-              int reps)
+              uint32_t shards, int reps)
 {
     // Generate once (outside the timed region) at full width.
     common::ThreadPool::setGlobalThreads(jobs);
     const data::TraceDataset dataset(model.trace, batches);
+    const double ids = static_cast<double>(batches) *
+                       static_cast<double>(model.trace.idsPerBatch());
 
-    BenchResult result;
-    result.name = "plan_throughput";
-    result.unit = "IDs/s";
-    result.work_units = static_cast<double>(batches) *
-                        static_cast<double>(model.trace.idsPerBatch());
+    uint64_t serial_hits = 0;
+    const double serial_s = timeAtWidth(1, reps, [&] {
+        serial_hits = planPass(model, dataset, false, 1);
+    });
 
-    uint64_t serial_hits = 0, parallel_hits = 0;
-    result.serial_s = timeAtWidth(1, reps, [&] {
-        serial_hits = planPass(model, dataset);
-    });
-    result.parallel_s = timeAtWidth(jobs, reps, [&] {
-        parallel_hits = planPass(model, dataset);
-    });
-    fatalIf(serial_hits != parallel_hits,
-            "parallel planning diverged from serial: ", parallel_hits,
-            " hits vs ", serial_hits);
-    return result;
+    const struct
+    {
+        const char *name;
+        bool overlap;
+        uint32_t shards;
+    } modes[] = {
+        {"plan_fanout", false, 1},
+        {"plan_pipelined", true, 1},
+        {"plan_sharded", false, shards},
+        {"plan_pipelined_sharded", true, shards},
+    };
+
+    std::vector<BenchResult> results;
+    for (const auto &mode : modes) {
+        BenchResult result;
+        result.name = mode.name;
+        result.unit = "IDs/s";
+        result.work_units = ids;
+        result.serial_s = serial_s;
+        uint64_t hits = 0;
+        result.parallel_s = timeAtWidth(jobs, reps, [&] {
+            hits = planPass(model, dataset, mode.overlap, mode.shards);
+        });
+        fatalIf(hits != serial_hits, mode.name,
+                " diverged from serial planning: ", hits, " hits vs ",
+                serial_hits);
+        results.push_back(result);
+    }
+    return results;
 }
 
 BenchResult
@@ -204,11 +238,13 @@ benchRunnerSweep(const sys::ModelConfig &model, uint64_t iterations,
 
 void
 writeJson(const std::string &path, const std::vector<BenchResult> &results,
-          const sys::ModelConfig &model, size_t jobs, bool quick)
+          const sys::ModelConfig &model, size_t jobs, uint32_t shards,
+          bool quick)
 {
     std::ostringstream os;
     os << "{\"bench\":\"perf_simcore\",\"quick\":"
        << (quick ? "true" : "false") << ",\"jobs\":" << jobs
+       << ",\"shards\":" << shards
        << ",\"tables\":" << model.trace.num_tables
        << ",\"rows_per_table\":" << model.trace.rows_per_table
        << ",\"batch_size\":" << model.trace.batch_size
@@ -240,6 +276,9 @@ main(int argc, char **argv)
                    "sweeps), serial vs pooled");
     args.addBool("quick", "CI scale: small tables, one rep");
     args.addInt("jobs", 0, "parallel pool width (0 = all cores)");
+    args.addInt("shards", 0,
+                "mark-pass shards per table for the sharded planning "
+                "modes (0 = pool width)");
     args.addInt("tables", 8, "embedding tables");
     args.addInt("rows", 1'000'000, "rows per table");
     args.addInt("batch", 2048, "mini-batch size");
@@ -252,10 +291,16 @@ main(int argc, char **argv)
             return 0;
         }
         const bool quick = args.getBool("quick");
+        fatalIf(args.getInt("jobs") < 0, "--jobs must be >= 0");
         const size_t jobs =
             args.getInt("jobs") > 0
                 ? static_cast<size_t>(args.getInt("jobs"))
                 : common::ThreadPool::defaultThreads();
+        fatalIf(args.getInt("shards") < 0, "--shards must be >= 0");
+        const uint32_t shards =
+            args.getInt("shards") > 0
+                ? static_cast<uint32_t>(args.getInt("shards"))
+                : static_cast<uint32_t>(jobs);
         const int reps = quick ? 1 : 3;
 
         sys::ModelConfig model = sys::ModelConfig::paperDefault();
@@ -277,12 +322,15 @@ main(int argc, char **argv)
         std::cout << "perf_simcore: " << model.trace.num_tables
                   << " tables x " << model.trace.rows_per_table
                   << " rows, batch " << model.trace.batch_size << ", "
-                  << batches << " batches, pool width " << jobs << "\n\n";
+                  << batches << " batches, pool width " << jobs
+                  << ", shard width " << shards << "\n\n";
 
         std::vector<BenchResult> results;
         results.push_back(
             benchTraceGeneration(model, batches, jobs, reps));
-        results.push_back(benchPlanning(model, batches, jobs, reps));
+        for (auto &result :
+             benchPlanning(model, batches, jobs, shards, reps))
+            results.push_back(std::move(result));
         results.push_back(
             benchRunnerSweep(model, quick ? 3 : 5, jobs, reps));
 
@@ -298,7 +346,8 @@ main(int argc, char **argv)
         }
         table.print(std::cout);
 
-        writeJson(args.getString("out"), results, model, jobs, quick);
+        writeJson(args.getString("out"), results, model, jobs, shards,
+                  quick);
         std::cout << "\nwrote " << args.getString("out") << "\n";
     } catch (const FatalError &error) {
         std::cerr << error.what() << "\n";

@@ -17,8 +17,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv, "table1_training_cost: paper reproduction bench"))
+        return 0;
+
     bench::printBanner(
         "Table I: training cost, ScratchPipe vs 8-GPU",
         "paper: Table I -- $ for 1M iterations at AWS on-demand prices");

@@ -1,0 +1,37 @@
+# Golden-output regression check, run as a ctest:
+#
+#   cmake -DCMD=<binary> "-DARGS=<arg;list>" -DGOLDEN=<file> \
+#         -DOUT=<file> -P RunGolden.cmake
+#
+# Executes CMD ARGS, captures stdout, and byte-compares it against the
+# checked-in GOLDEN file. On mismatch the live output is written to
+# OUT and the test fails with a pointer at the regen path. The outputs
+# under test are deterministic by the engine's exact-equivalence
+# contract (see tests/sys/parallel_determinism_test.cc), so any diff
+# is a real behaviour change -- either a bug or an intentional change
+# that must be re-blessed via tests/golden/regen.sh.
+
+foreach(required CMD GOLDEN OUT)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "RunGolden.cmake: -D${required}= is required")
+    endif()
+endforeach()
+
+execute_process(COMMAND ${CMD} ${ARGS}
+                OUTPUT_VARIABLE live
+                ERROR_VARIABLE errors
+                RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "golden command failed (exit ${status}): ${CMD}\n${errors}")
+endif()
+
+file(READ ${GOLDEN} golden)
+if(NOT live STREQUAL golden)
+    file(WRITE ${OUT} "${live}")
+    message(FATAL_ERROR
+            "output diverged from ${GOLDEN}\n"
+            "live output saved to ${OUT}\n"
+            "if the change is intentional, re-bless with: "
+            "tests/golden/regen.sh <build-dir>")
+endif()

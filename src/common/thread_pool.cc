@@ -56,13 +56,14 @@ ThreadPool::workerLoop()
     }
 }
 
-namespace
+namespace detail
 {
 
-/** Shared progress of one parallelFor call. Helpers may outlive the
- *  call (they run as soon as a worker frees up, which can be after
- *  the caller finished every index itself), so the state is kept
- *  alive by shared_ptr and owns a copy of the body. */
+/** Shared progress of one parallelFor / parallelForAsync call.
+ *  Helpers may outlive the call (they run as soon as a worker frees
+ *  up, which can be after the caller finished every index itself), so
+ *  the state is kept alive by shared_ptr and owns a copy of the
+ *  body. */
 struct ForState
 {
     std::function<void(size_t)> fn;
@@ -96,9 +97,86 @@ struct ForState
             }
         }
     }
+
+    /** Block until every index has retired (drain() first to make
+     *  progress independent of pool capacity). */
+    void
+    finish()
+    {
+        drain();
+        std::unique_lock<std::mutex> lock(mutex);
+        finished.wait(lock, [this] {
+            return done.load(std::memory_order_acquire) == n;
+        });
+    }
 };
 
-} // namespace
+} // namespace detail
+
+ThreadPool::Completion::~Completion()
+{
+    if (!state_)
+        return;
+    // In-flight tasks capture the body (and whatever it references);
+    // never let them outlive this scope. Errors were either observed
+    // by an explicit wait() or are deliberately dropped here (the
+    // pipeline only abandons a token while unwinding from the same
+    // root cause).
+    try {
+        wait();
+    } catch (...) {
+    }
+}
+
+ThreadPool::Completion &
+ThreadPool::Completion::operator=(Completion &&other) noexcept
+{
+    if (this != &other) {
+        if (state_) {
+            try {
+                wait();
+            } catch (...) {
+            }
+        }
+        state_ = std::move(other.state_);
+    }
+    return *this;
+}
+
+void
+ThreadPool::Completion::wait()
+{
+    if (!state_)
+        return;
+    // Release the token before rethrowing so a second wait() (or the
+    // destructor) is a no-op either way.
+    const std::shared_ptr<detail::ForState> state = std::move(state_);
+    state->finish();
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+ThreadPool::Completion
+ThreadPool::parallelForAsync(size_t n, std::function<void(size_t)> fn,
+                             size_t max_helpers)
+{
+    Completion token;
+    if (n == 0)
+        return token;
+    auto state = std::make_shared<detail::ForState>();
+    state->fn = std::move(fn);
+    state->n = n;
+    // Unlike the synchronous form the caller is not a lane until it
+    // wait()s, so up to n helpers are useful. Zero helpers (pool of
+    // busy workers, max_helpers == 0) is still correct: wait() drains
+    // every index on the caller.
+    const size_t helpers = std::min({size(), n, max_helpers});
+    for (size_t h = 0; h < helpers; ++h)
+        enqueue([state] { state->drain(); });
+    token.state_ = std::move(state);
+    return token;
+}
 
 void
 ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn,
@@ -112,7 +190,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn,
         return;
     }
 
-    auto state = std::make_shared<ForState>();
+    auto state = std::make_shared<detail::ForState>();
     state->fn = fn;
     state->n = n;
 
@@ -120,12 +198,9 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn,
     for (size_t h = 0; h < helpers; ++h)
         enqueue([state] { state->drain(); });
 
-    state->drain();
+    state->finish();
     {
-        std::unique_lock<std::mutex> lock(state->mutex);
-        state->finished.wait(lock, [&state] {
-            return state->done.load(std::memory_order_acquire) == state->n;
-        });
+        std::lock_guard<std::mutex> lock(state->mutex);
         if (state->error)
             std::rethrow_exception(state->error);
     }

@@ -3,15 +3,24 @@
  * Shared work-pool execution layer.
  *
  * One bounded pool serves every parallel site in the simulator: trace
- * generation, per-batch statistics, per-table [Plan] fan-out, and
- * whole-system sweeps in ExperimentRunner. Two primitives:
+ * generation, per-batch statistics, per-table [Plan] fan-out, sharded
+ * mark-pass probes, and whole-system sweeps in ExperimentRunner. Three
+ * primitives:
  *
  *   submit(fn)        enqueue an arbitrary task, get a std::future;
  *   parallelFor(n,fn) run fn(0..n-1) cooperatively: the calling
  *                     thread participates, so nesting a parallelFor
  *                     inside a pool task can never deadlock -- if all
  *                     workers are busy the caller simply executes
- *                     every index itself.
+ *                     every index itself;
+ *   parallelForAsync(n,fn)
+ *                     the same index space, but the call returns a
+ *                     Completion token immediately so the caller can
+ *                     overlap its own work with the fan-out (the
+ *                     engine's two-deep planning pipeline). wait() is
+ *                     the phase barrier: the caller drains whatever
+ *                     indices the workers have not picked up, so
+ *                     completion never depends on pool capacity.
  *
  * Every parallel site in this codebase writes result i from call
  * fn(i) only, so outputs are bit-identical to a serial loop no matter
@@ -40,6 +49,11 @@
 
 namespace sp::common
 {
+
+namespace detail
+{
+struct ForState;
+} // namespace detail
 
 /** Fixed-width thread pool with a cooperative parallel-for. */
 class ThreadPool
@@ -82,6 +96,49 @@ class ThreadPool
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn,
                      size_t max_helpers = SIZE_MAX);
+
+    /**
+     * Completion token of one parallelForAsync call: a one-shot phase
+     * barrier. wait() drains any indices the workers have not started
+     * (the caller participates, exactly as in parallelFor), blocks
+     * until every index has retired, and rethrows the first exception
+     * the body raised. Dropping a pending token waits too (errors
+     * swallowed) so in-flight tasks can never outlive the state they
+     * capture. Default-constructed and already-waited tokens are
+     * inert.
+     */
+    class Completion
+    {
+      public:
+        Completion() noexcept = default;
+        ~Completion();
+        Completion(Completion &&other) noexcept = default;
+        Completion &operator=(Completion &&other) noexcept;
+        Completion(const Completion &) = delete;
+        Completion &operator=(const Completion &) = delete;
+
+        /** Phase barrier: help finish, then block; rethrows the first
+         *  body exception. Idempotent. */
+        void wait();
+
+        /** True until wait() (or the destructor) has retired it. */
+        bool pending() const { return state_ != nullptr; }
+
+      private:
+        friend class ThreadPool;
+        std::shared_ptr<detail::ForState> state_;
+    };
+
+    /**
+     * Start fn(0..n-1) on up to min(size(), n, max_helpers) workers
+     * and return immediately; the caller joins the fan-out only when
+     * it wait()s the returned token. Used by the two-deep planning
+     * pipeline: batch i+1's plans fan out here while the caller
+     * reduces batch i's outcomes. Results are written slot-i-from-
+     * call-i by every site, so scheduling never changes outputs.
+     */
+    Completion parallelForAsync(size_t n, std::function<void(size_t)> fn,
+                                size_t max_helpers = SIZE_MAX);
 
     /** The process-wide pool (created on first use). */
     static ThreadPool &global();

@@ -4,9 +4,19 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace sp::core
 {
+
+namespace
+{
+
+/** Below this many IDs per shard, splitting a probe pass costs more
+ *  in task hand-off than the DRAM overlap buys. */
+constexpr size_t kMinShardIds = 64;
+
+} // namespace
 
 ScratchPipeController::ScratchPipeController(const ControllerConfig &config)
     : config_(config), map_(config.num_slots),
@@ -35,6 +45,88 @@ ScratchPipeController::ScratchPipeController(const ControllerConfig &config)
             policy_->touch(slot);
         }
     }
+}
+
+uint32_t
+ScratchPipeController::shardsFor(size_t n) const
+{
+    if (config_.plan_shards <= 1 || n < 2 * kMinShardIds)
+        return 1;
+    return static_cast<uint32_t>(std::min<size_t>(
+        config_.plan_shards, n / kMinShardIds));
+}
+
+void
+ScratchPipeController::markPass(std::span<const uint32_t> ids,
+                                uint32_t future_distance)
+{
+    probe_.resize(ids.size());
+    const uint32_t shards = shardsFor(ids.size());
+    if (shards <= 1) {
+        map_.findMany(ids, probe_);
+        for (const uint32_t slot : probe_) {
+            if (slot == cache::HitMap::kNotFound)
+                continue;
+            if (future_distance == 0)
+                holds_.markCurrent(slot);
+            else
+                holds_.markFuture(slot, future_distance);
+        }
+        return;
+    }
+
+    // Contiguous ID ranges, one per shard: shard s probes its range
+    // into the matching range of probe_ (slot i from call i, exactly
+    // the single-findMany layout) and applies its own marks through
+    // the atomic markers. The Hit-Map is read-only for the whole
+    // pass, and mark bits OR in commutatively, so the merged result
+    // is bit-identical to the serial pass at any width.
+    const size_t chunk = (ids.size() + shards - 1) / shards;
+    common::ThreadPool::global().parallelFor(
+        shards,
+        [this, ids, future_distance, chunk](size_t s) {
+            const size_t begin = s * chunk;
+            const size_t end = std::min(ids.size(), begin + chunk);
+            if (begin >= end)
+                return;
+            const auto sub_ids = ids.subspan(begin, end - begin);
+            const auto sub_out =
+                std::span<uint32_t>(probe_).subspan(begin, end - begin);
+            map_.findMany(sub_ids, sub_out);
+            for (const uint32_t slot : sub_out) {
+                if (slot == cache::HitMap::kNotFound)
+                    continue;
+                if (future_distance == 0)
+                    holds_.markCurrentShared(slot);
+                else
+                    holds_.markFutureShared(slot, future_distance);
+            }
+        },
+        shards - 1);
+}
+
+void
+ScratchPipeController::probePass(std::span<const uint32_t> ids)
+{
+    probe_.resize(ids.size());
+    const uint32_t shards = shardsFor(ids.size());
+    if (shards <= 1) {
+        map_.findMany(ids, probe_);
+        return;
+    }
+    const size_t chunk = (ids.size() + shards - 1) / shards;
+    common::ThreadPool::global().parallelFor(
+        shards,
+        [this, ids, chunk](size_t s) {
+            const size_t begin = s * chunk;
+            const size_t end = std::min(ids.size(), begin + chunk);
+            if (begin >= end)
+                return;
+            map_.findMany(ids.subspan(begin, end - begin),
+                          std::span<uint32_t>(probe_).subspan(
+                              begin, end - begin));
+        },
+        shards - 1);
 }
 
 const PlanResult &
@@ -68,27 +160,15 @@ ScratchPipeController::plan(
     // windows (the straw-man's 0) lack that cover, so the pass stays.
     // Probe latency against the multi-MB Hit-Map dominates planning
     // at paper scale; every scan goes through the software-pipelined
-    // batched probe.
-    if (config_.future_window < 2) {
-        probe_.resize(current_ids.size());
-        map_.findMany(current_ids, probe_);
-        for (const uint32_t slot : probe_) {
-            if (slot != cache::HitMap::kNotFound)
-                holds_.markCurrent(slot);
-        }
-    }
+    // batched probe, split into plan_shards ID ranges over the worker
+    // pool when the controller is configured to shard.
+    if (config_.future_window < 2)
+        markPass(current_ids, 0);
     const uint32_t window =
         std::min<uint32_t>(config_.future_window,
                            static_cast<uint32_t>(future_ids.size()));
-    for (uint32_t d = 1; d <= window; ++d) {
-        const auto ids = future_ids[d - 1];
-        probe_.resize(ids.size());
-        map_.findMany(ids, probe_);
-        for (const uint32_t slot : probe_) {
-            if (slot != cache::HitMap::kNotFound)
-                holds_.markFuture(slot, d);
-        }
-    }
+    for (uint32_t d = 1; d <= window; ++d)
+        markPass(future_ids[d - 1], d);
 
     // Step C: classify the current batch and assign victims to misses.
     // The batched pre-probe is taken before any insert/erase of this
@@ -99,8 +179,7 @@ ScratchPipeController::plan(
     // still warming up, e.g. the first plans after warm_start). Both
     // cases fall back to a live probe, so the outcome is exactly what
     // the old one-find-per-ID loop produced.
-    probe_.resize(current_ids.size());
-    map_.findMany(current_ids, probe_);
+    probePass(current_ids);
     for (size_t i = 0; i < current_ids.size(); ++i) {
         const uint32_t id = current_ids[i];
         uint32_t slot = probe_[i];

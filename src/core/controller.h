@@ -56,6 +56,16 @@ struct ControllerConfig
     cache::PolicyKind policy = cache::PolicyKind::Lru;
     /** Seed for randomized policies. */
     uint64_t policy_seed = 1;
+    /**
+     * Shards for the [Plan] mark passes: the batched Hit-Map probes
+     * (and their hold marking) split into this many contiguous ID
+     * ranges over the shared worker pool. Algorithm 1's classify loop
+     * stays sequential -- victim choice depends on earlier misses --
+     * but the mark passes are pure probes plus commutative mark-bit
+     * ORs, so any width produces bit-identical plans. 1 (default)
+     * keeps planning fully on the calling thread.
+     */
+    uint32_t plan_shards = 1;
     /** Materialise Storage floats (functional) or not (timing). */
     cache::SlotArray::Backing backing = cache::SlotArray::Backing::Dense;
     /**
@@ -211,6 +221,24 @@ class ScratchPipeController
     size_t metadataBytes() const;
 
   private:
+    /** Shards actually used for an `n`-ID pass (config_.plan_shards
+     *  capped so no shard probes fewer than kMinShardIds). */
+    uint32_t shardsFor(size_t n) const;
+
+    /**
+     * One sharded mark pass: probe `ids` into probe_ (slot i from
+     * call i, exactly as a single findMany) and mark every hit --
+     * markCurrent when `future_distance` is 0, markFuture(distance)
+     * otherwise. Marks are commutative OR-bits applied through the
+     * HoldMask's shared (atomic) markers when sharded, so the
+     * resulting masks equal the serial pass bit for bit.
+     */
+    void markPass(std::span<const uint32_t> ids, uint32_t future_distance);
+
+    /** Sharded map_.findMany(ids, probe_) without marking (the
+     *  classify pre-probe). */
+    void probePass(std::span<const uint32_t> ids);
+
     ControllerConfig config_;
     cache::HitMap map_;
     HoldMask holds_;

@@ -132,6 +132,10 @@ TraceDataset::load(const std::string &path)
     readPod(is, config.seed);
     readPod(is, dense);
     readPod(is, num_batches);
+    // Fail before acting on garbage counts: a file cut inside the
+    // header would otherwise drive the reserve/read loop below with
+    // whatever bytes happened to be there.
+    fatalIf(!is, "'", path, "' is truncated inside the trace header");
     config.num_tables = num_tables;
     config.lookups_per_table = lookups;
     config.batch_size = batch_size;
@@ -153,6 +157,10 @@ TraceDataset::load(const std::string &path)
                     static_cast<std::streamsize>(ids.size() *
                                                  sizeof(uint32_t)));
         }
+        // Per-batch check so truncation fails at the cut, not after
+        // looping num_batches times over a dead stream.
+        fatalIf(!is, "'", path, "' is truncated at batch ", b, " of ",
+                num_batches);
         batches.push_back(std::move(batch));
     }
     fatalIf(!is, "I/O error while reading '", path, "'");

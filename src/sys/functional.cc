@@ -328,6 +328,10 @@ FunctionalScratchPipeTrainer::FunctionalScratchPipeTrainer(
     cc.future_window = fw;
     cc.policy = options.policy;
     cc.backing = cache::SlotArray::Backing::Dense;
+    cc.plan_shards =
+        options.plan_shards == 0
+            ? static_cast<uint32_t>(common::ThreadPool::global().size())
+            : options.plan_shards;
     controllers_.reserve(config_.trace.num_tables);
     for (size_t t = 0; t < config_.trace.num_tables; ++t) {
         cc.policy_seed = 0x5eed + t;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/controller.h"
 #include "emb/traffic.h"
 #include "nn/dlrm.h"
@@ -69,6 +70,12 @@ ScratchPipeMultiGpuSystem::simulate(const data::TraceDataset &dataset,
     cc.policy = options_.policy;
     cc.backing = cache::SlotArray::Backing::Phantom;
     cc.warm_start = options_.warm_start;
+    // shard=0 means one shard per pool thread (perf knob only: any
+    // width plans bit-identically).
+    cc.plan_shards =
+        options_.plan_shards == 0
+            ? static_cast<uint32_t>(common::ThreadPool::global().size())
+            : options_.plan_shards;
     std::vector<core::ScratchPipeController> controllers;
     controllers.reserve(trace.num_tables);
     for (size_t t = 0; t < trace.num_tables; ++t) {
@@ -97,14 +104,12 @@ ScratchPipeMultiGpuSystem::simulate(const data::TraceDataset &dataset,
     // per table, all independent).
     PlanFanout fanout(trace.num_tables, cc.future_window);
 
-    for (uint64_t i = 0; i < warmup + iterations; ++i) {
-        const bool measured = i >= warmup;
-
-        fanout.run(controllers, dataset, i);
-        if (!measured)
-            continue;
-        const auto &plan_outcomes = fanout.outcomes();
-
+    // Pure reduction of one measured batch's outcomes into the stage
+    // accumulators; overlaps the next batch's planning when the
+    // two-deep pipeline is on.
+    const auto account = [&](uint64_t i,
+                             const std::vector<TablePlanOutcome>
+                                 &plan_outcomes) {
         // Per-GPU fill/evict volume: the busiest GPU binds the
         // GPU-side stages, the *sum* binds shared CPU DRAM.
         uint64_t fills_total = 0, evicts_total = 0;
@@ -198,7 +203,15 @@ ScratchPipeMultiGpuSystem::simulate(const data::TraceDataset &dataset,
             total[5].demand += latency_.nvlinkDemand(
                 2.0 * param_bytes * (gpus - 1.0) / gpus);
         }
-    }
+    };
+
+    fanout.forEachBatch(
+        controllers, dataset, warmup + iterations,
+        options_.overlap_planning,
+        [&](uint64_t i, const std::vector<TablePlanOutcome> &outcomes) {
+            if (i >= warmup)
+                account(i, outcomes);
+        });
 
     const double inv = 1.0 / static_cast<double>(iterations);
     for (auto &stage : total) {

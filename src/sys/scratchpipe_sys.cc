@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/controller.h"
 #include "emb/traffic.h"
 #include "nn/flops.h"
@@ -71,6 +72,12 @@ ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
     cc.policy = options_.policy;
     cc.backing = cache::SlotArray::Backing::Phantom;
     cc.warm_start = options_.warm_start;
+    // shard=0 means one shard per pool thread (perf knob only: any
+    // width plans bit-identically).
+    cc.plan_shards =
+        options_.plan_shards == 0
+            ? static_cast<uint32_t>(common::ThreadPool::global().size())
+            : options_.plan_shards;
     std::vector<core::ScratchPipeController> controllers;
     controllers.reserve(trace.num_tables);
     for (size_t t = 0; t < trace.num_tables; ++t) {
@@ -97,18 +104,15 @@ ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
     // stages fan out across the shared pool.
     PlanFanout fanout(trace.num_tables, cc.future_window);
 
-    // Warm-up batches run through the controllers (populating the
-    // scratchpad toward steady state, as the paper's measurements do)
-    // but contribute nothing to the timing accumulators.
-    for (uint64_t i = 0; i < warmup + iterations; ++i) {
-        const bool measured = i >= warmup;
-
-        fanout.run(controllers, dataset, i);
-        if (!measured)
-            continue;
-
+    // Demand/traffic accounting for one measured batch: a pure
+    // reduction over that batch's per-table outcomes into the stage
+    // accumulators. Nothing here touches the controllers, which is
+    // what lets the next batch's plans overlap it.
+    const auto account = [&](uint64_t i,
+                             const std::vector<TablePlanOutcome>
+                                 &outcomes) {
         uint64_t fills = 0, evicts = 0;
-        for (const auto &outcome : fanout.outcomes()) {
+        for (const auto &outcome : outcomes) {
             fills += outcome.fills;
             evicts += outcome.evicts;
             total_hits += outcome.hits;
@@ -180,7 +184,20 @@ ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
                 static_cast<double>(batch) * (trace.dense_features + 1) *
                 sizeof(float));
         }
-    }
+    };
+
+    // Warm-up batches run through the controllers (populating the
+    // scratchpad toward steady state, as the paper's measurements do)
+    // but contribute nothing to the timing accumulators. With
+    // overlap_planning, batch i+1's plans fan out while batch i's
+    // outcomes reduce into the accumulators on this thread.
+    fanout.forEachBatch(
+        controllers, dataset, warmup + iterations,
+        options_.overlap_planning,
+        [&](uint64_t i, const std::vector<TablePlanOutcome> &outcomes) {
+            if (i >= warmup)
+                account(i, outcomes);
+        });
 
     // Average demands over the measured iterations.
     const double inv = 1.0 / static_cast<double>(iterations);

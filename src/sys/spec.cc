@@ -86,9 +86,15 @@ SystemSpec::parse(const std::string &text)
         } else if (key == "bound") {
             spec.scratchpipe.enforce_capacity_bound = parseBool(key, value);
             spec.scratchpipe_tuned = true;
+        } else if (key == "overlap") {
+            spec.scratchpipe.overlap_planning = parseBool(key, value);
+            spec.scratchpipe_tuned = true;
+        } else if (key == "shard") {
+            spec.scratchpipe.plan_shards = parseWindow(key, value);
+            spec.scratchpipe_tuned = true;
         } else {
             fatal("system spec: unknown key '", key, "' in '", text,
-                  "' (cache/policy/past/future/warm/bound)");
+                  "' (cache/policy/past/future/warm/bound/overlap/shard)");
         }
     }
     return spec;
@@ -128,6 +134,8 @@ SystemSpec::summary() const
         emit("future", std::to_string(scratchpipe.future_window));
         emit("warm", scratchpipe.warm_start ? "1" : "0");
         emit("bound", scratchpipe.enforce_capacity_bound ? "1" : "0");
+        emit("overlap", scratchpipe.overlap_planning ? "1" : "0");
+        emit("shard", std::to_string(scratchpipe.plan_shards));
     }
     return os.str();
 }
@@ -147,7 +155,7 @@ SystemSpec::validate() const
     }
     fatalIf(scratchpipe_tuned && !entry.uses_scratchpipe_options,
             "system '", name, "' has no scratchpad; "
-            "policy/past/future/warm/bound do not apply");
+            "policy/past/future/warm/bound/overlap/shard do not apply");
 }
 
 ScratchPipeOptions

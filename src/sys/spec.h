@@ -12,6 +12,10 @@
  *   "hybrid"
  *   "static:cache=0.02"
  *   "scratchpipe:cache=0.05,policy=lfu,past=4,future=2,warm=0"
+ *   "scratchpipe:overlap=1,shard=8"   (engine knobs: two-deep plan
+ *                                      pipeline / mark-pass shards --
+ *                                      bit-identical results, perf
+ *                                      only)
  *
  * validate() is registry-aware: setting `cache=` on a system that has
  * no cache (hybrid, multigpu) is a hard error, not a silent no-op --
@@ -47,14 +51,15 @@ struct SystemSpec
     ScratchPipeOptions scratchpipe;
 
     /** True when any scratchpad-only key (policy/past/future/warm/
-     *  bound) was explicitly given; lets validate() reject them on
-     *  systems that have no scratchpad. */
+     *  bound/overlap/shard) was explicitly given; lets validate()
+     *  reject them on systems that have no scratchpad. */
     bool scratchpipe_tuned = false;
 
     /**
      * Parse "name[:key=value,...]". Keys: cache, policy, past, future,
-     * warm, bound. fatal() on unknown keys or malformed values; the
-     * system name itself is checked by validate()/Registry::build.
+     * warm, bound, overlap, shard. fatal() on unknown keys or
+     * malformed values; the system name itself is checked by
+     * validate()/Registry::build.
      */
     static SystemSpec parse(const std::string &text);
 

@@ -108,6 +108,96 @@ TEST(ThreadPool, SingleWorkerRunsInline)
     EXPECT_EQ(order, expected);
 }
 
+TEST(ThreadPool, AsyncCompletionCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{64},
+                           size_t{1000}}) {
+        std::vector<std::atomic<int>> hits(n);
+        auto token = pool.parallelForAsync(
+            n, [&hits](size_t i) { ++hits[i]; });
+        token.wait();
+        EXPECT_FALSE(token.pending());
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(ThreadPool, AsyncOverlapsCallerWork)
+{
+    // The point of the token: the caller keeps doing its own work
+    // between launch and wait(), and both sides' results are intact
+    // at the barrier -- the engine's two-deep planning pipeline in
+    // miniature.
+    ThreadPool pool(2);
+    std::vector<uint64_t> out(512);
+    auto token = pool.parallelForAsync(
+        out.size(), [&out](size_t i) { out[i] = i + 1; });
+    uint64_t own = 0;
+    for (uint64_t i = 0; i < 1000; ++i)
+        own += i;
+    token.wait();
+    EXPECT_EQ(own, 499'500u);
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], i + 1);
+}
+
+TEST(ThreadPool, AsyncWaitRethrowsFirstErrorOnce)
+{
+    ThreadPool pool(4);
+    auto token = pool.parallelForAsync(100, [](size_t i) {
+        if (i == 37)
+            throw std::runtime_error("bad");
+    });
+    EXPECT_THROW(token.wait(), std::runtime_error);
+    // The token is spent after the rethrow; waiting again is a no-op.
+    EXPECT_FALSE(token.pending());
+    token.wait();
+}
+
+TEST(ThreadPool, AsyncCompletesWithZeroHelpers)
+{
+    // max_helpers == 0 enqueues nothing: wait() must drain every
+    // index on the caller (completion never depends on pool
+    // capacity).
+    ThreadPool pool(2);
+    std::vector<int> out(64, 0);
+    auto token = pool.parallelForAsync(
+        out.size(), [&out](size_t i) { out[i] = 1; },
+        /*max_helpers=*/0);
+    token.wait();
+    for (const int value : out)
+        ASSERT_EQ(value, 1);
+}
+
+TEST(ThreadPool, AsyncDropWithoutWaitFinishesTasks)
+{
+    // A dropped pending token blocks in its destructor until the body
+    // is done with everything it captured -- locals below must not be
+    // written after scope exit.
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    {
+        auto token = pool.parallelForAsync(
+            200, [&count](size_t) { ++count; });
+    }
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, AsyncMoveAssignRetiresPreviousToken)
+{
+    ThreadPool pool(2);
+    std::atomic<int> first{0}, second{0};
+    auto token = pool.parallelForAsync(
+        64, [&first](size_t) { ++first; });
+    token = pool.parallelForAsync(
+        32, [&second](size_t) { ++second; });
+    // Assignment waits the first launch before adopting the second.
+    EXPECT_EQ(first.load(), 64);
+    token.wait();
+    EXPECT_EQ(second.load(), 32);
+}
+
 TEST(ThreadPool, GlobalPoolIsUsableAndSized)
 {
     ThreadPool &pool = ThreadPool::global();

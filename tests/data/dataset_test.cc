@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "common/logging.h"
@@ -120,6 +121,92 @@ TEST(Dataset, LoadedDatasetReproducesLabels)
     const TraceDataset loaded = TraceDataset::load(file.path());
     EXPECT_TRUE(
         tensor::Matrix::identical(loaded.labels(1), original.labels(1)));
+}
+
+TEST(Dataset, RoundTripPreservesFullConfigAndLookAhead)
+{
+    // Beyond the ID payload: every TraceConfig field survives, and a
+    // loaded dataset serves the same look-ahead spans and regenerates
+    // the same dense features -- what the [Plan] stage and functional
+    // runs consume.
+    TempFile file;
+    TraceDataset original(smallConfig(), 6);
+    original.save(file.path());
+    const TraceDataset loaded = TraceDataset::load(file.path());
+
+    EXPECT_EQ(loaded.config().lookups_per_table,
+              original.config().lookups_per_table);
+    EXPECT_EQ(loaded.config().batch_size, original.config().batch_size);
+    EXPECT_EQ(loaded.config().locality, original.config().locality);
+    EXPECT_EQ(loaded.config().dense_features,
+              original.config().dense_features);
+    for (uint64_t d = 0; d <= 6; ++d) {
+        const MiniBatch *expected = original.lookAhead(1, d);
+        const MiniBatch *got = loaded.lookAhead(1, d);
+        ASSERT_EQ(expected == nullptr, got == nullptr) << "distance " << d;
+        if (expected != nullptr) {
+            EXPECT_EQ(got->table_ids, expected->table_ids);
+        }
+    }
+    EXPECT_TRUE(tensor::Matrix::identical(loaded.denseFeatures(3),
+                                          original.denseFeatures(3)));
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(Dataset, LoadTruncatedBatchDataFatal)
+{
+    // A file cut mid-payload must fail loudly at the cut, not return
+    // a short dataset or spin over a dead stream.
+    TempFile file;
+    TraceDataset original(smallConfig(), 7);
+    original.save(file.path());
+    const std::string bytes = fileBytes(file.path());
+    {
+        std::ofstream os(file.path(),
+                         std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(2 * bytes.size() / 3));
+    }
+    EXPECT_THROW(TraceDataset::load(file.path()), FatalError);
+}
+
+TEST(Dataset, LoadTruncatedHeaderFatal)
+{
+    // Valid magic + version, then the header stops: the loader must
+    // not act on the garbage counts a short read leaves behind.
+    TempFile file;
+    TraceDataset original(smallConfig(), 3);
+    original.save(file.path());
+    const std::string bytes = fileBytes(file.path());
+    {
+        std::ofstream os(file.path(),
+                         std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), 20); // magic + version + half a field
+    }
+    EXPECT_THROW(TraceDataset::load(file.path()), FatalError);
+}
+
+TEST(Dataset, LoadWrongVersionFatal)
+{
+    TempFile file;
+    TraceDataset original(smallConfig(), 3);
+    original.save(file.path());
+    std::string bytes = fileBytes(file.path());
+    bytes[8] = char(0x7f); // version field follows the 8-byte magic
+    {
+        std::ofstream os(file.path(),
+                         std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_THROW(TraceDataset::load(file.path()), FatalError);
 }
 
 TEST(Dataset, LoadMissingFileFatal)

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate the golden outputs after an intentional behaviour change.
+# One command, from the repo root (builds spsim + fig13 first):
+#
+#   tests/golden/regen.sh [build-dir]
+#
+# Keep the spsim argument list below in sync with the golden_spsim_json
+# test in CMakeLists.txt.
+set -euo pipefail
+
+build=${1:-build}
+root=$(cd "$(dirname "$0")/../.." && pwd)
+
+cmake --build "$build" -j --target spsim bench_fig13_speedup
+
+"$build"/spsim \
+    --system hybrid,static:cache=0.1,strawman,scratchpipe,multigpu \
+    --locality medium --tables 3 --rows 20000 --dim 16 --lookups 4 \
+    --batch 64 --iterations 4 --warmup 2 --seed 7 --format json \
+    > "$root"/tests/golden/spsim_small.json
+
+"$build"/bench_fig13_speedup --quick --json \
+    > "$root"/tests/golden/fig13_quick.json
+
+echo "regenerated:"
+ls -l "$root"/tests/golden/*.json

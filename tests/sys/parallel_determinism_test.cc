@@ -70,25 +70,37 @@ TEST(ParallelDeterminism, PooledBatchStatsMatchSerialCounts)
 }
 
 std::vector<SystemSpec>
-sweepSpecs()
+sweepSpecs(const std::string &engine_suffix = "")
 {
+    // The engine knobs (overlap=, shard=) only exist on the
+    // scratchpad systems; the other design points ride along in every
+    // sweep so the whole spec list is compared at once.
     return {SystemSpec::parse("hybrid"),
             SystemSpec::parse("static:cache=0.1"),
-            SystemSpec::parse("strawman"),
-            SystemSpec::parse("scratchpipe"),
-            SystemSpec::parse("scratchpipe:policy=lfu,cache=0.2"),
+            SystemSpec::parse("strawman" +
+                              (engine_suffix.empty()
+                                   ? ""
+                                   : ":" + engine_suffix)),
+            SystemSpec::parse("scratchpipe" +
+                              (engine_suffix.empty()
+                                   ? ""
+                                   : ":" + engine_suffix)),
+            SystemSpec::parse("scratchpipe:policy=lfu,cache=0.2" +
+                              (engine_suffix.empty()
+                                   ? ""
+                                   : "," + engine_suffix)),
             SystemSpec::parse("multigpu")};
 }
 
 std::string
-sweepJson(uint32_t jobs)
+sweepJson(uint32_t jobs, const std::string &engine_suffix = "")
 {
     ExperimentOptions options;
     options.iterations = 4;
     options.warmup = 2;
     options.jobs = jobs;
     const ExperimentRunner runner(testModel(), kHw, options);
-    return toJson(runner.runAll(sweepSpecs()));
+    return toJson(runner.runAll(sweepSpecs(engine_suffix)));
 }
 
 TEST(ParallelDeterminism, JobsSweepJsonBitIdenticalToSequential)
@@ -98,6 +110,34 @@ TEST(ParallelDeterminism, JobsSweepJsonBitIdenticalToSequential)
     const std::string serial = sweepJson(1);
     EXPECT_EQ(serial, sweepJson(2));
     EXPECT_EQ(serial, sweepJson(8));
+}
+
+TEST(ParallelDeterminism, EngineModeMatrixBitIdentical)
+{
+    // The pipelined/sharded planning engine must not change a single
+    // byte of output: every combination of {serial, pipelined,
+    // sharded, pipelined+sharded} x jobs in {1, 4} serialises to the
+    // fully-serial sweep's JSON. Widen the pool so the matrix crosses
+    // real threads even on a single-core host.
+    if (common::ThreadPool::global().size() < 4)
+        common::ThreadPool::setGlobalThreads(4);
+    const std::string baseline = sweepJson(1, "overlap=0,shard=1");
+    const char *modes[] = {"overlap=0,shard=1", "overlap=1,shard=1",
+                           "overlap=0,shard=4", "overlap=1,shard=4"};
+    for (const char *mode : modes) {
+        for (const uint32_t jobs : {1u, 4u}) {
+            EXPECT_EQ(baseline, sweepJson(jobs, mode))
+                << "mode=" << mode << " jobs=" << jobs;
+        }
+    }
+}
+
+TEST(ParallelDeterminism, AutoShardWidthBitIdentical)
+{
+    // shard=0 resolves to the pool width on whatever host runs the
+    // test; output must still match the serial sweep exactly.
+    EXPECT_EQ(sweepJson(1, "overlap=0,shard=1"),
+              sweepJson(4, "overlap=1,shard=0"));
 }
 
 TEST(ParallelDeterminism, RunAllBadSpecFailsFastBeforeTheFanOut)

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "data/trace_store.h"
 #include "metrics/table_printer.h"
 
 namespace sp::bench
@@ -38,19 +39,27 @@ measureIterations()
 }
 
 void
-addJobsFlag(ArgParser &args)
+addCommonFlags(ArgParser &args)
 {
     args.addInt("jobs", 0,
                 "worker threads for every parallel site (trace "
                 "generation, per-table planning, sharded mark passes, "
                 "pooled sweeps); 0 = all cores");
+    args.addBool("no-trace-cache",
+                 "regenerate the trace instead of serving it from the "
+                 "content-addressed cache (SP_TRACE_CACHE, default "
+                 ".sp-trace-cache/)");
 }
 
 uint32_t
-applyJobsFlag(const ArgParser &args)
+applyCommonFlags(const ArgParser &args)
 {
-    const int64_t jobs = args.getInt("jobs");
-    fatalIf(jobs < 0, "--jobs must be >= 0, got ", jobs);
+    // Bench drivers hit the trace cache transparently; the flag (and
+    // SP_TRACE_CACHE=off) opts out. Enable before any workload is
+    // built so the very first trace acquisition can be a warm start.
+    data::TraceStore::setCacheEnabled(!args.getBool("no-trace-cache"));
+
+    const uint32_t jobs = parseJobsArg(args);
     if (args.wasSet("jobs")) {
         // Size the pool before any workload exists so every parallel
         // site in this process runs at the requested width.
@@ -65,12 +74,19 @@ bool
 parseStandardArgs(int argc, char **argv, const char *description)
 {
     ArgParser args(description);
-    addJobsFlag(args);
-    if (!args.parse(argc, argv)) {
-        std::cout << args.usage();
-        return false;
+    addCommonFlags(args);
+    try {
+        if (!args.parse(argc, argv)) {
+            std::cout << args.usage();
+            return false;
+        }
+        applyCommonFlags(args);
+    } catch (const FatalError &error) {
+        // A bad flag is a usage error, not a crash: print the message
+        // (not an uncaught-exception abort) and exit non-zero.
+        std::cerr << error.what() << "\n";
+        std::exit(1);
     }
-    applyJobsFlag(args);
     return true;
 }
 
@@ -98,7 +114,7 @@ makeWorkload(data::Locality locality, const WorkloadOptions &overrides)
     sys::ExperimentOptions options;
     options.iterations = workload.measure;
     options.warmup = workload.warmup;
-    // jobs == 0 follows the pool (sized by --jobs via applyJobsFlag),
+    // jobs == 0 follows the pool (sized by --jobs in applyCommonFlags),
     // so pooled runAll sweeps honour the flag without every driver
     // threading the width through by hand.
     options.jobs =

@@ -14,9 +14,12 @@
  *
  * Iteration counts honour SP_BENCH_WARMUP / SP_BENCH_MEASURE so the
  * whole suite can be sped up or made more precise from the shell, and
- * every driver takes --jobs (addJobsFlag/applyJobsFlag) so the whole
- * suite -- not just perf_simcore -- exercises the worker pool at a
- * controlled width.
+ * every driver takes the shared flags (addCommonFlags /
+ * applyCommonFlags): --jobs, so the whole suite -- not just
+ * perf_simcore -- exercises the worker pool at a controlled width,
+ * and --no-trace-cache, opting out of the content-addressed trace
+ * cache (data/trace_store.h) that otherwise lets every driver
+ * warm-start from an mmap'd trace published by any earlier run.
  */
 
 #ifndef SP_BENCH_COMMON_WORKLOAD_H
@@ -41,26 +44,31 @@ uint64_t warmupIterations();
 uint64_t measureIterations();
 
 /**
- * Register the shared --jobs flag: worker threads for every parallel
- * site (trace generation, per-table planning, sharded mark passes,
- * pooled sweeps). 0 = all cores. The default leaves the pool at
- * ThreadPool::defaultThreads() (SP_JOBS, else all cores).
+ * Register the shared driver flags: --jobs (worker threads for every
+ * parallel site: trace generation, per-table planning, sharded mark
+ * passes, pooled sweeps; 0 = all cores, default leaves the pool at
+ * ThreadPool::defaultThreads()) and --no-trace-cache (regenerate the
+ * trace instead of serving it from the content-addressed cache).
  */
-void addJobsFlag(ArgParser &args);
+void addCommonFlags(ArgParser &args);
 
 /**
- * Apply --jobs: sizes the process-wide pool (call before building any
- * workload) and returns the width, which is also the
- * ExperimentOptions::jobs value pooled sweeps should use. Results are
- * bit-identical at any width -- the flag only moves wall-clock.
+ * Apply the shared flags: sizes the process-wide pool (call before
+ * building any workload), switches the transparent trace cache on
+ * unless --no-trace-cache was given, and returns the pool width,
+ * which is also the ExperimentOptions::jobs value pooled sweeps
+ * should use. Results are bit-identical whatever the width and
+ * whether the trace came from the cache -- both only move wall-clock.
  */
-uint32_t applyJobsFlag(const ArgParser &args);
+uint32_t applyCommonFlags(const ArgParser &args);
 
 /**
  * The whole standard prologue for a driver with no flags of its own:
- * parse argv with just the shared flags and size the pool. Returns
- * false when --help was printed (the caller should exit 0). Drivers
- * with extra flags compose addJobsFlag/applyJobsFlag instead.
+ * parse argv with just the shared flags, size the pool, and switch
+ * the trace cache. Returns false when --help was printed (the caller
+ * should exit 0); prints the message and exits 1 on a usage error.
+ * Drivers with extra flags compose addCommonFlags/applyCommonFlags
+ * instead (see fig13_speedup.cc).
  */
 bool parseStandardArgs(int argc, char **argv, const char *description);
 

@@ -26,8 +26,12 @@
 using namespace sp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::parseStandardArgs(
+            argc, argv,
+            "fig06: static-cache hit rate vs cache size"))
+        return 0;
     bench::printBanner("Figure 6: static-cache hit rate vs cache size",
                        "paper: Fig. 6 -- hit rate of a top-N cache as N "
                        "grows to 100% of the table");

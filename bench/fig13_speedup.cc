@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/logging.h"
 #include "common/workload.h"
 #include "metrics/table_printer.h"
 
@@ -30,14 +31,20 @@ main(int argc, char **argv)
     args.addBool("quick",
                  "small fixed geometry with pinned iteration counts "
                  "(regression-test scale; ignores SP_BENCH_* envs)");
-    bench::addJobsFlag(args);
-    if (!args.parse(argc, argv)) {
-        std::cout << args.usage();
-        return 0;
+    bench::addCommonFlags(args);
+    bool json = false, quick = false;
+    try {
+        if (!args.parse(argc, argv)) {
+            std::cout << args.usage();
+            return 0;
+        }
+        json = args.getBool("json");
+        quick = args.getBool("quick");
+        bench::applyCommonFlags(args);
+    } catch (const FatalError &error) {
+        std::cerr << error.what() << "\n";
+        return 1;
     }
-    const bool json = args.getBool("json");
-    const bool quick = args.getBool("quick");
-    bench::applyJobsFlag(args);
 
     // The --quick geometry backs the golden-output regression test:
     // keep it (and the pinned warmup/measure) stable, or regenerate

@@ -83,9 +83,9 @@ main(int argc, char **argv)
                     const auto *next = dataset.lookAhead(b, d);
                     if (next == nullptr)
                         break;
-                    futures.emplace_back(next->table_ids[t]);
+                    futures.emplace_back(next->ids(t));
                 }
-                controller.plan(dataset.batch(b).table_ids[t], futures);
+                controller.plan(dataset.batch(b).ids(t), futures);
                 peak_held = std::max<uint64_t>(
                     peak_held, controller.holdMask().heldCount());
             }

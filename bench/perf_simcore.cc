@@ -6,6 +6,11 @@
  *
  *   trace-gen  TraceDataset construction (batches fan out over the
  *              worker pool);
+ *   trace-cache  content-addressed TraceStore acquisition, cold
+ *              (generate + atomic publish) vs warm (mmap + header
+ *              validation) over a private temp cache dir; reported
+ *              with cold in the serial column and warm in the
+ *              parallel column, so `speedup` is the warm-start win;
  *   plan       per-table ScratchPipeController::plan fan-out, reported
  *              as planned IDs/s (the controller hot path: batched
  *              Hit-Map probes + allocation-free PlanResult), measured
@@ -30,6 +35,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -42,6 +48,7 @@
 #include "common/thread_pool.h"
 #include "core/controller.h"
 #include "data/dataset.h"
+#include "data/trace_store.h"
 #include "metrics/table_printer.h"
 #include "sys/experiment.h"
 #include "sys/plan_fanout.h"
@@ -203,6 +210,78 @@ benchPlanning(const sys::ModelConfig &model, uint64_t batches, size_t jobs,
     return results;
 }
 
+/**
+ * Cold vs warm trace acquisition through the content-addressed
+ * TraceStore, over a private temp cache directory. Cold pays
+ * generation plus atomic publication; warm is an mmap plus header
+ * validation. The cold time lands in the serial column and the warm
+ * time in the parallel column, so speedup() reports the warm-start
+ * win the cache buys every repeat sweep.
+ */
+BenchResult
+benchTraceCache(const sys::ModelConfig &model, uint64_t batches,
+                size_t jobs, int reps)
+{
+    namespace fs = std::filesystem;
+    // Keyed per process, not just per config: two perf_simcore runs
+    // on one host must not share (and mutually remove_all) a dir.
+    static const uint64_t run_token = static_cast<uint64_t>(
+        Clock::now().time_since_epoch().count());
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("sp-perf-trace-cache-" + model.trace.fingerprint() + "-" +
+         std::to_string(run_token));
+    data::TraceStore::Options options;
+    options.directory = dir.string();
+    const data::TraceStore store(options);
+
+    common::ThreadPool::setGlobalThreads(jobs);
+    BenchResult result;
+    result.name = "trace_cache_acquire";
+    result.unit = "IDs/s";
+    result.work_units = static_cast<double>(batches) *
+                        static_cast<double>(model.trace.idsPerBatch());
+
+    data::TraceStore::AcquireInfo info;
+    uint64_t cold_checksum = 0, warm_checksum = 0;
+    const auto checksum = [](const data::TraceDataset &dataset) {
+        uint64_t sum = 0;
+        for (uint64_t b = 0; b < dataset.numBatches(); ++b) {
+            const auto &batch = dataset.batch(b);
+            for (size_t t = 0; t < batch.numTables(); ++t)
+                for (const uint32_t id : batch.ids(t))
+                    sum += id;
+        }
+        return sum;
+    };
+
+    for (int r = 0; r < reps; ++r) {
+        fs::remove_all(dir);
+        const auto start = Clock::now();
+        const auto dataset = store.acquire(model.trace, batches, &info);
+        const double elapsed = seconds(start);
+        fatalIf(info.cache_hit || !info.published,
+                "cold acquire unexpectedly hit the cache");
+        cold_checksum = checksum(dataset);
+        if (r == 0 || elapsed < result.serial_s)
+            result.serial_s = elapsed;
+    }
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        const auto dataset = store.acquire(model.trace, batches, &info);
+        const double elapsed = seconds(start);
+        fatalIf(!info.cache_hit, "warm acquire missed the cache");
+        warm_checksum = checksum(dataset);
+        if (r == 0 || elapsed < result.parallel_s)
+            result.parallel_s = elapsed;
+    }
+    fatalIf(warm_checksum != cold_checksum,
+            "cache-served trace diverged from the generated one: ",
+            warm_checksum, " vs ", cold_checksum);
+    fs::remove_all(dir);
+    return result;
+}
+
 BenchResult
 benchRunnerSweep(const sys::ModelConfig &model, uint64_t iterations,
                  size_t jobs, int reps)
@@ -291,16 +370,14 @@ main(int argc, char **argv)
             return 0;
         }
         const bool quick = args.getBool("quick");
-        fatalIf(args.getInt("jobs") < 0, "--jobs must be >= 0");
-        const size_t jobs =
-            args.getInt("jobs") > 0
-                ? static_cast<size_t>(args.getInt("jobs"))
-                : common::ThreadPool::defaultThreads();
-        fatalIf(args.getInt("shards") < 0, "--shards must be >= 0");
-        const uint32_t shards =
-            args.getInt("shards") > 0
-                ? static_cast<uint32_t>(args.getInt("shards"))
-                : static_cast<uint32_t>(jobs);
+        const uint32_t jobs_flag = parseJobsArg(args);
+        const size_t jobs = jobs_flag > 0
+                                ? jobs_flag
+                                : common::ThreadPool::defaultThreads();
+        const uint32_t shards_flag = parseJobsArg(args, "shards");
+        const uint32_t shards = shards_flag > 0
+                                    ? shards_flag
+                                    : static_cast<uint32_t>(jobs);
         const int reps = quick ? 1 : 3;
 
         sys::ModelConfig model = sys::ModelConfig::paperDefault();
@@ -328,6 +405,7 @@ main(int argc, char **argv)
         std::vector<BenchResult> results;
         results.push_back(
             benchTraceGeneration(model, batches, jobs, reps));
+        results.push_back(benchTraceCache(model, batches, jobs, reps));
         for (auto &result :
              benchPlanning(model, batches, jobs, shards, reps))
             results.push_back(std::move(result));

@@ -69,7 +69,7 @@ main()
         std::vector<tensor::Matrix> reduced(model.trace.num_tables);
         for (size_t t = 0; t < model.trace.num_tables; ++t) {
             reduced[t].resize(batch.batch_size, model.embedding_dim);
-            emb::gatherReduce(trainer.tables()[t], batch.table_ids[t],
+            emb::gatherReduce(trainer.tables()[t], batch.ids(t),
                               batch.lookups_per_table, reduced[t]);
         }
         const auto fwd = eval_model.forward(

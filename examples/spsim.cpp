@@ -24,6 +24,7 @@
 #include "common/args.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "data/trace_store.h"
 #include "metrics/cost.h"
 #include "metrics/energy.h"
 #include "metrics/table_printer.h"
@@ -180,6 +181,10 @@ main(int argc, char **argv)
                 "worker threads for every parallel site (trace "
                 "generation, per-table planning, --parallel sweeps); "
                 "0 = all cores, 1 = fully serial");
+    args.addBool("no-trace-cache",
+                 "regenerate the trace instead of serving it from the "
+                 "content-addressed cache (SP_TRACE_CACHE, default "
+                 ".sp-trace-cache/)");
     args.addBool("list-systems", "print registered systems and exit");
 
     try {
@@ -221,12 +226,15 @@ main(int argc, char **argv)
         model.trace.seed = static_cast<uint64_t>(args.getInt("seed"));
         model.embedding_dim = static_cast<size_t>(args.getInt("dim"));
 
-        const int64_t jobs = args.getInt("jobs");
-        fatalIf(jobs < 0, "--jobs must be >= 0, got ", jobs);
+        const uint32_t jobs = parseJobsArg(args);
         // Size the process-wide pool before any parallel work runs.
         common::ThreadPool::setGlobalThreads(
             jobs > 0 ? static_cast<size_t>(jobs)
                      : common::ThreadPool::defaultThreads());
+        // Identical trace whether generated or cache-served, so every
+        // output stays byte-identical across cold and warm runs.
+        data::TraceStore::setCacheEnabled(
+            !args.getBool("no-trace-cache"));
 
         sys::ExperimentOptions options;
         options.iterations =

@@ -1,5 +1,7 @@
 #include "common/args.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -80,14 +82,28 @@ ArgParser::parse(int argc, const char *const *argv)
             }
             if (flag.kind == Kind::Int) {
                 char *end = nullptr;
+                errno = 0;
                 std::strtoll(value.c_str(), &end, 10);
                 fatalIf(end == value.c_str() || *end != '\0', "flag --",
                         token, " expects an integer, got '", value, "'");
+                // strtoll clamps out-of-range input to LLONG_MIN/MAX
+                // and only reports it via errno; accepting the clamp
+                // would silently turn a typo into a huge value.
+                fatalIf(errno == ERANGE, "flag --", token,
+                        " value '", value, "' overflows a 64-bit int");
             } else if (flag.kind == Kind::Double) {
                 char *end = nullptr;
-                std::strtod(value.c_str(), &end);
+                errno = 0;
+                const double parsed = std::strtod(value.c_str(), &end);
                 fatalIf(end == value.c_str() || *end != '\0', "flag --",
                         token, " expects a number, got '", value, "'");
+                // ERANGE alone also covers harmless underflow to a
+                // subnormal; only the overflow clamp to +/-HUGE_VAL
+                // loses the user's value.
+                fatalIf(errno == ERANGE &&
+                            (parsed == HUGE_VAL || parsed == -HUGE_VAL),
+                        "flag --", token, " value '", value,
+                        "' overflows a double");
             }
             flag.value = value;
         }
@@ -139,6 +155,17 @@ ArgParser::wasSet(const std::string &name) const
     auto it = flags_.find(name);
     panicIf(it == flags_.end(), "flag --", name, " was never registered");
     return it->second.set;
+}
+
+uint32_t
+parseJobsArg(const ArgParser &args, const std::string &name)
+{
+    const int64_t jobs = args.getInt(name);
+    fatalIf(jobs < 0, "--", name, " must be >= 0 (0 = all cores), got ",
+            jobs);
+    fatalIf(jobs > kMaxJobs, "--", name, " must be <= ", kMaxJobs,
+            ", got ", jobs);
+    return static_cast<uint32_t>(jobs);
 }
 
 std::string

@@ -25,7 +25,7 @@ AccessStats::addBatch(const MiniBatch &batch)
             counts_.size());
     for (size_t t = 0; t < counts_.size(); ++t) {
         auto &table_counts = counts_[t];
-        for (uint32_t id : batch.table_ids[t]) {
+        for (uint32_t id : batch.ids(t)) {
             panicIf(id >= rows_per_table_, "ID ", id,
                     " out of range for table with ", rows_per_table_,
                     " rows");

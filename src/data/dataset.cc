@@ -1,35 +1,15 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "data/trace_format.h"
 
 namespace sp::data
 {
-
-namespace
-{
-
-constexpr uint64_t kMagic = 0x5343525450495045ull; // "SCRTPIPE"
-constexpr uint32_t kVersion = 1;
-
-template <typename T>
-void
-writePod(std::ofstream &os, const T &value)
-{
-    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
-}
-
-template <typename T>
-void
-readPod(std::ifstream &is, T &value)
-{
-    is.read(reinterpret_cast<char *>(&value), sizeof(T));
-}
-
-} // namespace
 
 TraceDataset::TraceDataset(const TraceConfig &config, uint64_t num_batches)
     : config_(config), generator_(config)
@@ -51,6 +31,36 @@ TraceDataset::TraceDataset(const TraceConfig &config,
     fatalIf(batches_.empty(), "dataset needs at least one batch");
 }
 
+TraceDataset::TraceDataset(std::shared_ptr<TraceView> view,
+                           uint64_t max_batches)
+    : config_(view->config()), generator_(view->config()),
+      view_(std::move(view))
+{
+    const uint64_t num_batches =
+        max_batches == 0
+            ? view_->numBatches()
+            : std::min<uint64_t>(max_batches, view_->numBatches());
+    // Warm start: no ID bytes move -- each batch is a handful of spans
+    // into the mapping, built in O(num_tables) per batch. Reading the
+    // index word does fault in one page per batch; that is deliberate:
+    // an entry with scribbled interior indices must be detected here,
+    // where TraceStore can still classify it as a miss and regenerate,
+    // not as a panic in the middle of a simulation.
+    batches_.resize(num_batches);
+    for (uint64_t b = 0; b < num_batches; ++b) {
+        MiniBatch &batch = batches_[b];
+        batch.index = view_->batchIndex(b);
+        fatalIf(batch.index != b, "'", view_->path(),
+                "' stores batch index ", batch.index, " at position ",
+                b, "; the file is corrupt");
+        batch.batch_size = config_.batch_size;
+        batch.lookups_per_table = config_.lookups_per_table;
+        batch.table_views.resize(config_.num_tables);
+        for (size_t t = 0; t < config_.num_tables; ++t)
+            batch.table_views[t] = view_->ids(b, t);
+    }
+}
+
 const MiniBatch &
 TraceDataset::batch(uint64_t index) const
 {
@@ -62,10 +72,14 @@ TraceDataset::batch(uint64_t index) const
 const MiniBatch *
 TraceDataset::lookAhead(uint64_t index, uint64_t distance) const
 {
-    const uint64_t target = index + distance;
-    if (target >= batches_.size())
+    // distance is caller-controlled (future-window sweeps); index +
+    // distance could wrap and alias a stale in-range batch, so bound
+    // the distance against the remaining trace instead of summing.
+    if (index >= batches_.size())
         return nullptr;
-    return &batches_[target];
+    if (distance >= batches_.size() - index)
+        return nullptr;
+    return &batches_[index + distance];
 }
 
 tensor::Matrix
@@ -86,68 +100,52 @@ TraceDataset::save(const std::string &path) const
     std::ofstream os(path, std::ios::binary);
     fatalIf(!os, "cannot open '", path, "' for writing");
 
-    writePod(os, kMagic);
-    writePod(os, kVersion);
-    writePod(os, static_cast<uint64_t>(config_.num_tables));
-    writePod(os, config_.rows_per_table);
-    writePod(os, static_cast<uint64_t>(config_.lookups_per_table));
-    writePod(os, static_cast<uint64_t>(config_.batch_size));
-    writePod(os, static_cast<uint64_t>(config_.locality));
-    writePod(os, config_.seed);
-    writePod(os, static_cast<uint64_t>(config_.dense_features));
-    writePod(os, static_cast<uint64_t>(batches_.size()));
-
+    format::writeHeader(os, config_,
+                        static_cast<uint64_t>(batches_.size()));
     for (const auto &batch : batches_) {
-        writePod(os, batch.index);
-        for (const auto &ids : batch.table_ids) {
+        os.write(reinterpret_cast<const char *>(&batch.index),
+                 sizeof(batch.index));
+        for (size_t t = 0; t < batch.numTables(); ++t) {
+            const auto ids = batch.ids(t);
             os.write(reinterpret_cast<const char *>(ids.data()),
                      static_cast<std::streamsize>(ids.size() *
                                                   sizeof(uint32_t)));
         }
     }
+    // Durability: a full disk or short write may only surface at
+    // flush/close time; check both so a truncated file is reported
+    // here rather than as a corruption error at some later load().
+    os.flush();
     fatalIf(!os, "I/O error while writing '", path, "'");
+    os.close();
+    fatalIf(os.fail(), "I/O error while closing '", path, "'");
 }
 
 TraceDataset
-TraceDataset::load(const std::string &path)
+TraceDataset::load(const std::string &path, uint64_t max_batches)
 {
     std::ifstream is(path, std::ios::binary);
     fatalIf(!is, "cannot open '", path, "' for reading");
 
-    uint64_t magic = 0;
-    uint32_t version = 0;
-    readPod(is, magic);
-    readPod(is, version);
-    fatalIf(magic != kMagic, "'", path, "' is not a ScratchPipe trace");
-    fatalIf(version != kVersion, "unsupported trace version ", version);
+    const format::TraceFileHeader header = format::readHeader(is, path);
+    is.seekg(0, std::ios::end);
+    const uint64_t file_bytes = static_cast<uint64_t>(is.tellg());
+    is.seekg(static_cast<std::streamoff>(
+        format::headerBytes(header.config)));
+    format::validateHeader(header, file_bytes, path);
 
-    TraceConfig config;
-    uint64_t num_tables = 0, lookups = 0, batch_size = 0, locality = 0;
-    uint64_t dense = 0, num_batches = 0;
-    readPod(is, num_tables);
-    readPod(is, config.rows_per_table);
-    readPod(is, lookups);
-    readPod(is, batch_size);
-    readPod(is, locality);
-    readPod(is, config.seed);
-    readPod(is, dense);
-    readPod(is, num_batches);
-    // Fail before acting on garbage counts: a file cut inside the
-    // header would otherwise drive the reserve/read loop below with
-    // whatever bytes happened to be there.
-    fatalIf(!is, "'", path, "' is truncated inside the trace header");
-    config.num_tables = num_tables;
-    config.lookups_per_table = lookups;
-    config.batch_size = batch_size;
-    config.locality = static_cast<Locality>(locality);
-    config.dense_features = dense;
-
+    const TraceConfig &config = header.config;
+    const uint64_t num_batches =
+        max_batches == 0
+            ? header.num_batches
+            : std::min<uint64_t>(max_batches, header.num_batches);
     std::vector<MiniBatch> batches;
     batches.reserve(num_batches);
     const size_t ids_per_table = config.idsPerTable();
     for (uint64_t b = 0; b < num_batches; ++b) {
         MiniBatch batch;
-        readPod(is, batch.index);
+        is.read(reinterpret_cast<char *>(&batch.index),
+                sizeof(batch.index));
         batch.batch_size = config.batch_size;
         batch.lookups_per_table = config.lookups_per_table;
         batch.table_ids.resize(config.num_tables);
@@ -161,10 +159,18 @@ TraceDataset::load(const std::string &path)
         // looping num_batches times over a dead stream.
         fatalIf(!is, "'", path, "' is truncated at batch ", b, " of ",
                 num_batches);
+        fatalIf(batch.index != b, "'", path, "' stores batch index ",
+                batch.index, " at position ", b,
+                "; the file is corrupt");
         batches.push_back(std::move(batch));
     }
-    fatalIf(!is, "I/O error while reading '", path, "'");
     return TraceDataset(config, std::move(batches));
+}
+
+TraceDataset
+TraceDataset::mapped(const std::string &path, uint64_t max_batches)
+{
+    return TraceDataset(TraceView::open(path), max_batches);
 }
 
 } // namespace sp::data

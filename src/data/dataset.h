@@ -10,17 +10,23 @@
  * simply iterate.
  *
  * Datasets can be saved to and loaded from a compact binary format so
- * experiments can be re-run on the exact same trace.
+ * experiments can be re-run on the exact same trace (trace_format.h).
+ * Two load paths exist: load() eagerly deserialises into owned
+ * vectors, while mapped() wraps an mmap'd TraceView and serves every
+ * batch zero-copy out of the file mapping -- the warm-start path the
+ * content-addressed TraceStore prefers.
  */
 
 #ifndef SP_DATA_DATASET_H
 #define SP_DATA_DATASET_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/trace.h"
+#include "data/trace_view.h"
 
 namespace sp::data
 {
@@ -35,6 +41,14 @@ class TraceDataset
     /** Construct from pre-built batches (used by the loader). */
     TraceDataset(const TraceConfig &config,
                  std::vector<MiniBatch> batches);
+
+    /**
+     * Serve batches zero-copy from an opened view. With `max_batches`
+     * != 0 only the first min(max_batches, view batches) batches are
+     * exposed (a longer cached trace serves any prefix).
+     */
+    explicit TraceDataset(std::shared_ptr<TraceView> view,
+                          uint64_t max_batches = 0);
 
     const TraceConfig &config() const { return config_; }
     uint64_t numBatches() const { return batches_.size(); }
@@ -55,16 +69,39 @@ class TraceDataset
     /** Labels for batch `index` (functional runs). */
     tensor::Matrix labels(uint64_t index) const;
 
-    /** Serialise to a binary file; fatal() on I/O errors. */
+    /**
+     * Serialise to a binary file. fatal() on any I/O error, including
+     * short writes detected at the final flush/close -- a silently
+     * truncated file must never be published.
+     */
     void save(const std::string &path) const;
 
-    /** Load a dataset previously written by save(). */
-    static TraceDataset load(const std::string &path);
+    /**
+     * Eagerly load a dataset previously written by save(). With
+     * `max_batches` != 0, stop after that many batches (prefix load).
+     */
+    static TraceDataset load(const std::string &path,
+                             uint64_t max_batches = 0);
+
+    /**
+     * mmap-backed load: batches are served straight from the file
+     * mapping (see TraceView). fatal() where load() would be, and
+     * additionally when the platform has no mmap support -- callers
+     * wanting a fallback check TraceView::supported() first.
+     */
+    static TraceDataset mapped(const std::string &path,
+                               uint64_t max_batches = 0);
+
+    /** True when batches are served from an mmap'd view. */
+    bool isMapped() const { return view_ != nullptr; }
 
   private:
     TraceConfig config_;
     TraceGenerator generator_;
     std::vector<MiniBatch> batches_;
+    // Keeps the mapping alive for view-backed batches; shared so the
+    // dataset stays movable/copyable.
+    std::shared_ptr<TraceView> view_;
 };
 
 } // namespace sp::data

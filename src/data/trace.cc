@@ -1,8 +1,12 @@
 #include "data/trace.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.h"
+#include "data/trace_format.h"
 
 namespace sp::data
 {
@@ -27,6 +31,50 @@ mix64(uint64_t x)
 }
 
 } // namespace
+
+std::string
+TraceConfig::fingerprint() const
+{
+    // Chained mix64 over every generator-relevant field. Order and
+    // content must only change together with kTraceFormatVersion
+    // (which is folded in, so a format bump retires every cache entry
+    // at once); a pinned-value test guards against accidental drift.
+    uint64_t h = 0x5343525450495045ull; // "SCRTPIPE"
+    const auto fold = [&h](uint64_t value) { h = mix64(h ^ value); };
+    fold(format::kTraceFormatVersion);
+    fold(num_tables);
+    fold(rows_per_table);
+    fold(lookups_per_table);
+    fold(batch_size);
+    fold(static_cast<uint64_t>(locality));
+    fold(seed);
+    fold(dense_features);
+    fold(per_table_exponents.size());
+    for (const double exponent : per_table_exponents)
+        fold(std::bit_cast<uint64_t>(exponent));
+
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(hex, 16);
+}
+
+bool
+MiniBatch::idsEqual(const MiniBatch &other) const
+{
+    if (index != other.index || batch_size != other.batch_size ||
+        lookups_per_table != other.lookups_per_table ||
+        numTables() != other.numTables())
+        return false;
+    for (size_t t = 0; t < numTables(); ++t) {
+        const auto mine = ids(t);
+        const auto theirs = other.ids(t);
+        if (!std::equal(mine.begin(), mine.end(), theirs.begin(),
+                        theirs.end()))
+            return false;
+    }
+    return true;
+}
 
 TraceGenerator::TraceGenerator(const TraceConfig &config) : config_(config)
 {
@@ -117,7 +165,7 @@ TraceGenerator::makeLabels(uint64_t index) const
     for (size_t i = 0; i < config_.batch_size; ++i) {
         double score = 0.0;
         for (size_t t = 0; t < config_.num_tables; ++t) {
-            const auto &ids = batch.table_ids[t];
+            const auto ids = batch.ids(t);
             for (size_t l = 0; l < lookups; ++l) {
                 const uint64_t h = mix64(ids[i * lookups + l] + 7919 * t);
                 score += ((h & 1) ? 1.0 : -1.0) * id_scale;

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <cstddef>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "data/locality.h"
@@ -54,9 +56,30 @@ struct TraceConfig
     size_t idsPerTable() const { return batch_size * lookups_per_table; }
     /** Sparse IDs per mini-batch across all tables. */
     size_t idsPerBatch() const { return idsPerTable() * num_tables; }
+
+    /** Field-by-field equality (the cache's poison guard). */
+    bool operator==(const TraceConfig &other) const = default;
+
+    /**
+     * Stable content hash over every generator-relevant field plus the
+     * on-disk format version: two configs produce the same fingerprint
+     * iff they generate byte-identical traces readable by this build.
+     * The content-addressed trace cache (trace_store.h) keys on it.
+     * Returned as 16 lowercase hex characters.
+     */
+    std::string fingerprint() const;
 };
 
-/** One mini-batch of sparse IDs: the unit the pipeline operates on. */
+/**
+ * One mini-batch of sparse IDs: the unit the pipeline operates on.
+ *
+ * A batch is backed in one of two ways: the generator path owns its
+ * IDs in `table_ids`, while an mmap-backed dataset (trace_view.h)
+ * fills `table_views` with spans straight into the file mapping and
+ * leaves `table_ids` empty -- no deserialisation, no copies. Consumers
+ * read through ids()/numTables(), which serve either backing; only the
+ * generator and the eager loader touch `table_ids` directly.
+ */
 struct MiniBatch
 {
     /** Global batch index within the trace. */
@@ -66,11 +89,28 @@ struct MiniBatch
     /**
      * table_ids[t] holds batch_size * lookups_per_table row IDs for
      * table t; the IDs for sample i are the contiguous slice
-     * [i*L, (i+1)*L).
+     * [i*L, (i+1)*L). Empty for view-backed batches.
      */
     std::vector<std::vector<uint32_t>> table_ids;
+    /** Zero-copy backing: spans into an mmap'd trace file. */
+    std::vector<std::span<const uint32_t>> table_views;
 
-    size_t numTables() const { return table_ids.size(); }
+    size_t numTables() const
+    {
+        return table_views.empty() ? table_ids.size()
+                                   : table_views.size();
+    }
+
+    /** Table t's row IDs, whichever backing holds them. */
+    std::span<const uint32_t> ids(size_t t) const
+    {
+        return table_views.empty()
+                   ? std::span<const uint32_t>(table_ids[t])
+                   : table_views[t];
+    }
+
+    /** Element-wise ID equality across backings (tests, validation). */
+    bool idsEqual(const MiniBatch &other) const;
 };
 
 /** Deterministic generator of mini-batches, dense features and labels. */

@@ -1,0 +1,209 @@
+#include "data/trace_format.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace sp::data::format
+{
+
+namespace
+{
+
+// Sanity bounds on header fields. They reject garbage from corrupt or
+// hostile files before any allocation happens, and they keep the
+// record-size products far below uint64_t overflow (the caps multiply
+// out to < 2^52 bytes per record).
+constexpr uint64_t kMaxTables = 1u << 16;
+constexpr uint64_t kMaxBatchSize = 1u << 24;
+constexpr uint64_t kMaxLookups = 1u << 20;
+constexpr uint64_t kMaxDenseFeatures = 1u << 20;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+/** Sequential reader over either a stream or a memory range, so the
+ *  two header parsers share one field order. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::istream &is, const std::string &path)
+        : is_(&is), path_(path)
+    {
+    }
+    Cursor(const unsigned char *data, uint64_t size,
+           const std::string &path)
+        : data_(data), size_(size), path_(path)
+    {
+    }
+
+    template <typename T>
+    T
+    next()
+    {
+        T value{};
+        if (is_ != nullptr) {
+            is_->read(reinterpret_cast<char *>(&value), sizeof(T));
+            fatalIf(!*is_, "'", path_,
+                    "' is truncated inside the trace header");
+        } else {
+            fatalIf(offset_ + sizeof(T) > size_, "'", path_,
+                    "' is truncated inside the trace header");
+            std::memcpy(&value, data_ + offset_, sizeof(T));
+            offset_ += sizeof(T);
+        }
+        return value;
+    }
+
+  private:
+    std::istream *is_ = nullptr;
+    const unsigned char *data_ = nullptr;
+    uint64_t size_ = 0;
+    uint64_t offset_ = 0;
+    const std::string &path_;
+};
+
+TraceFileHeader
+readHeaderFields(Cursor &cursor, const std::string &path)
+{
+    const uint64_t magic = cursor.next<uint64_t>();
+    const uint32_t version = cursor.next<uint32_t>();
+    fatalIf(magic != kMagic, "'", path, "' is not a ScratchPipe trace");
+    fatalIf(version != kTraceFormatVersion, "'", path,
+            "' has unsupported trace version ", version, " (expected ",
+            kTraceFormatVersion,
+            "); regenerate the trace -- pre-v2 headers did not record "
+            "every generator field");
+    cursor.next<uint32_t>(); // alignment pad
+
+    TraceFileHeader header;
+    TraceConfig &config = header.config;
+    config.num_tables = cursor.next<uint64_t>();
+    config.rows_per_table = cursor.next<uint64_t>();
+    config.lookups_per_table = cursor.next<uint64_t>();
+    config.batch_size = cursor.next<uint64_t>();
+    const uint64_t locality = cursor.next<uint64_t>();
+    fatalIf(locality > static_cast<uint64_t>(Locality::High), "'", path,
+            "' names unknown locality preset ", locality);
+    config.locality = static_cast<Locality>(locality);
+    config.seed = cursor.next<uint64_t>();
+    config.dense_features = cursor.next<uint64_t>();
+    const uint64_t num_exponents = cursor.next<uint64_t>();
+    fatalIf(num_exponents != 0 && num_exponents != config.num_tables,
+            "'", path, "' has ", num_exponents,
+            " per-table exponents for ", config.num_tables, " tables");
+    fatalIf(num_exponents > kMaxTables, "'", path,
+            "' header is implausible (", num_exponents, " exponents)");
+    config.per_table_exponents.resize(num_exponents);
+    for (uint64_t t = 0; t < num_exponents; ++t)
+        config.per_table_exponents[t] = cursor.next<double>();
+    header.num_batches = cursor.next<uint64_t>();
+    return header;
+}
+
+} // namespace
+
+uint64_t
+headerBytes(const TraceConfig &config)
+{
+    // magic + version + pad, eight u64 fields + num_batches, plus the
+    // optional exponent block.
+    return 8 + 4 + 4 + 8 * 9 +
+           8 * static_cast<uint64_t>(config.per_table_exponents.size());
+}
+
+uint64_t
+batchRecordBytes(const TraceConfig &config)
+{
+    return 8 + sizeof(uint32_t) *
+                   static_cast<uint64_t>(config.num_tables) *
+                   static_cast<uint64_t>(config.idsPerTable());
+}
+
+uint64_t
+idsOffset(const TraceConfig &config, uint64_t b, uint64_t t)
+{
+    return headerBytes(config) + b * batchRecordBytes(config) + 8 +
+           t * sizeof(uint32_t) *
+               static_cast<uint64_t>(config.idsPerTable());
+}
+
+void
+writeHeader(std::ostream &os, const TraceConfig &config,
+            uint64_t num_batches)
+{
+    writePod(os, kMagic);
+    writePod(os, kTraceFormatVersion);
+    writePod(os, uint32_t{0}); // alignment pad
+    writePod(os, static_cast<uint64_t>(config.num_tables));
+    writePod(os, config.rows_per_table);
+    writePod(os, static_cast<uint64_t>(config.lookups_per_table));
+    writePod(os, static_cast<uint64_t>(config.batch_size));
+    writePod(os, static_cast<uint64_t>(config.locality));
+    writePod(os, config.seed);
+    writePod(os, static_cast<uint64_t>(config.dense_features));
+    writePod(os,
+             static_cast<uint64_t>(config.per_table_exponents.size()));
+    for (const double exponent : config.per_table_exponents)
+        writePod(os, exponent);
+    writePod(os, num_batches);
+}
+
+TraceFileHeader
+readHeader(std::istream &is, const std::string &path)
+{
+    Cursor cursor(is, path);
+    return readHeaderFields(cursor, path);
+}
+
+TraceFileHeader
+parseHeader(const unsigned char *data, uint64_t size,
+            const std::string &path)
+{
+    Cursor cursor(data, size, path);
+    return readHeaderFields(cursor, path);
+}
+
+void
+validateHeader(const TraceFileHeader &header, uint64_t file_bytes,
+               const std::string &path)
+{
+    const TraceConfig &config = header.config;
+    fatalIf(config.num_tables == 0 || config.num_tables > kMaxTables,
+            "'", path, "' header is implausible (", config.num_tables,
+            " tables)");
+    fatalIf(config.rows_per_table == 0, "'", path,
+            "' header is implausible (zero rows per table)");
+    fatalIf(config.batch_size == 0 || config.batch_size > kMaxBatchSize,
+            "'", path, "' header is implausible (batch size ",
+            config.batch_size, ")");
+    fatalIf(config.lookups_per_table == 0 ||
+                config.lookups_per_table > kMaxLookups,
+            "'", path, "' header is implausible (",
+            config.lookups_per_table, " lookups per table)");
+    fatalIf(config.dense_features > kMaxDenseFeatures, "'", path,
+            "' header is implausible (", config.dense_features,
+            " dense features)");
+    fatalIf(header.num_batches == 0, "'", path, "' holds no batches");
+
+    // Divide instead of multiplying record size by the (untrusted)
+    // batch count, so an absurd count cannot overflow the check.
+    const uint64_t header_bytes = headerBytes(config);
+    const uint64_t record_bytes = batchRecordBytes(config);
+    const uint64_t payload =
+        file_bytes >= header_bytes ? file_bytes - header_bytes : 0;
+    fatalIf(file_bytes < header_bytes ||
+                payload % record_bytes != 0 ||
+                payload / record_bytes != header.num_batches,
+            "'", path, "' is ", file_bytes, " bytes but its header "
+            "describes ", header.num_batches, " batches of ",
+            record_bytes, " bytes; the file is truncated or corrupt");
+}
+
+} // namespace sp::data::format

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * On-disk trace format (internal to src/data).
+ *
+ * One header codec shared by the eager loader (dataset.cc), the mmap
+ * view (trace_view.cc) and the writer, so the three can never drift.
+ *
+ * Layout (version 2; all fields native-endian, written raw):
+ *
+ *   u64 magic            "SCRTPIPE"
+ *   u32 version          kTraceFormatVersion
+ *   u32 pad              0 (keeps the rest of the header 8-aligned)
+ *   u64 num_tables
+ *   u64 rows_per_table
+ *   u64 lookups_per_table
+ *   u64 batch_size
+ *   u64 locality
+ *   u64 seed
+ *   u64 dense_features
+ *   u64 num_exponents    0, or num_tables per-table Zipf exponents
+ *   f64 exponents[num_exponents]
+ *   u64 num_batches
+ *   -- then num_batches records of --
+ *   u64 batch_index
+ *   u32 ids[num_tables][batch_size * lookups_per_table]
+ *
+ * Every batch record has the same computable size, so a reader can mmap
+ * the file and serve any (batch, table) ID slice as a pointer into the
+ * mapping: the ID payload is always 4-byte aligned (the header size is
+ * a multiple of 8 and each record is 8 + a multiple of 4 bytes).
+ *
+ * Version 1 files -- whose header omitted the per-table exponents, so
+ * a loaded config could silently differ from the one that generated
+ * the IDs -- are rejected with a regenerate hint: an incompletely
+ * described trace must never be served from the content-addressed
+ * cache.
+ */
+
+#ifndef SP_DATA_TRACE_FORMAT_H
+#define SP_DATA_TRACE_FORMAT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "data/trace.h"
+
+namespace sp::data::format
+{
+
+inline constexpr uint64_t kMagic = 0x5343525450495045ull; // "SCRTPIPE"
+inline constexpr uint32_t kTraceFormatVersion = 2;
+
+/** Decoded and validated file header. */
+struct TraceFileHeader
+{
+    TraceConfig config;
+    uint64_t num_batches = 0;
+};
+
+/** Exact header size for `config` (depends on per-table exponents). */
+uint64_t headerBytes(const TraceConfig &config);
+
+/** Size of one batch record: index word + the ID payload. */
+uint64_t batchRecordBytes(const TraceConfig &config);
+
+/** Byte offset of table `t`'s IDs inside batch `b`'s record. */
+uint64_t idsOffset(const TraceConfig &config, uint64_t b, uint64_t t);
+
+/** Write the v2 header. The caller checks stream state. */
+void writeHeader(std::ostream &os, const TraceConfig &config,
+                 uint64_t num_batches);
+
+/**
+ * Read and validate a header from a stream positioned at byte 0.
+ * fatal() (mentioning `path`) on short reads, bad magic, unsupported
+ * versions, or semantically impossible field values.
+ */
+TraceFileHeader readHeader(std::istream &is, const std::string &path);
+
+/** Same validation over an in-memory byte range (the mmap path). */
+TraceFileHeader parseHeader(const unsigned char *data, uint64_t size,
+                            const std::string &path);
+
+/**
+ * Semantic header validation shared by both readers: field sanity
+ * bounds (also overflow guards for the record-size arithmetic) and a
+ * batch count that exactly matches `file_bytes`. fatal() on violation.
+ */
+void validateHeader(const TraceFileHeader &header, uint64_t file_bytes,
+                    const std::string &path);
+
+} // namespace sp::data::format
+
+#endif // SP_DATA_TRACE_FORMAT_H

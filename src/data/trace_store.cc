@@ -1,0 +1,226 @@
+#include "data/trace_store.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <system_error>
+
+#include "common/logging.h"
+#include "data/trace_format.h"
+#include "data/trace_view.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace sp::data
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::atomic<bool> g_cache_enabled{false};
+
+const char *
+cacheEnv()
+{
+    return std::getenv("SP_TRACE_CACHE");
+}
+
+bool
+envDisablesCache()
+{
+    const char *value = cacheEnv();
+    if (value == nullptr)
+        return false;
+    const std::string text(value);
+    return text == "0" || text == "off" || text == "none";
+}
+
+std::string
+defaultDirectory()
+{
+    const char *value = cacheEnv();
+    if (value != nullptr && *value != '\0' && !envDisablesCache())
+        return value;
+    return ".sp-trace-cache";
+}
+
+/** Process- and call-unique temp suffix so concurrent publishers of
+ *  one fingerprint never collide before their atomic rename. The
+ *  random token keeps processes distinct even where getpid is
+ *  unavailable. */
+std::string
+tempSuffix()
+{
+    static std::atomic<uint64_t> sequence{0};
+    static const uint64_t token =
+        (static_cast<uint64_t>(std::random_device{}()) << 32) ^
+        std::random_device{}();
+#if defined(__unix__) || defined(__APPLE__)
+    const uint64_t pid = static_cast<uint64_t>(::getpid());
+#else
+    const uint64_t pid = token & 0xffff;
+#endif
+    return ".tmp." + std::to_string(pid) + "." +
+           std::to_string(token % 1000000) + "." +
+           std::to_string(sequence.fetch_add(1));
+}
+
+/**
+ * Cheap header peek: does the current entry at `path` already hold a
+ * valid trace for `config` covering at least `num_batches`? Used to
+ * avoid replacing a longer published entry with a shorter one when
+ * publishers race with different batch counts (the shorter file would
+ * silently defeat every later warm start).
+ */
+bool
+entryCovers(const TraceConfig &config, uint64_t num_batches,
+            const std::string &path)
+{
+    try {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return false;
+        const format::TraceFileHeader header =
+            format::readHeader(is, path);
+        is.seekg(0, std::ios::end);
+        format::validateHeader(
+            header, static_cast<uint64_t>(is.tellg()), path);
+        return header.config == config &&
+               header.num_batches >= num_batches;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+} // namespace
+
+TraceStore::TraceStore() : TraceStore(Options{}) {}
+
+TraceStore::TraceStore(const Options &options)
+    : directory_(options.directory.empty() ? defaultDirectory()
+                                           : options.directory),
+      use_mmap_(options.use_mmap)
+{
+}
+
+std::string
+TraceStore::entryPath(const TraceConfig &config) const
+{
+    return (fs::path(directory_) / (config.fingerprint() + ".sptrace"))
+        .string();
+}
+
+std::optional<TraceDataset>
+TraceStore::tryLoad(const TraceConfig &config, uint64_t num_batches,
+                    const std::string &path, bool *mapped) const
+{
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec)
+        return std::nullopt;
+    try {
+        const bool use_view = use_mmap_ && TraceView::supported();
+        TraceDataset dataset = use_view
+                                   ? TraceDataset::mapped(path,
+                                                          num_batches)
+                                   : TraceDataset::load(path,
+                                                        num_batches);
+        // Poison guard: the fingerprint addressed the file, but the
+        // *full* config must match field-by-field -- a hash collision
+        // or a stale hand-edited entry must read as a miss, never as
+        // silently wrong IDs.
+        if (!(dataset.config() == config))
+            return std::nullopt;
+        // A shorter entry cannot serve this request; regenerate.
+        if (dataset.numBatches() < num_batches)
+            return std::nullopt;
+        *mapped = use_view;
+        return dataset;
+    } catch (const FatalError &) {
+        // Truncated/corrupt entry: treat as a miss; the caller
+        // regenerates and republishes over it.
+        return std::nullopt;
+    }
+}
+
+bool
+TraceStore::publish(const TraceDataset &dataset,
+                    const std::string &path) const
+{
+    const std::string tmp = path + tempSuffix();
+    try {
+        std::error_code ec;
+        fs::create_directories(directory_, ec);
+        fatalIf(static_cast<bool>(ec), "cannot create trace cache "
+                "directory '", directory_, "': ", ec.message());
+        dataset.save(tmp);
+        // Atomic publication: rename() replaces any existing entry in
+        // one step, so concurrent readers see the old file or the new
+        // one, never a torn write.
+        fs::rename(tmp, path, ec);
+        fatalIf(static_cast<bool>(ec), "cannot publish trace cache "
+                "entry '", path, "': ", ec.message());
+        return true;
+    } catch (const FatalError &error) {
+        // Cache trouble (read-only directory, disk full) must not
+        // kill the run -- the dataset is already in memory. Leave a
+        // loud hint and carry on uncached.
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        std::cerr << "warning: trace cache publication failed ("
+                  << error.what() << "); continuing uncached\n";
+        return false;
+    }
+}
+
+TraceDataset
+TraceStore::acquire(const TraceConfig &config, uint64_t num_batches,
+                    AcquireInfo *info) const
+{
+    fatalIf(num_batches == 0, "dataset needs at least one batch");
+    const std::string path = entryPath(config);
+
+    bool mapped = false;
+    if (auto cached = tryLoad(config, num_batches, path, &mapped)) {
+        if (info != nullptr)
+            *info = {true, mapped, false};
+        return std::move(*cached);
+    }
+
+    TraceDataset fresh(config, num_batches);
+    // While we generated, a racing publisher may have landed an entry
+    // that already covers this request (possibly with *more* batches
+    // than ours); renaming over it would shrink the cache for every
+    // later consumer, so re-peek and only publish when ours improves
+    // on what's there. A longer entry landing inside the tiny
+    // check-to-rename window can still be clobbered -- without file
+    // locks that race is irreducible -- but the next longer request
+    // simply regenerates and heals the entry.
+    bool published = false;
+    if (!entryCovers(config, num_batches, path))
+        published = publish(fresh, path);
+    if (info != nullptr)
+        *info = {false, false, published};
+    return fresh;
+}
+
+void
+TraceStore::setCacheEnabled(bool enabled)
+{
+    g_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+TraceStore::cacheEnabled()
+{
+    return g_cache_enabled.load(std::memory_order_relaxed) &&
+           !envDisablesCache();
+}
+
+} // namespace sp::data

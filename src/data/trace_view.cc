@@ -1,0 +1,105 @@
+#include "data/trace_view.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "data/trace_format.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace sp::data
+{
+
+bool
+TraceView::supported()
+{
+#ifdef SP_HAVE_MMAP
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::shared_ptr<TraceView>
+TraceView::open(const std::string &path)
+{
+#ifdef SP_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    fatalIf(fd < 0, "cannot open '", path, "' for mapping");
+
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fatal("cannot stat '", path, "'");
+    }
+    const uint64_t size = static_cast<uint64_t>(st.st_size);
+    void *mapping =
+        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping outlives the descriptor.
+    ::close(fd);
+    fatalIf(mapping == MAP_FAILED, "mmap of '", path, "' (", size,
+            " bytes) failed");
+
+    // From here the mapping must be released on any validation
+    // failure; shared_ptr + ~TraceView handles both paths.
+    std::shared_ptr<TraceView> view(new TraceView());
+    view->path_ = path;
+    view->data_ = static_cast<const unsigned char *>(mapping);
+    view->size_ = size;
+
+    const format::TraceFileHeader header =
+        format::parseHeader(view->data_, size, path);
+    format::validateHeader(header, size, path);
+    view->config_ = header.config;
+    view->num_batches_ = header.num_batches;
+    return view;
+#else
+    fatal("cannot map '", path,
+          "': no mmap support on this platform (use the eager "
+          "TraceDataset::load)");
+#endif
+}
+
+TraceView::~TraceView()
+{
+#ifdef SP_HAVE_MMAP
+    if (data_ != nullptr)
+        ::munmap(const_cast<unsigned char *>(data_), size_);
+#endif
+}
+
+uint64_t
+TraceView::batchIndex(uint64_t b) const
+{
+    panicIf(b >= num_batches_, "batch index ", b, " out of range (",
+            num_batches_, " batches in '", path_, "')");
+    uint64_t index = 0;
+    std::memcpy(&index,
+                data_ + format::headerBytes(config_) +
+                    b * format::batchRecordBytes(config_),
+                sizeof(index));
+    return index;
+}
+
+std::span<const uint32_t>
+TraceView::ids(uint64_t b, uint64_t t) const
+{
+    panicIf(b >= num_batches_, "batch index ", b, " out of range (",
+            num_batches_, " batches in '", path_, "')");
+    panicIf(t >= config_.num_tables, "table index ", t,
+            " out of range (", config_.num_tables, " tables in '",
+            path_, "')");
+    // The ID payload is 4-aligned by the format's construction (see
+    // trace_format.h), so the reinterpret_cast is well-defined here.
+    const unsigned char *base = data_ + format::idsOffset(config_, b, t);
+    return {reinterpret_cast<const uint32_t *>(base),
+            config_.idsPerTable()};
+}
+
+} // namespace sp::data

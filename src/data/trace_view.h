@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Zero-copy mmap view over a serialised trace file.
+ *
+ * A TraceView maps a v2 trace file (see trace_format.h) read-only into
+ * the address space and serves any (batch, table) ID slice as a span
+ * pointing straight into the mapping -- warm-starting a paper-scale
+ * sweep costs one mmap plus header validation instead of regenerating
+ * (or even rereading) gigabytes of IDs. The header is fully validated
+ * at open() time, including an exact file-size check, so a span handed
+ * out later can never run off the mapping.
+ *
+ * Platforms without POSIX mmap report supported() == false and open()
+ * fails; callers (TraceStore, TraceDataset::mapped) fall back to the
+ * eager loader.
+ */
+
+#ifndef SP_DATA_TRACE_VIEW_H
+#define SP_DATA_TRACE_VIEW_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "data/trace.h"
+
+namespace sp::data
+{
+
+/** Read-only mmap over one trace file; immutable once opened. */
+class TraceView
+{
+  public:
+    /** True when this platform has an mmap path at all. */
+    static bool supported();
+
+    /**
+     * Map `path` and validate its header. fatal() when the file is
+     * missing, not a trace, a pre-v2 version, corrupt, or when mmap
+     * is unsupported or fails.
+     */
+    static std::shared_ptr<TraceView> open(const std::string &path);
+
+    ~TraceView();
+    TraceView(const TraceView &) = delete;
+    TraceView &operator=(const TraceView &) = delete;
+
+    const std::string &path() const { return path_; }
+    const TraceConfig &config() const { return config_; }
+    uint64_t numBatches() const { return num_batches_; }
+
+    /** The index recorded for batch `b` (equals b in a valid file). */
+    uint64_t batchIndex(uint64_t b) const;
+
+    /** Table `t`'s IDs for batch `b`: a span into the mapping. */
+    std::span<const uint32_t> ids(uint64_t b, uint64_t t) const;
+
+  private:
+    TraceView() = default;
+
+    std::string path_;
+    TraceConfig config_;
+    uint64_t num_batches_ = 0;
+    const unsigned char *data_ = nullptr;
+    uint64_t size_ = 0;
+};
+
+} // namespace sp::data
+
+#endif // SP_DATA_TRACE_VIEW_H

@@ -23,7 +23,7 @@ BatchStats::BatchStats(const data::TraceDataset &dataset,
         unique_[b].reserve(batch.numTables());
         for (size_t t = 0; t < batch.numTables(); ++t)
             unique_[b].push_back(
-                emb::countUnique(batch.table_ids[t], scratch));
+                emb::countUnique(batch.ids(t), scratch));
     });
 }
 

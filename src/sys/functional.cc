@@ -102,7 +102,7 @@ functionalTrainStep(nn::DlrmModel &model,
     std::vector<tensor::Matrix> reduced(num_tables);
     for (size_t t = 0; t < num_tables; ++t) {
         reduced[t].resize(batch.batch_size, accessors[t]->dim());
-        emb::gatherReduce(*accessors[t], batch.table_ids[t],
+        emb::gatherReduce(*accessors[t], batch.ids(t),
                           batch.lookups_per_table, reduced[t]);
     }
 
@@ -117,7 +117,7 @@ functionalTrainStep(nn::DlrmModel &model,
             "one state accessor per table required");
     for (size_t t = 0; t < num_tables; ++t) {
         const auto coalesced = emb::duplicateAndCoalesce(
-            batch.table_ids[t], emb_grads[t], batch.lookups_per_table);
+            batch.ids(t), emb_grads[t], batch.lookups_per_table);
         if (state_accessors != nullptr) {
             emb::adagradScatter(*accessors[t], *(*state_accessors)[t],
                                 coalesced, lr, adagrad_eps);
@@ -267,7 +267,7 @@ FunctionalStaticCacheTrainer::train(const data::TraceDataset &dataset,
     for (uint64_t i = 0; i < iterations; ++i) {
         const auto &batch = dataset.batch(i);
         for (size_t t = 0; t < batch.numTables(); ++t) {
-            const auto query = caches[t].query(batch.table_ids[t]);
+            const auto query = caches[t].query(batch.ids(t));
             hits_ += query.hits;
             lookups_ += query.hits + query.misses;
         }
@@ -367,10 +367,10 @@ FunctionalScratchPipeTrainer::planBatch(const data::TraceDataset &dataset,
                 const auto *next = dataset.lookAhead(index, d);
                 if (next == nullptr)
                     break;
-                futures.emplace_back(next->table_ids[t]);
+                futures.emplace_back(next->ids(t));
             }
             staged.per_table[t].plan =
-                controllers_[t].plan(mini.table_ids[t], futures);
+                controllers_[t].plan(mini.ids(t), futures);
         });
     inflight_.emplace(index, std::move(staged));
 }
@@ -523,7 +523,7 @@ FunctionalScratchPipeTrainer::trainBatch(const data::TraceDataset &dataset,
 
     if (auditing_) {
         for (size_t t = 0; t < mini.numTables(); ++t) {
-            for (uint32_t id : emb::uniqueIds(mini.table_ids[t]))
+            for (uint32_t id : emb::uniqueIds(mini.ids(t)))
                 auditor_.trainWritesSlot(t, controllers_[t].slotOf(id));
         }
     }

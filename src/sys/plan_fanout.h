@@ -113,10 +113,10 @@ class PlanFanout
                     const auto *next = dataset.lookAhead(index, d);
                     if (next == nullptr)
                         break;
-                    futures.emplace_back(next->table_ids[t]);
+                    futures.emplace_back(next->ids(t));
                 }
                 const auto &plan =
-                    controllers[t].plan(mini.table_ids[t], futures);
+                    controllers[t].plan(mini.ids(t), futures);
                 out[t] = {plan.fills.size(), plan.evictions.size(),
                           plan.hits, plan.hits + plan.misses};
             });

@@ -57,7 +57,7 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
         uint64_t hits = 0, misses = 0;
         emb::Traffic cpu_fwd, cpu_bwd, gpu_emb;
         for (size_t t = 0; t < trace.num_tables; ++t) {
-            const auto &ids = mini.table_ids[t];
+            const auto ids = mini.ids(t);
             subset.clear();
             uint64_t table_hits = 0;
             for (uint32_t id : ids) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/args.h"
@@ -96,6 +97,75 @@ TEST(Args, MalformedNumbersFatal)
     EXPECT_THROW(parse(args, {"--count", "seven"}), FatalError);
     ArgParser args2 = makeParser();
     EXPECT_THROW(parse(args2, {"--rate", "fast"}), FatalError);
+}
+
+TEST(Args, TrailingGarbageNumbersFatal)
+{
+    ArgParser args = makeParser();
+    EXPECT_THROW(parse(args, {"--count=12abc"}), FatalError);
+    ArgParser args2 = makeParser();
+    EXPECT_THROW(parse(args2, {"--count="}), FatalError);
+    ArgParser args3 = makeParser();
+    EXPECT_THROW(parse(args3, {"--rate", "1.5x"}), FatalError);
+}
+
+TEST(Args, OverflowingNumbersFatal)
+{
+    // strtoll/strtod clamp out-of-range values and only flag them via
+    // errno; accepting the clamp would silently hand a typo'd value
+    // (e.g. an extra digit on --jobs) to the pool sizing.
+    ArgParser args = makeParser();
+    EXPECT_THROW(parse(args, {"--count", "99999999999999999999"}),
+                 FatalError);
+    ArgParser args2 = makeParser();
+    EXPECT_THROW(parse(args2, {"--count", "-99999999999999999999"}),
+                 FatalError);
+    ArgParser args3 = makeParser();
+    EXPECT_THROW(parse(args3, {"--rate", "1e999"}), FatalError);
+
+    // Underflow to a representable subnormal is not an error.
+    ArgParser args4 = makeParser();
+    EXPECT_TRUE(parse(args4, {"--rate", "1e-310"}));
+    EXPECT_GT(args4.getDouble("rate"), 0.0);
+}
+
+ArgParser
+makeJobsParser()
+{
+    ArgParser args("jobs tool");
+    args.addInt("jobs", 0, "worker threads");
+    return args;
+}
+
+TEST(Args, ParseJobsAcceptsSaneWidths)
+{
+    ArgParser args = makeJobsParser();
+    EXPECT_TRUE(parse(args, {}));
+    EXPECT_EQ(parseJobsArg(args), 0u); // default: all cores
+
+    ArgParser args2 = makeJobsParser();
+    EXPECT_TRUE(parse(args2, {"--jobs", "16"}));
+    EXPECT_EQ(parseJobsArg(args2), 16u);
+}
+
+TEST(Args, ParseJobsRejectsNegativeWidths)
+{
+    ArgParser args = makeJobsParser();
+    EXPECT_TRUE(parse(args, {"--jobs", "-2"}));
+    EXPECT_THROW(parseJobsArg(args), FatalError);
+}
+
+TEST(Args, ParseJobsRejectsAbsurdWidths)
+{
+    // In range for int64 but would wrap the pool into terathreads.
+    ArgParser args = makeJobsParser();
+    EXPECT_TRUE(parse(args, {"--jobs", "4294967296000"}));
+    EXPECT_THROW(parseJobsArg(args), FatalError);
+
+    ArgParser args2 = makeJobsParser();
+    const std::string above_max = std::to_string(kMaxJobs + 1);
+    EXPECT_TRUE(parse(args2, {"--jobs", above_max.c_str()}));
+    EXPECT_THROW(parseJobsArg(args2), FatalError);
 }
 
 TEST(Args, PositionalArgumentsRejected)

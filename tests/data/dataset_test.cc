@@ -5,10 +5,12 @@
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <string>
 
 #include "common/logging.h"
 #include "data/dataset.h"
+#include "data/trace_view.h"
 
 namespace sp::data
 {
@@ -77,6 +79,19 @@ TEST(Dataset, LookAheadPastEndIsNull)
     TraceDataset dataset(smallConfig(), 4);
     EXPECT_EQ(dataset.lookAhead(3, 1), nullptr);
     EXPECT_EQ(dataset.lookAhead(0, 4), nullptr);
+}
+
+TEST(Dataset, LookAheadHugeDistanceDoesNotWrap)
+{
+    // index + distance used to be summed, so a distance near 2^64
+    // wrapped around and returned a stale in-range batch instead of
+    // nullptr.
+    TraceDataset dataset(smallConfig(), 4);
+    const uint64_t huge = std::numeric_limits<uint64_t>::max();
+    EXPECT_EQ(dataset.lookAhead(1, huge), nullptr);
+    EXPECT_EQ(dataset.lookAhead(3, huge - 2), nullptr);
+    EXPECT_EQ(dataset.lookAhead(huge, 0), nullptr);
+    EXPECT_EQ(dataset.lookAhead(huge - 1, 1), nullptr);
 }
 
 TEST(Dataset, OutOfRangeBatchPanics)
@@ -152,6 +167,109 @@ TEST(Dataset, RoundTripPreservesFullConfigAndLookAhead)
                                           original.denseFeatures(3)));
 }
 
+TEST(Dataset, RoundTripPreservesEveryConfigField)
+{
+    // A header that silently drops any generator-relevant field would
+    // poison the content-addressed cache, so the loaded config must
+    // compare equal field-by-field -- including the per-table
+    // exponent overrides, which v1 files did not record at all.
+    TempFile file;
+    TraceConfig config = smallConfig();
+    config.per_table_exponents = {0.35, 1.25};
+    config.dense_features = 9;
+    TraceDataset original(config, 4);
+    original.save(file.path());
+
+    const TraceDataset loaded = TraceDataset::load(file.path());
+    EXPECT_TRUE(loaded.config() == config);
+    for (uint64_t b = 0; b < 4; ++b)
+        EXPECT_TRUE(loaded.batch(b).idsEqual(original.batch(b)));
+}
+
+TEST(Dataset, LoadHonoursMaxBatches)
+{
+    TempFile file;
+    TraceDataset original(smallConfig(), 7);
+    original.save(file.path());
+    const TraceDataset prefix = TraceDataset::load(file.path(), 3);
+    ASSERT_EQ(prefix.numBatches(), 3u);
+    for (uint64_t b = 0; b < 3; ++b)
+        EXPECT_TRUE(prefix.batch(b).idsEqual(original.batch(b)));
+}
+
+TEST(Dataset, MappedServesIdenticalBatchesZeroCopy)
+{
+    if (!TraceView::supported())
+        GTEST_SKIP() << "no mmap on this platform";
+    TempFile file;
+    TraceConfig config = smallConfig();
+    config.per_table_exponents = {0.6, 0.8};
+    TraceDataset original(config, 6);
+    original.save(file.path());
+
+    const TraceDataset mapped = TraceDataset::mapped(file.path());
+    EXPECT_TRUE(mapped.isMapped());
+    EXPECT_TRUE(mapped.config() == config);
+    ASSERT_EQ(mapped.numBatches(), 6u);
+    for (uint64_t b = 0; b < 6; ++b) {
+        EXPECT_TRUE(mapped.batch(b).idsEqual(original.batch(b)));
+        // Zero-copy: the view path owns no ID storage.
+        EXPECT_TRUE(mapped.batch(b).table_ids.empty());
+        EXPECT_EQ(mapped.batch(b).numTables(), config.num_tables);
+    }
+    // Look-ahead and generator-derived streams work over the mapping.
+    const MiniBatch *ahead = mapped.lookAhead(2, 3);
+    ASSERT_NE(ahead, nullptr);
+    EXPECT_TRUE(ahead->idsEqual(original.batch(5)));
+    EXPECT_EQ(mapped.lookAhead(2, 4), nullptr);
+    EXPECT_TRUE(tensor::Matrix::identical(mapped.labels(1),
+                                          original.labels(1)));
+    EXPECT_TRUE(tensor::Matrix::identical(mapped.denseFeatures(2),
+                                          original.denseFeatures(2)));
+}
+
+TEST(Dataset, MappedHonoursMaxBatches)
+{
+    if (!TraceView::supported())
+        GTEST_SKIP() << "no mmap on this platform";
+    TempFile file;
+    TraceDataset original(smallConfig(), 6);
+    original.save(file.path());
+    const TraceDataset mapped = TraceDataset::mapped(file.path(), 2);
+    ASSERT_EQ(mapped.numBatches(), 2u);
+    EXPECT_TRUE(mapped.batch(1).idsEqual(original.batch(1)));
+    EXPECT_THROW(mapped.batch(2), PanicError);
+}
+
+TEST(Dataset, MappedRejectsCorruptFiles)
+{
+    if (!TraceView::supported())
+        GTEST_SKIP() << "no mmap on this platform";
+    TempFile file;
+    TraceDataset original(smallConfig(), 3);
+    original.save(file.path());
+    std::ifstream is(file.path(), std::ios::binary);
+    std::string bytes(std::istreambuf_iterator<char>(is),
+                      std::istreambuf_iterator<char>{});
+    is.close();
+    {
+        std::ofstream os(file.path(),
+                         std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    EXPECT_THROW(TraceDataset::mapped(file.path()), FatalError);
+    EXPECT_THROW(TraceDataset::mapped("/nonexistent/trace.bin"),
+                 FatalError);
+}
+
+TEST(Dataset, SaveToUnwritablePathFatal)
+{
+    TraceDataset dataset(smallConfig(), 2);
+    EXPECT_THROW(dataset.save("/nonexistent-dir/trace.bin"),
+                 FatalError);
+}
+
 std::string
 fileBytes(const std::string &path)
 {
@@ -207,6 +325,33 @@ TEST(Dataset, LoadWrongVersionFatal)
                  static_cast<std::streamsize>(bytes.size()));
     }
     EXPECT_THROW(TraceDataset::load(file.path()), FatalError);
+}
+
+TEST(Dataset, LoadV1FileRejectedWithRegenerateHint)
+{
+    // v1 headers omitted generator fields (per-table exponents), so a
+    // v1 file must be rejected with a message pointing at the fix,
+    // not silently loaded with a half-populated config.
+    TempFile file;
+    TraceDataset original(smallConfig(), 3);
+    original.save(file.path());
+    std::string bytes = fileBytes(file.path());
+    bytes[8] = char(1); // version field follows the 8-byte magic
+    {
+        std::ofstream os(file.path(),
+                         std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+        TraceDataset::load(file.path());
+        FAIL() << "v1 file was accepted";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("version 1"),
+                  std::string::npos);
+        EXPECT_NE(std::string(error.what()).find("regenerate"),
+                  std::string::npos);
+    }
 }
 
 TEST(Dataset, LoadMissingFileFatal)

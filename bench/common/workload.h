@@ -27,7 +27,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "cache/hit_map.h"
 #include "common/args.h"
 #include "data/dataset.h"
 #include "sim/hardware_config.h"
@@ -123,6 +125,30 @@ Workload makeWorkload(data::Locality locality,
 /** makeWorkload with explicit overrides (quick modes, pooled sweeps). */
 Workload makeWorkload(data::Locality locality,
                       const WorkloadOptions &options);
+
+/**
+ * The shared fixture of the hitmap_probe bench family
+ * (micro_primitives and perf_simcore): a HitMap filled to a target
+ * load factor plus a probe-key stream at a target hit rate. One
+ * definition keeps the two benches' grids measuring the same
+ * distribution.
+ */
+struct ProbeWorkload
+{
+    cache::HitMap map;
+    std::vector<uint32_t> keys;
+};
+
+/**
+ * Fill a `buckets`-bucket map (buckets must be a power of two; the
+ * fill stays below the growth threshold, so load_pct <= 65) to
+ * load_pct% occupancy with uniform keys below 2^30, then draw
+ * `num_keys` probe keys: hit_pct% sampled from the resident set, the
+ * rest from the disjoint [2^30, 2^31) range (guaranteed misses).
+ */
+ProbeWorkload makeProbeWorkload(size_t buckets, int hit_pct,
+                                int load_pct, size_t num_keys,
+                                uint64_t seed);
 
 /** Print the standard bench banner (figure id + paper reference). */
 void printBanner(const std::string &title, const std::string &reference);

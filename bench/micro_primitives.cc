@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "cache/hit_map.h"
+#include "cache/probe_kernel.h"
+#include "common/workload.h"
 #include "core/controller.h"
 #include "data/zipf.h"
 #include "emb/embedding_ops.h"
@@ -68,6 +70,45 @@ BM_HitMapFindMiss(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HitMapFindMiss);
+
+/**
+ * Batched-probe kernels over a hit-rate x load-factor grid:
+ * Args({hit_pct, load_pct}). hitmap_probe_scalar runs the pipelined
+ * scalar reference, hitmap_probe_simd whatever kernel runtime
+ * dispatch picks (AVX2/NEON; identical to scalar on hosts without
+ * SIMD, so the pair doubles as a parity check of the grid).
+ */
+void
+probeGridArgs(benchmark::internal::Benchmark *bench)
+{
+    for (const int hit_pct : {50, 95, 100})
+        for (const int load_pct : {30, 50, 65})
+            bench->Args({hit_pct, load_pct});
+}
+
+void
+BM_HitMapProbe(benchmark::State &state, cache::ProbeMode mode)
+{
+    constexpr size_t kBuckets = 1 << 21; // 16 MB of entries: DRAM-bound
+    bench::ProbeWorkload workload = bench::makeProbeWorkload(
+        kBuckets, static_cast<int>(state.range(0)),
+        static_cast<int>(state.range(1)), 8192, 8);
+    workload.map.setProbeMode(mode);
+    std::vector<uint32_t> out(workload.keys.size());
+    for (auto _ : state) {
+        workload.map.findMany(workload.keys, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(workload.keys.size()));
+    state.SetLabel(workload.map.probeKernelName());
+}
+BENCHMARK_CAPTURE(BM_HitMapProbe, hitmap_probe_scalar,
+                  cache::ProbeMode::Scalar)
+    ->Apply(probeGridArgs);
+BENCHMARK_CAPTURE(BM_HitMapProbe, hitmap_probe_simd,
+                  cache::ProbeMode::Native)
+    ->Apply(probeGridArgs);
 
 void
 BM_HitMapInsertErase(benchmark::State &state)

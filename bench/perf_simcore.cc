@@ -17,6 +17,9 @@
  *              at four engine modes -- plain fan-out, two-deep
  *              pipeline (batch i+1 planning under batch i's
  *              accounting), sharded mark passes, and both combined;
+ *   probe      the batched Hit-Map probe kernels over a hit-rate x
+ *              load-factor grid, scalar reference vs the runtime-
+ *              dispatched SIMD kernel (fingerprint cross-checked);
  *   runner     an end-to-end ExperimentRunner sweep over several
  *              system specs (--jobs routing);
  *
@@ -43,9 +46,12 @@
 #include <sstream>
 #include <vector>
 
+#include "cache/hit_map.h"
+#include "cache/probe_kernel.h"
 #include "common/args.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "common/workload.h"
 #include "core/controller.h"
 #include "data/dataset.h"
 #include "data/trace_store.h"
@@ -282,6 +288,68 @@ benchTraceCache(const sys::ModelConfig &model, uint64_t batches,
     return result;
 }
 
+/**
+ * The batched Hit-Map probe family over a hit-rate x load-factor
+ * grid: the scalar reference kernel lands in the serial column and
+ * the runtime-dispatched kernel (AVX2/NEON when compiled and the CPU
+ * supports it) in the parallel column, so `speedup` reports the SIMD
+ * win -- or ~1.0 scalar parity on hosts where dispatch falls back.
+ * Output fingerprints are cross-checked: a kernel that diverges from
+ * scalar by one bit fails the bench, not just the test suite.
+ */
+std::vector<BenchResult>
+benchHitMapProbe(bool quick, int reps)
+{
+    const size_t buckets = quick ? (1u << 18) : (1u << 21);
+    const size_t batch_keys = 1u << 16;
+    const int sweeps = quick ? 8 : 24;
+    const struct
+    {
+        int hit_pct;
+        int load_pct;
+    } grid[] = {{50, 40}, {50, 65}, {95, 40}, {95, 65}};
+
+    std::vector<BenchResult> results;
+    for (const auto &point : grid) {
+        bench::ProbeWorkload workload = bench::makeProbeWorkload(
+            buckets, point.hit_pct, point.load_pct, batch_keys,
+            0x9e3779b9u + static_cast<uint64_t>(point.hit_pct * 100 +
+                                                point.load_pct));
+        std::vector<uint32_t> out(batch_keys);
+
+        const auto pass = [&](cache::ProbeMode mode) {
+            workload.map.setProbeMode(mode);
+            uint64_t fingerprint = 0;
+            for (int s = 0; s < sweeps; ++s) {
+                workload.map.findMany(workload.keys, out);
+                for (const uint32_t slot : out)
+                    fingerprint += slot;
+            }
+            return fingerprint;
+        };
+
+        BenchResult result;
+        result.name = "hitmap_probe_h" + std::to_string(point.hit_pct) +
+                      "_l" + std::to_string(point.load_pct);
+        result.unit = "IDs/s";
+        result.work_units = static_cast<double>(batch_keys) *
+                            static_cast<double>(sweeps);
+        uint64_t scalar_fp = 0, simd_fp = 0;
+        result.serial_s = timeAtWidth(1, reps, [&] {
+            scalar_fp = pass(cache::ProbeMode::Scalar);
+        });
+        result.parallel_s = timeAtWidth(1, reps, [&] {
+            simd_fp = pass(cache::ProbeMode::Native);
+        });
+        fatalIf(simd_fp != scalar_fp, result.name, ": kernel '",
+                cache::selectProbeKernel(cache::ProbeMode::Native).name,
+                "' diverged from scalar: fingerprint ", simd_fp,
+                " vs ", scalar_fp);
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
 BenchResult
 benchRunnerSweep(const sys::ModelConfig &model, uint64_t iterations,
                  size_t jobs, int reps)
@@ -408,6 +476,8 @@ main(int argc, char **argv)
         results.push_back(benchTraceCache(model, batches, jobs, reps));
         for (auto &result :
              benchPlanning(model, batches, jobs, shards, reps))
+            results.push_back(std::move(result));
+        for (auto &result : benchHitMapProbe(quick, reps))
             results.push_back(std::move(result));
         results.push_back(
             benchRunnerSweep(model, quick ? 3 : 5, jobs, reps));

@@ -21,6 +21,7 @@
 #include <sstream>
 #include <vector>
 
+#include "cache/probe_kernel.h"
 #include "common/args.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -253,7 +254,10 @@ main(int argc, char **argv)
             std::cout << "generating trace ("
                       << (options.warmup + options.iterations + 2)
                       << " batches of " << model.trace.idsPerBatch()
-                      << " IDs)...\n";
+                      << " IDs); probe kernel: "
+                      << cache::selectProbeKernel(cache::ProbeMode::Auto)
+                             .name
+                      << " (SP_SIMD / probe= to change)\n";
         }
         const sys::ExperimentRunner runner(model, hw, options);
         const auto results = runner.runAll(specs);

@@ -16,36 +16,16 @@ HitMap::HitMap(size_t expected_entries)
     mask_ = buckets - 1;
 }
 
-uint32_t
-HitMap::hashKey(uint32_t key)
-{
-    // Finalizer of MurmurHash3: good avalanche for sequential IDs.
-    uint32_t h = key;
-    h ^= h >> 16;
-    h *= 0x85ebca6bu;
-    h ^= h >> 13;
-    h *= 0xc2b2ae35u;
-    h ^= h >> 16;
-    return h;
-}
-
 size_t
 HitMap::bucketFor(uint32_t key) const
 {
-    return hashKey(key) & mask_;
+    return probeHashKey(key) & mask_;
 }
 
 uint32_t
 HitMap::probeFrom(size_t bucket, uint32_t key) const
 {
-    for (;;) {
-        const uint64_t entry = entries_[bucket];
-        if (entry == kEmptyEntry)
-            return kNotFound;
-        if (static_cast<uint32_t>(entry >> 32) == key)
-            return static_cast<uint32_t>(entry);
-        bucket = (bucket + 1) & mask_;
-    }
+    return probeChainFrom(probeTable(), bucket, key);
 }
 
 uint32_t
@@ -62,39 +42,13 @@ HitMap::findMany(std::span<const uint32_t> keys,
     panicIf(out.size() != keys.size(),
             "findMany output size ", out.size(), " != key count ",
             keys.size());
-
-    // Two-stage software pipeline over a small ring: stage 1 hashes
-    // key i+D and prefetches its start bucket; stage 2 probes key i
-    // from the bucket hashed D iterations ago. Keeping the hashed
-    // bucket in the ring avoids recomputing it at probe time, and the
-    // prefetch distance gives DRAM time to deliver the line.
-    constexpr size_t kDistance = 12;
-    const size_t n = keys.size();
-    size_t ring[kDistance];
-
-    const size_t lead = std::min(n, kDistance);
-    for (size_t i = 0; i < lead; ++i) {
-        panicIf(keys[i] == kEmptyKey,
-                "HitMap does not support key 0xffffffff");
-        const size_t bucket = bucketFor(keys[i]);
-        ring[i % kDistance] = bucket;
-        __builtin_prefetch(entries_.data() + bucket);
-    }
-    for (size_t i = 0; i < n; ++i) {
-        if (i + kDistance < n) {
-            panicIf(keys[i + kDistance] == kEmptyKey,
-                    "HitMap does not support key 0xffffffff");
-            const size_t ahead = bucketFor(keys[i + kDistance]);
-            __builtin_prefetch(entries_.data() + ahead);
-            // The probe below frees ring slot i % kDistance; the
-            // lookahead bucket lands in it right after.
-            const size_t bucket = ring[i % kDistance];
-            ring[i % kDistance] = ahead;
-            out[i] = probeFrom(bucket, keys[i]);
-        } else {
-            out[i] = probeFrom(ring[i % kDistance], keys[i]);
-        }
-    }
+    // Single validation pre-pass shared by every kernel: the reserved
+    // sentinel is rejected up front instead of per key inside the
+    // probe hot loop (a trivially vectorized scan over the key
+    // stream, vs a branch per probe).
+    panicIf(std::ranges::find(keys, kEmptyKey) != keys.end(),
+            "HitMap does not support key 0xffffffff");
+    kernel_->fn(probeTable(), keys.data(), out.data(), keys.size());
 }
 
 void

@@ -9,6 +9,11 @@
  * every mini-batch -- so it is a purpose-built open-addressing table:
  * linear probing, power-of-two capacity, tombstone-free deletion via
  * backward-shift, uint32 keys and values, zero allocation per op.
+ *
+ * Batched probes run through the probe-kernel family
+ * (cache/probe_kernel.h): scalar software-pipelined reference, AVX2
+ * gather, or NEON, selected at runtime (SP_SIMD / setProbeMode) and
+ * all bit-identical by the equivalence harness.
  */
 
 #ifndef SP_CACHE_HIT_MAP_H
@@ -19,6 +24,8 @@
 #include <functional>
 #include <span>
 #include <vector>
+
+#include "cache/probe_kernel.h"
 
 namespace sp::cache
 {
@@ -41,11 +48,12 @@ class HitMap
     uint32_t find(uint32_t key) const;
 
     /**
-     * Batched probe: out[i] = find(keys[i]). Software-pipelined --
-     * start buckets are hashed and prefetched a fixed distance ahead
-     * of the probes, hiding the DRAM latency that dominates planning
-     * at paper scale (the table is tens of MB per controller).
-     * `out` must hold keys.size() entries.
+     * Batched probe: out[i] = find(keys[i]), executed by the selected
+     * probe kernel -- the software-pipelined scalar reference or a
+     * SIMD kernel gathering 8 start buckets per step (bit-identical
+     * either way). Keys are validated against the reserved sentinel
+     * in one pre-pass, off the probe hot loop. `out` must hold
+     * keys.size() entries.
      */
     void findMany(std::span<const uint32_t> keys,
                   std::span<uint32_t> out) const;
@@ -74,13 +82,29 @@ class HitMap
     /** Approximate heap bytes used (overhead accounting, §VI-D). */
     size_t memoryBytes() const;
 
+    /**
+     * Raw view of the open-addressing array for the probe kernels
+     * (and the fuzz harness's chain-invariant checks). Invalidated by
+     * any mutation.
+     */
+    ProbeTable probeTable() const { return {entries_.data(), mask_}; }
+
+    /**
+     * Pin this map's batched-probe kernel (spec key probe=). Auto
+     * (the default) follows the process-wide SP_SIMD preference; the
+     * choice is a pure perf knob -- every kernel is bit-identical.
+     */
+    void setProbeMode(ProbeMode mode) { kernel_ = &selectProbeKernel(mode); }
+
+    /** Name of the kernel findMany currently dispatches to. */
+    const char *probeKernelName() const { return kernel_->name; }
+
   private:
-    static constexpr uint32_t kEmptyKey = 0xffffffffu;
+    static constexpr uint32_t kEmptyKey = kProbeEmptyKey;
     // Key and value pack into one 64-bit entry (key in the high word)
     // so every probe costs a single cache line touch.
-    static constexpr uint64_t kEmptyEntry = 0xffffffff00000000ull;
+    static constexpr uint64_t kEmptyEntry = kProbeEmptyEntry;
 
-    static uint32_t hashKey(uint32_t key);
     size_t bucketFor(uint32_t key) const;
     uint32_t probeFrom(size_t bucket, uint32_t key) const;
     void grow();
@@ -88,6 +112,7 @@ class HitMap
     std::vector<uint64_t> entries_;
     size_t size_ = 0;
     size_t mask_ = 0;
+    const ProbeKernel *kernel_ = &selectProbeKernel(ProbeMode::Auto);
 };
 
 } // namespace sp::cache

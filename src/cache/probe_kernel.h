@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Batched Hit-Map probe kernels with runtime dispatch.
+ *
+ * HitMap::findMany is the hottest loop of the whole simulator -- the
+ * [Plan] pre-probe runs it for every table of every batch -- and its
+ * entry layout (one 64-bit key<<32|slot word per open-addressed
+ * bucket) is gather-friendly, so the batched probe is implemented as
+ * a family of kernels over the raw entry array:
+ *
+ *   scalar  the software-pipelined prefetch-ring reference (always
+ *           compiled; the ground truth every other kernel must match
+ *           bit for bit);
+ *   avx2    hash 8 keys per step with vectorized Murmur3 finalizers,
+ *           vpgatherqq the 8 start buckets, vectorized key-compare /
+ *           empty-compare masks, scalar continuation for the rare
+ *           lanes whose first bucket neither hits nor proves a miss
+ *           (compiled in its own TU with a per-file -mavx2, so the
+ *           rest of the binary stays portable);
+ *   neon    vectorized hashing + prefetch on aarch64 (no gather in
+ *           NEON; the probes themselves stay scalar).
+ *
+ * Selection: ProbeMode::Auto follows the SP_SIMD environment variable
+ * (scalar | native), Scalar/Native pin it per HitMap via the probe=
+ * system-spec key. Every kernel returns byte-identical results --
+ * enforced by tests/cache/probe_kernel_equivalence_test.cc -- so the
+ * choice is a pure perf knob.
+ */
+
+#ifndef SP_CACHE_PROBE_KERNEL_H
+#define SP_CACHE_PROBE_KERNEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sp::cache
+{
+
+/** Sentinel key / probe result (HitMap::kNotFound). */
+constexpr uint32_t kProbeEmptyKey = 0xffffffffu;
+/** An empty bucket: empty key in the high word, zero value. */
+constexpr uint64_t kProbeEmptyEntry = 0xffffffff00000000ull;
+
+/**
+ * A read-only view of a HitMap's open-addressing array: `mask + 1`
+ * power-of-two buckets of key<<32|slot words. Valid only while the
+ * owning map is not mutated.
+ */
+struct ProbeTable
+{
+    const uint64_t *entries = nullptr;
+    size_t mask = 0;
+};
+
+/** Finalizer of MurmurHash3: good avalanche for sequential IDs. */
+inline uint32_t
+probeHashKey(uint32_t key)
+{
+    uint32_t h = key;
+    h ^= h >> 16;
+    h *= 0x85ebca6bu;
+    h ^= h >> 13;
+    h *= 0xc2b2ae35u;
+    h ^= h >> 16;
+    return h;
+}
+
+/** Start bucket of `key` in `table`. */
+inline size_t
+probeBucketFor(const ProbeTable &table, uint32_t key)
+{
+    return probeHashKey(key) & table.mask;
+}
+
+/**
+ * Linear-probe `key` from `bucket` until it hits or reaches an empty
+ * bucket: the shared collision-continuation every kernel funnels into.
+ */
+inline uint32_t
+probeChainFrom(const ProbeTable &table, size_t bucket, uint32_t key)
+{
+    for (;;) {
+        const uint64_t entry = table.entries[bucket];
+        if (entry == kProbeEmptyEntry)
+            return kProbeEmptyKey;
+        if (static_cast<uint32_t>(entry >> 32) == key)
+            return static_cast<uint32_t>(entry);
+        bucket = (bucket + 1) & table.mask;
+    }
+}
+
+/**
+ * A batched-probe implementation: out[i] = probe of keys[i]. Keys are
+ * pre-validated by the caller (no kProbeEmptyKey); `out` holds `n`
+ * results.
+ */
+using ProbeKernelFn = void (*)(const ProbeTable &table,
+                               const uint32_t *keys, uint32_t *out,
+                               size_t n);
+
+/** One compiled kernel. */
+struct ProbeKernel
+{
+    const char *name;        //!< "scalar" / "avx2" / "neon"
+    ProbeKernelFn fn;        //!< the batched probe
+    bool (*supported)();     //!< host CPU can execute it right now
+};
+
+/** Per-HitMap kernel selection (spec key probe=auto|scalar|native). */
+enum class ProbeMode
+{
+    Auto,   //!< follow the process-wide SP_SIMD preference
+    Scalar, //!< pin the scalar reference kernel
+    Native, //!< pin the best compiled + supported kernel
+};
+
+/** The scalar reference kernel (always compiled, always supported). */
+const ProbeKernel &scalarProbeKernel();
+
+/** The AVX2 kernel, or nullptr when this build has no x86-64 TU. */
+const ProbeKernel *avx2ProbeKernel();
+
+/** The NEON kernel, or nullptr when this build has no aarch64 TU. */
+const ProbeKernel *neonProbeKernel();
+
+/**
+ * Every kernel in this binary, scalar first. Kernels the host CPU
+ * cannot execute are included (check supported()); the equivalence
+ * harness enumerates this to prove each one against scalar.
+ */
+std::vector<const ProbeKernel *> compiledProbeKernels();
+
+/**
+ * Resolve a mode to a kernel: Scalar (or Auto under SP_SIMD=scalar)
+ * yields the reference kernel; Native yields the widest compiled
+ * kernel the CPU supports, falling back to scalar.
+ */
+const ProbeKernel &selectProbeKernel(ProbeMode mode);
+
+/** Parse a probe= spec value (auto|scalar|native); fatal()s otherwise. */
+ProbeMode probeModeFromName(const std::string &name);
+
+/** Spec-key spelling of `mode`. */
+const char *probeModeName(ProbeMode mode);
+
+} // namespace sp::cache
+
+#endif // SP_CACHE_PROBE_KERNEL_H

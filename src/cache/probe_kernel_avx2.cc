@@ -1,0 +1,188 @@
+/**
+ * @file
+ * AVX2 batched-probe kernel. Compiled with a per-file -mavx2 on
+ * x86-64 (see CMakeLists.txt) so the rest of the binary never emits
+ * AVX2 instructions; runtime dispatch guards execution behind
+ * cpuSupportsAvx2(). On other architectures this TU compiles to the
+ * nullptr stub.
+ */
+
+#include "cache/probe_kernel.h"
+
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace sp::cache
+{
+
+namespace
+{
+
+/**
+ * Eight keys per step: vectorized Murmur3 finalizers give the start
+ * buckets, one vpgatherqq pair pulls the 8 bucket words (8 parallel
+ * cache-line touches -- the memory-level parallelism the scalar
+ * kernel needs a prefetch ring to approximate), and vectorized
+ * key/empty compares settle the common single-probe lanes. Lanes
+ * whose first bucket neither hits nor proves a miss (a collision
+ * chain) fall back to the shared scalar continuation -- rare below
+ * the 0.7 load-factor ceiling. The next block's buckets are hashed
+ * and prefetched while the current gather's lines are still in
+ * flight.
+ */
+void
+probeAvx2(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
+          size_t n)
+{
+    // The vector path masks hashes in 32-bit lanes; a table wider
+    // than 2^32 buckets (never provisioned in practice) stays on the
+    // scalar chain.
+    if (table.mask > 0xffffffffull) {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = probeChainFrom(table, probeBucketFor(table, keys[i]),
+                                    keys[i]);
+        return;
+    }
+
+    const __m256i vmask =
+        _mm256_set1_epi32(static_cast<int>(table.mask));
+    const __m256i c1 = _mm256_set1_epi32(static_cast<int>(0x85ebca6bu));
+    const __m256i c2 = _mm256_set1_epi32(static_cast<int>(0xc2b2ae35u));
+    const __m256i vempty_entry =
+        _mm256_set1_epi64x(static_cast<long long>(kProbeEmptyEntry));
+    const __m256i vnot_found =
+        _mm256_set1_epi32(static_cast<int>(kProbeEmptyKey));
+    // Even dwords of four 64-bit lanes, for the 64->32 packs below.
+    const __m256i pack_even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+
+    const auto hash_buckets = [&](const uint32_t *p) {
+        __m256i h =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
+        h = _mm256_mullo_epi32(h, c1);
+        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 13));
+        h = _mm256_mullo_epi32(h, c2);
+        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
+        return _mm256_and_si256(h, vmask);
+    };
+    // Low dword of each 64-bit lane across two gathers -> 8 dwords.
+    const auto pack64to32 = [&](__m256i lo, __m256i hi) {
+        const __m128i a = _mm256_castsi256_si128(
+            _mm256_permutevar8x32_epi32(lo, pack_even));
+        const __m128i b = _mm256_castsi256_si128(
+            _mm256_permutevar8x32_epi32(hi, pack_even));
+        return _mm256_set_m128i(b, a);
+    };
+
+    alignas(32) uint32_t bucket_buf_a[8], bucket_buf_b[8];
+    uint32_t *cur_buckets = bucket_buf_a;
+    uint32_t *next_buckets = bucket_buf_b;
+
+    const size_t blocks = n / 8;
+    if (blocks > 0)
+        _mm256_store_si256(reinterpret_cast<__m256i *>(cur_buckets),
+                           hash_buckets(keys));
+    for (size_t block = 0; block < blocks; ++block) {
+        const size_t base = block * 8;
+        if (block + 1 < blocks) {
+            _mm256_store_si256(
+                reinterpret_cast<__m256i *>(next_buckets),
+                hash_buckets(keys + base + 8));
+            for (int lane = 0; lane < 8; ++lane)
+                __builtin_prefetch(table.entries + next_buckets[lane]);
+        }
+
+        const __m256i b32 = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(cur_buckets));
+        const __m256i idx_lo =
+            _mm256_cvtepu32_epi64(_mm256_castsi256_si128(b32));
+        const __m256i idx_hi =
+            _mm256_cvtepu32_epi64(_mm256_extracti128_si256(b32, 1));
+        const auto *base_ptr =
+            reinterpret_cast<const long long *>(table.entries);
+        const __m256i ent_lo =
+            _mm256_i64gather_epi64(base_ptr, idx_lo, 8);
+        const __m256i ent_hi =
+            _mm256_i64gather_epi64(base_ptr, idx_hi, 8);
+
+        const __m256i k = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + base));
+        const __m256i k_lo =
+            _mm256_cvtepu32_epi64(_mm256_castsi256_si128(k));
+        const __m256i k_hi =
+            _mm256_cvtepu32_epi64(_mm256_extracti128_si256(k, 1));
+
+        // Hit: the entry's high word equals the key. Keys never equal
+        // the empty sentinel (validated upstream), so hit and empty
+        // are mutually exclusive.
+        const __m256i hit_lo = _mm256_cmpeq_epi64(
+            _mm256_srli_epi64(ent_lo, 32), k_lo);
+        const __m256i hit_hi = _mm256_cmpeq_epi64(
+            _mm256_srli_epi64(ent_hi, 32), k_hi);
+        const __m256i empty_lo =
+            _mm256_cmpeq_epi64(ent_lo, vempty_entry);
+        const __m256i empty_hi =
+            _mm256_cmpeq_epi64(ent_hi, vempty_entry);
+
+        const __m256i values = pack64to32(ent_lo, ent_hi);
+        const __m256i hit_mask = pack64to32(hit_lo, hit_hi);
+        const __m256i empty_mask = pack64to32(empty_lo, empty_hi);
+
+        // Hit lanes take the entry's slot word, settled lanes that
+        // reached an empty bucket take kNotFound; both are final.
+        const __m256i result =
+            _mm256_blendv_epi8(vnot_found, values, hit_mask);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + base),
+                            result);
+
+        const unsigned settled = static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(
+                _mm256_or_si256(hit_mask, empty_mask))));
+        unsigned pending = ~settled & 0xffu;
+        while (pending != 0) {
+            const int lane = __builtin_ctz(pending);
+            pending &= pending - 1;
+            out[base + lane] = probeChainFrom(
+                table, (cur_buckets[lane] + 1) & table.mask,
+                keys[base + lane]);
+        }
+        std::swap(cur_buckets, next_buckets);
+    }
+
+    for (size_t i = blocks * 8; i < n; ++i)
+        out[i] = probeChainFrom(table, probeBucketFor(table, keys[i]),
+                                keys[i]);
+}
+
+constexpr ProbeKernel kAvx2Kernel = {"avx2", probeAvx2,
+                                     common::cpuSupportsAvx2};
+
+} // namespace
+
+const ProbeKernel *
+avx2ProbeKernel()
+{
+    return &kAvx2Kernel;
+}
+
+} // namespace sp::cache
+
+#else // !(__x86_64__ && __AVX2__)
+
+namespace sp::cache
+{
+
+const ProbeKernel *
+avx2ProbeKernel()
+{
+    return nullptr;
+}
+
+} // namespace sp::cache
+
+#endif

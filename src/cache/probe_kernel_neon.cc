@@ -1,0 +1,112 @@
+/**
+ * @file
+ * NEON batched-probe kernel (aarch64 only; Advanced SIMD is baseline
+ * there, so no per-file flags are needed). NEON has no gather, so the
+ * win is vectorized hashing plus an explicit prefetch pipeline: the
+ * Murmur3 finalizers of 4 keys run in one uint32x4 register and the
+ * start buckets are prefetched two blocks ahead, while the probes
+ * themselves walk the shared scalar continuation. On other
+ * architectures this TU compiles to the nullptr stub.
+ */
+
+#include "cache/probe_kernel.h"
+
+#include "common/cpu_features.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace sp::cache
+{
+
+namespace
+{
+
+void
+probeNeon(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
+          size_t n)
+{
+    // The vector path masks hashes in 32-bit lanes; a table wider
+    // than 2^32 buckets stays on the scalar chain.
+    if (table.mask > 0xffffffffull) {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = probeChainFrom(table, probeBucketFor(table, keys[i]),
+                                    keys[i]);
+        return;
+    }
+
+    const uint32x4_t vmask =
+        vdupq_n_u32(static_cast<uint32_t>(table.mask));
+    const auto hash_buckets = [&](const uint32_t *p, uint32_t *buckets) {
+        uint32x4_t h = vld1q_u32(p);
+        h = veorq_u32(h, vshrq_n_u32(h, 16));
+        h = vmulq_u32(h, vdupq_n_u32(0x85ebca6bu));
+        h = veorq_u32(h, vshrq_n_u32(h, 13));
+        h = vmulq_u32(h, vdupq_n_u32(0xc2b2ae35u));
+        h = veorq_u32(h, vshrq_n_u32(h, 16));
+        vst1q_u32(buckets, vandq_u32(h, vmask));
+    };
+
+    // Ring of hashed buckets two 4-wide blocks deep: hash and
+    // prefetch block i+2 while probing block i, so each bucket line
+    // has two blocks of probe work to cover its DRAM latency.
+    constexpr size_t kBlock = 4;
+    constexpr size_t kDepth = 2;
+    uint32_t ring[kDepth][kBlock];
+    const size_t blocks = n / kBlock;
+
+    const size_t lead = blocks < kDepth ? blocks : kDepth;
+    for (size_t b = 0; b < lead; ++b) {
+        hash_buckets(keys + b * kBlock, ring[b]);
+        for (size_t lane = 0; lane < kBlock; ++lane)
+            __builtin_prefetch(table.entries + ring[b][lane]);
+    }
+    for (size_t block = 0; block < blocks; ++block) {
+        const size_t base = block * kBlock;
+        uint32_t *buckets = ring[block % kDepth];
+        uint32_t current[kBlock];
+        for (size_t lane = 0; lane < kBlock; ++lane)
+            current[lane] = buckets[lane];
+        if (block + kDepth < blocks) {
+            hash_buckets(keys + base + kDepth * kBlock, buckets);
+            for (size_t lane = 0; lane < kBlock; ++lane)
+                __builtin_prefetch(table.entries + buckets[lane]);
+        }
+        for (size_t lane = 0; lane < kBlock; ++lane)
+            out[base + lane] = probeChainFrom(table, current[lane],
+                                              keys[base + lane]);
+    }
+
+    for (size_t i = blocks * kBlock; i < n; ++i)
+        out[i] = probeChainFrom(table, probeBucketFor(table, keys[i]),
+                                keys[i]);
+}
+
+constexpr ProbeKernel kNeonKernel = {"neon", probeNeon,
+                                     common::cpuSupportsNeon};
+
+} // namespace
+
+const ProbeKernel *
+neonProbeKernel()
+{
+    return &kNeonKernel;
+}
+
+} // namespace sp::cache
+
+#else // !__aarch64__
+
+namespace sp::cache
+{
+
+const ProbeKernel *
+neonProbeKernel()
+{
+    return nullptr;
+}
+
+} // namespace sp::cache
+
+#endif

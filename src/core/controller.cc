@@ -28,6 +28,7 @@ ScratchPipeController::ScratchPipeController(const ControllerConfig &config)
     fatalIf(config.num_slots == 0,
             "ScratchPipe controller needs at least one slot");
     fatalIf(config.dim == 0, "embedding dimension must be positive");
+    map_.setProbeMode(config.probe);
     policy_->reset(config.num_slots);
 
     if (config.warm_start) {

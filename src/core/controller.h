@@ -66,6 +66,12 @@ struct ControllerConfig
      * keeps planning fully on the calling thread.
      */
     uint32_t plan_shards = 1;
+    /**
+     * Batched-probe kernel for this controller's Hit-Map (spec key
+     * probe=auto|scalar|native). Auto follows SP_SIMD; every kernel
+     * is bit-identical, so this is a pure perf knob like plan_shards.
+     */
+    cache::ProbeMode probe = cache::ProbeMode::Auto;
     /** Materialise Storage floats (functional) or not (timing). */
     cache::SlotArray::Backing backing = cache::SlotArray::Backing::Dense;
     /**

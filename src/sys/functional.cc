@@ -332,6 +332,7 @@ FunctionalScratchPipeTrainer::FunctionalScratchPipeTrainer(
         options.plan_shards == 0
             ? static_cast<uint32_t>(common::ThreadPool::global().size())
             : options.plan_shards;
+    cc.probe = options.probe;
     controllers_.reserve(config_.trace.num_tables);
     for (size_t t = 0; t < config_.trace.num_tables; ++t) {
         cc.policy_seed = 0x5eed + t;

@@ -166,6 +166,12 @@ class FunctionalScratchPipeTrainer
          * training results are bit-identical at any width.
          */
         uint32_t plan_shards = 1;
+        /**
+         * Batched Hit-Map probe kernel (ControllerConfig::probe),
+         * matching the probe= spec key. Engine knob only: every
+         * kernel is bit-identical.
+         */
+        cache::ProbeMode probe = cache::ProbeMode::Auto;
     };
 
     FunctionalScratchPipeTrainer(const ModelConfig &config,

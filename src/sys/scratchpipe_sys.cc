@@ -78,6 +78,7 @@ ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
         options_.plan_shards == 0
             ? static_cast<uint32_t>(common::ThreadPool::global().size())
             : options_.plan_shards;
+    cc.probe = options_.probe;
     std::vector<core::ScratchPipeController> controllers;
     controllers.reserve(trace.num_tables);
     for (size_t t = 0; t < trace.num_tables; ++t) {

@@ -24,6 +24,7 @@
 #ifndef SP_SYS_SCRATCHPIPE_SYS_H
 #define SP_SYS_SCRATCHPIPE_SYS_H
 
+#include "cache/probe_kernel.h"
 #include "cache/replacement.h"
 #include "data/dataset.h"
 #include "sim/latency_model.h"
@@ -78,6 +79,14 @@ struct ScratchPipeOptions
      * per pool thread. Bit-identical at any width. Spec key: shard=N.
      */
     uint32_t plan_shards = 1;
+    /**
+     * Engine knob: batched Hit-Map probe kernel for every controller
+     * (ControllerConfig::probe). auto = follow SP_SIMD (scalar |
+     * native); scalar/native pin it. All kernels are bit-identical
+     * (the PR-5 equivalence harness), so this only moves wall-clock.
+     * Spec key: probe=auto|scalar|native.
+     */
+    cache::ProbeMode probe = cache::ProbeMode::Auto;
 };
 
 /** Timing model of ScratchPipe / straw-man. */

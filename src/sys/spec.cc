@@ -92,9 +92,13 @@ SystemSpec::parse(const std::string &text)
         } else if (key == "shard") {
             spec.scratchpipe.plan_shards = parseWindow(key, value);
             spec.scratchpipe_tuned = true;
+        } else if (key == "probe") {
+            spec.scratchpipe.probe = cache::probeModeFromName(value);
+            spec.scratchpipe_tuned = true;
         } else {
             fatal("system spec: unknown key '", key, "' in '", text,
-                  "' (cache/policy/past/future/warm/bound/overlap/shard)");
+                  "' (cache/policy/past/future/warm/bound/overlap/"
+                  "shard/probe)");
         }
     }
     return spec;
@@ -136,6 +140,7 @@ SystemSpec::summary() const
         emit("bound", scratchpipe.enforce_capacity_bound ? "1" : "0");
         emit("overlap", scratchpipe.overlap_planning ? "1" : "0");
         emit("shard", std::to_string(scratchpipe.plan_shards));
+        emit("probe", cache::probeModeName(scratchpipe.probe));
     }
     return os.str();
 }
@@ -155,7 +160,8 @@ SystemSpec::validate() const
     }
     fatalIf(scratchpipe_tuned && !entry.uses_scratchpipe_options,
             "system '", name, "' has no scratchpad; "
-            "policy/past/future/warm/bound/overlap/shard do not apply");
+            "policy/past/future/warm/bound/overlap/shard/probe do not "
+            "apply");
 }
 
 ScratchPipeOptions

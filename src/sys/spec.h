@@ -16,6 +16,9 @@
  *                                      pipeline / mark-pass shards --
  *                                      bit-identical results, perf
  *                                      only)
+ *   "scratchpipe:probe=scalar"        (pin the batched Hit-Map probe
+ *                                      kernel: auto|scalar|native;
+ *                                      bit-identical, perf only)
  *
  * validate() is registry-aware: setting `cache=` on a system that has
  * no cache (hybrid, multigpu) is a hard error, not a silent no-op --
@@ -51,8 +54,8 @@ struct SystemSpec
     ScratchPipeOptions scratchpipe;
 
     /** True when any scratchpad-only key (policy/past/future/warm/
-     *  bound/overlap/shard) was explicitly given; lets validate()
-     *  reject them on systems that have no scratchpad. */
+     *  bound/overlap/shard/probe) was explicitly given; lets
+     *  validate() reject them on systems that have no scratchpad. */
     bool scratchpipe_tuned = false;
 
     /**

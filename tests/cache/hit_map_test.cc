@@ -268,5 +268,105 @@ TEST(HitMapFindMany, RandomGrowStressMatchesReferenceModel)
     EXPECT_GT(map.capacity(), 64u); // the stress must actually grow it
 }
 
+/**
+ * Chain invariant of backward-shift deletion: for every live entry,
+ * every bucket on the cyclic path from its home bucket to where it
+ * actually sits must be occupied. An erase that breaks this leaves a
+ * hole that makes a later probe report a false miss -- the classic
+ * silent corruption of hand-rolled open addressing. Checked over the
+ * raw entry array after every erase in the fuzz loop below.
+ */
+void
+assertProbeChainsUnbroken(const HitMap &map)
+{
+    const ProbeTable table = map.probeTable();
+    for (size_t bucket = 0; bucket <= table.mask; ++bucket) {
+        const uint64_t entry = table.entries[bucket];
+        if (entry == kProbeEmptyEntry)
+            continue;
+        const uint32_t key = static_cast<uint32_t>(entry >> 32);
+        for (size_t b = probeBucketFor(table, key); b != bucket;
+             b = (b + 1) & table.mask) {
+            ASSERT_NE(table.entries[b], kProbeEmptyEntry)
+                << "hole at bucket " << b << " breaks the chain of key "
+                << key << " (home " << probeBucketFor(table, key)
+                << ", resting at " << bucket << ")";
+        }
+    }
+}
+
+/**
+ * Model-based fuzz: a long randomized interleaving of insert, erase,
+ * clear, lookups and batched probes -- with enough inserts to force
+ * repeated grow() rehashes -- checked against std::unordered_map at
+ * every step, and the backward-shift chain invariant re-verified
+ * after every single erase.
+ */
+TEST(HitMapFuzz, RandomOpsPreserveModelAndChainInvariant)
+{
+    HitMap map(4);
+    std::unordered_map<uint32_t, uint32_t> reference;
+    tensor::Rng rng(0xf00df00d);
+    constexpr uint32_t key_space = 1024; // dense collisions
+    bool grew = false, cleared = false;
+
+    std::vector<uint32_t> keys, got;
+    for (int op = 0; op < 20000; ++op) {
+        const uint32_t key =
+            static_cast<uint32_t>(rng.uniformInt(key_space));
+        const double action = rng.uniform();
+        if (action < 0.40) {
+            if (reference.find(key) == reference.end()) {
+                const size_t before = map.capacity();
+                map.insert(key, static_cast<uint32_t>(op));
+                reference[key] = static_cast<uint32_t>(op);
+                grew = grew || map.capacity() != before;
+            }
+        } else if (action < 0.75) {
+            if (reference.find(key) != reference.end()) {
+                map.erase(key);
+                reference.erase(key);
+                assertProbeChainsUnbroken(map);
+            }
+        } else if (action < 0.752) {
+            map.clear();
+            reference.clear();
+            cleared = true;
+        } else if (action < 0.9) {
+            const auto it = reference.find(key);
+            ASSERT_EQ(map.find(key), it == reference.end()
+                                         ? HitMap::kNotFound
+                                         : it->second)
+                << "op " << op;
+        } else {
+            // Batched probe through the dispatched kernel.
+            keys.clear();
+            for (int i = 0; i < 64; ++i)
+                keys.push_back(
+                    static_cast<uint32_t>(rng.uniformInt(key_space)));
+            got.assign(keys.size(), 0);
+            map.findMany(keys, got);
+            for (size_t i = 0; i < keys.size(); ++i) {
+                const auto it = reference.find(keys[i]);
+                ASSERT_EQ(got[i], it == reference.end()
+                                      ? HitMap::kNotFound
+                                      : it->second)
+                    << "op " << op << " key " << keys[i];
+            }
+        }
+        ASSERT_EQ(map.size(), reference.size());
+    }
+    // The interleaving must actually have exercised the rare paths.
+    EXPECT_TRUE(grew);
+    EXPECT_TRUE(cleared);
+    assertProbeChainsUnbroken(map);
+
+    for (uint32_t key = 0; key < key_space; ++key) {
+        const auto it = reference.find(key);
+        EXPECT_EQ(map.find(key), it == reference.end() ? HitMap::kNotFound
+                                                       : it->second);
+    }
+}
+
 } // namespace
 } // namespace sp::cache

@@ -132,6 +132,32 @@ TEST(ParallelDeterminism, EngineModeMatrixBitIdentical)
     }
 }
 
+TEST(ParallelDeterminism, ProbeKernelMatrixBitIdentical)
+{
+    // The probe= axis joins the engine-mode matrix: the scalar
+    // reference and the runtime-dispatched native kernel (AVX2/NEON
+    // where available, scalar parity otherwise) must serialise to the
+    // same bytes at every jobs x shard combination -- including
+    // shard=0 (one shard per pool thread), where SIMD probes run
+    // concurrently on subranges of one table.
+    if (common::ThreadPool::global().size() < 4)
+        common::ThreadPool::setGlobalThreads(4);
+    const std::string baseline =
+        sweepJson(1, "overlap=0,shard=1,probe=scalar");
+    for (const char *probe : {"probe=scalar", "probe=native"}) {
+        for (const char *engine :
+             {"overlap=0,shard=1", "overlap=1,shard=0"}) {
+            for (const uint32_t jobs : {1u, 4u}) {
+                EXPECT_EQ(baseline,
+                          sweepJson(jobs, std::string(engine) + "," +
+                                              probe))
+                    << "engine=" << engine << " " << probe
+                    << " jobs=" << jobs;
+            }
+        }
+    }
+}
+
 TEST(ParallelDeterminism, AutoShardWidthBitIdentical)
 {
     // shard=0 resolves to the pool width on whatever host runs the

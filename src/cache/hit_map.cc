@@ -80,6 +80,7 @@ HitMap::erase(uint32_t key)
 
     // Backward-shift deletion: close the probe chain without
     // tombstones so load factor never degrades.
+    const size_t start = bucket;
     size_t hole = bucket;
     size_t probe = (hole + 1) & mask_;
     while (entries_[probe] != kEmptyEntry) {
@@ -98,7 +99,39 @@ HitMap::erase(uint32_t key)
     }
     entries_[hole] = kEmptyEntry;
     --size_;
+#ifdef SP_CHECK_INVARIANTS
+    checkClusterAfterErase(key, start);
+#else
+    (void)start;
+#endif
 }
+
+#ifdef SP_CHECK_INVARIANTS
+/**
+ * Checked-invariant build only: the backward shift rearranged exactly
+ * the buckets from the erased key's position to the new hole, so walk
+ * that region and re-probe every entry from its home bucket. Any
+ * entry the shift stranded behind an empty bucket (the classic
+ * backward-shift bug) fails its re-probe here, at the erase that
+ * broke it, instead of as a phantom miss many batches later.
+ */
+void
+HitMap::checkClusterAfterErase(uint32_t erased_key, size_t start) const
+{
+    SP_ASSERT(probeFrom(bucketFor(erased_key), erased_key) == kNotFound,
+              "erased key ", erased_key, " is still reachable");
+    size_t probe = start;
+    while (entries_[probe] != kEmptyEntry) {
+        const uint32_t key = static_cast<uint32_t>(entries_[probe] >> 32);
+        const uint32_t slot = static_cast<uint32_t>(entries_[probe]);
+        SP_ASSERT(probeFrom(bucketFor(key), key) == slot,
+                  "backward-shift broke the probe chain: key ", key,
+                  " in bucket ", probe, " no longer reachable from its "
+                  "home bucket ", bucketFor(key));
+        probe = (probe + 1) & mask_;
+    }
+}
+#endif
 
 void
 HitMap::clear()

@@ -108,6 +108,9 @@ class HitMap
     size_t bucketFor(uint32_t key) const;
     uint32_t probeFrom(size_t bucket, uint32_t key) const;
     void grow();
+#ifdef SP_CHECK_INVARIANTS
+    void checkClusterAfterErase(uint32_t erased_key, size_t start) const;
+#endif
 
     std::vector<uint64_t> entries_;
     size_t size_ = 0;

@@ -22,6 +22,7 @@ void
 probeScalar(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
             size_t n)
 {
+    // splint:hot-path-begin(probe-kernel-scalar)
     constexpr size_t kDistance = 12;
     size_t ring[kDistance];
 
@@ -44,6 +45,7 @@ probeScalar(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
             out[i] = probeChainFrom(table, ring[i % kDistance], keys[i]);
         }
     }
+    // splint:hot-path-end
 }
 
 bool

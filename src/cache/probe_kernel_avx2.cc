@@ -39,6 +39,7 @@ void
 probeAvx2(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
           size_t n)
 {
+    // splint:hot-path-begin(probe-kernel-avx2)
     // The vector path masks hashes in 32-bit lanes; a table wider
     // than 2^32 buckets (never provisioned in practice) stays on the
     // scalar chain.
@@ -157,6 +158,7 @@ probeAvx2(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
     for (size_t i = blocks * 8; i < n; ++i)
         out[i] = probeChainFrom(table, probeBucketFor(table, keys[i]),
                                 keys[i]);
+    // splint:hot-path-end
 }
 
 constexpr ProbeKernel kAvx2Kernel = {"avx2", probeAvx2,

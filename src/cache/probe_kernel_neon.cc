@@ -27,6 +27,7 @@ void
 probeNeon(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
           size_t n)
 {
+    // splint:hot-path-begin(probe-kernel-neon)
     // The vector path masks hashes in 32-bit lanes; a table wider
     // than 2^32 buckets stays on the scalar chain.
     if (table.mask > 0xffffffffull) {
@@ -81,6 +82,7 @@ probeNeon(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
     for (size_t i = blocks * kBlock; i < n; ++i)
         out[i] = probeChainFrom(table, probeBucketFor(table, keys[i]),
                                 keys[i]);
+    // splint:hot-path-end
 }
 
 constexpr ProbeKernel kNeonKernel = {"neon", probeNeon,

@@ -9,6 +9,14 @@
  * panic(): an internal invariant was violated -- a bug in this library,
  * never the user's fault. Also throws, with a distinct type, so the
  * property tests can assert that specific hazards are caught.
+ *
+ * SP_ASSERT(cond, msg...): a checked-invariant assertion, compiled in
+ * only when the build defines SP_CHECK_INVARIANTS (cmake -DSP_CHECK=ON;
+ * CI's debug and sanitizer jobs). On violation it panics with the
+ * stringized condition and the formatted message. Release builds
+ * compile it away entirely -- the condition is not evaluated -- so
+ * checks may be as expensive as they need to be (e.g. re-probing a
+ * whole Hit-Map cluster after an erase).
  */
 
 #ifndef SP_COMMON_LOGGING_H
@@ -93,6 +101,31 @@ panicIf(bool cond, const Args &...args)
         panic(args...);
 }
 
+/** True in checked-invariant builds (cmake -DSP_CHECK=ON). */
+#ifdef SP_CHECK_INVARIANTS
+inline constexpr bool kCheckedInvariants = true;
+#else
+inline constexpr bool kCheckedInvariants = false;
+#endif
+
 } // namespace sp
+
+#ifdef SP_CHECK_INVARIANTS
+#define SP_ASSERT(cond, ...)                                          \
+    do {                                                              \
+        if (!(cond))                                                  \
+            ::sp::panic("SP_ASSERT(" #cond ") failed"                 \
+                        __VA_OPT__(, ": ", __VA_ARGS__));             \
+    } while (false)
+#else
+// The condition must still parse (typos break every build, not just
+// checked ones) but is never evaluated.
+#define SP_ASSERT(cond, ...)                                          \
+    do {                                                              \
+        if (false) {                                                  \
+            (void)(cond);                                             \
+        }                                                             \
+    } while (false)
+#endif
 
 #endif // SP_COMMON_LOGGING_H

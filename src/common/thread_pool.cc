@@ -108,6 +108,13 @@ struct ForState
         finished.wait(lock, [this] {
             return done.load(std::memory_order_acquire) == n;
         });
+        // Phase ordering: the barrier releases only after every index
+        // retired, and retirement is monotonic -- a count past n
+        // means an index ran twice (double-drain of one state).
+        SP_ASSERT(done.load(std::memory_order_acquire) == n,
+                  "Completion barrier released with ",
+                  done.load(std::memory_order_acquire), " of ", n,
+                  " indices retired");
     }
 };
 
@@ -152,6 +159,9 @@ ThreadPool::Completion::wait()
     // destructor) is a no-op either way.
     const std::shared_ptr<detail::ForState> state = std::move(state_);
     state->finish();
+    // A waited token is inert: the move above must have emptied this
+    // Completion before any exception can propagate.
+    SP_ASSERT(!pending(), "Completion still pending after its barrier");
     std::lock_guard<std::mutex> lock(state->mutex);
     if (state->error)
         std::rethrow_exception(state->error);

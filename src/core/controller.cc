@@ -171,6 +171,7 @@ ScratchPipeController::plan(
     for (uint32_t d = 1; d <= window; ++d)
         markPass(future_ids[d - 1], d);
 
+    // splint:hot-path-begin(plan-classify)
     // Step C: classify the current batch and assign victims to misses.
     // The batched pre-probe is taken before any insert/erase of this
     // pass, so each result needs an O(1) revalidation against the live
@@ -186,6 +187,13 @@ ScratchPipeController::plan(
         uint32_t slot = probe_[i];
         if (slot == cache::HitMap::kNotFound || slot_key_[slot] != id)
             slot = map_.find(id);
+        // The accepted pre-probe result must agree with a live probe:
+        // slot_key_ is the controller's inverse index of the Hit-Map,
+        // and any divergence means revalidation let a stale result
+        // through (the bug class the O(1) check exists to stop).
+        SP_ASSERT(slot == map_.find(id),
+                  "slot_key_ revalidation diverged from the live "
+                  "Hit-Map for id ", id);
         if (slot != cache::HitMap::kNotFound) {
             ++plan_.hits;
             policy_->touch(slot);
@@ -204,14 +212,21 @@ ScratchPipeController::plan(
         const uint32_t old_key = slot_key_[victim];
         if (old_key != kNoKey) {
             map_.erase(old_key);
+            // plan_ is per-controller scratch; clear() above keeps
+            // the vector's allocation, so steady state never grows.
+            // splint:allow(hot-path-alloc): capacity retained across plans
             plan_.evictions.push_back(EvictOp{old_key, victim});
         }
         map_.insert(id, victim);
         slot_key_[victim] = id;
+        SP_ASSERT(map_.find(id) == victim, "fill of id ", id,
+                  " did not land in victim slot ", victim);
+        // splint:allow(hot-path-alloc): capacity retained across plans
         plan_.fills.push_back(FillOp{id, victim});
         policy_->touch(victim);
         holds_.markCurrent(victim);
     }
+    // splint:hot-path-end
 
     ++stats_.plans;
     stats_.hits += plan_.hits;

@@ -59,8 +59,13 @@ std::string
 tempSuffix()
 {
     static std::atomic<uint64_t> sequence{0};
+    // The entropy below only names a temp file (uniqueness across
+    // racing publishers); trace *content* stays a pure function of
+    // the config fingerprint, so determinism is not at stake.
     static const uint64_t token =
+        // splint:allow(no-nondeterminism): temp-file naming only
         (static_cast<uint64_t>(std::random_device{}()) << 32) ^
+        // splint:allow(no-nondeterminism): temp-file naming only
         std::random_device{}();
 #if defined(__unix__) || defined(__APPLE__)
     const uint64_t pid = static_cast<uint64_t>(::getpid());

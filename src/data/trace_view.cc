@@ -58,6 +58,16 @@ TraceView::open(const std::string &path)
     format::validateHeader(header, size, path);
     view->config_ = header.config;
     view->num_batches_ = header.num_batches;
+    // validateHeader proved the batch count against the file size;
+    // re-derive the size from the offset arithmetic ids() will use,
+    // so the validator and the accessors can never drift apart (every
+    // span served below is inside the mapping iff this holds).
+    SP_ASSERT(format::headerBytes(view->config_) +
+                      header.num_batches *
+                          format::batchRecordBytes(view->config_) ==
+                  size,
+              "trace '", path, "': accessor arithmetic disagrees with "
+              "the validated file size ", size);
     return view;
 #else
     fatal("cannot map '", path,
@@ -97,6 +107,11 @@ TraceView::ids(uint64_t b, uint64_t t) const
             path_, "')");
     // The ID payload is 4-aligned by the format's construction (see
     // trace_format.h), so the reinterpret_cast is well-defined here.
+    SP_ASSERT(format::idsOffset(config_, b, t) +
+                      config_.idsPerTable() * sizeof(uint32_t) <=
+                  size_,
+              "ids span of batch ", b, " table ", t, " overruns '",
+              path_, "' (", size_, " bytes)");
     const unsigned char *base = data_ + format::idsOffset(config_, b, t);
     return {reinterpret_cast<const uint32_t *>(base),
             config_.idsPerTable()};

@@ -247,6 +247,9 @@ TEST(TraceStore, RacingPublishersBothSucceedAndAgree)
     const TraceConfig config = smallConfig();
 
     std::vector<std::unique_ptr<TraceDataset>> results(4);
+    // Publishing must be safe against *independent* processes and
+    // threads, not pool lanes, so the race is staged on raw threads.
+    // splint:allow(no-raw-thread): racing publishers must not share a pool
     std::vector<std::thread> writers;
     for (auto &slot : results) {
         writers.emplace_back([&store, &config, &slot] {

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deliberately-broken canary proving each sanitizer job detects its
+ * bug class. The tree itself is sanitizer-clean, so without a canary
+ * a misconfigured job (sanitizer flag dropped, recover-and-continue
+ * left on) would pass green while checking nothing. CTest runs these
+ * modes under `sh -c "! ..."` -- the build is wired so the process
+ * MUST die -- only when the matching SP_SANITIZE build is active:
+ *
+ *   heap-overflow    reads one element past a heap allocation
+ *                    (AddressSanitizer: heap-buffer-overflow);
+ *   signed-overflow  overflows a signed int (UBSan:
+ *                    signed-integer-overflow; fatal because
+ *                    SP_SANITIZE=undefined compiles with
+ *                    -fno-sanitize-recover=all);
+ *   ok               does nothing and exits 0 (harness sanity).
+ *
+ * Every faulting value is routed through argc/volatile so no
+ * optimization level can fold the bug away.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <limits>
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: " << argv[0]
+                  << " heap-overflow|signed-overflow|ok\n";
+        return 2;
+    }
+
+    if (std::strcmp(argv[1], "ok") == 0)
+        return 0;
+
+    if (std::strcmp(argv[1], "heap-overflow") == 0) {
+        int *block = new int[8];
+        for (int i = 0; i < 8; ++i)
+            block[i] = i;
+        // Index 7 + argc >= 8: one past the end for the plain
+        // two-argument invocation.
+        volatile int out_of_bounds = block[7 + argc];
+        delete[] block;
+        return out_of_bounds == 0 ? 0 : 1;
+    }
+
+    if (std::strcmp(argv[1], "signed-overflow") == 0) {
+        volatile int near_max = std::numeric_limits<int>::max() - 1;
+        volatile int overflowed = near_max + argc; // argc >= 2
+        return overflowed == 0 ? 0 : 1;
+    }
+
+    std::cerr << argv[0] << ": unknown mode '" << argv[1] << "'\n";
+    return 2;
+}

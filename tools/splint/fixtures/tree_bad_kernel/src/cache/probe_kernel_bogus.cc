@@ -1,0 +1,7 @@
+// splint fixture tree: a probe-kernel TU that the equivalence
+// harness never mentions -> kernel-registration must fire.
+
+void
+probeBogus()
+{
+}

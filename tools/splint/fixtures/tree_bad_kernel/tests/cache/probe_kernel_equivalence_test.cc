@@ -1,0 +1,7 @@
+// splint fixture: an equivalence harness that only covers the scalar
+// reference; the sibling kernel TU is deliberately unregistered here.
+
+void
+testScalarOnly()
+{
+}

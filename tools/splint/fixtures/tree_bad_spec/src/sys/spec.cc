@@ -1,0 +1,14 @@
+// splint fixture tree: parses two spec keys, but the README only
+// documents "cache" -> spec-doc must fire for "zap".
+
+#include <string>
+
+void
+parseFixtureSpec(const std::string &key)
+{
+    if (key == "cache") {
+        // documented in ../../README.md
+    } else if (key == "zap") {
+        // undocumented -> spec-doc violation on this line's key
+    }
+}

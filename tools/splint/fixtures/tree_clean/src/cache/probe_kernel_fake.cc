@@ -1,0 +1,12 @@
+// splint clean-tree fixture: a kernel TU that IS registered in the
+// sibling equivalence harness, with a marked hot-path region that
+// stays allocation-free.
+
+void
+probeFake(const unsigned *keys, unsigned *out, int n)
+{
+    // splint:hot-path-begin(fake-kernel)
+    for (int i = 0; i < n; ++i)
+        out[i] = keys[i];
+    // splint:hot-path-end
+}

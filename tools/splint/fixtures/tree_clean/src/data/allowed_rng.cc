@@ -1,0 +1,25 @@
+// splint clean-tree fixture: a justified allow suppresses the
+// nondeterminism rule (this mirrors the real trace_store.cc temp-name
+// exemption), and a justified hot-path allow covers a retained-
+// capacity push_back.
+
+#include <random>
+#include <vector>
+
+unsigned
+tempFileNonce()
+{
+    // splint:allow(no-nondeterminism): nonce only names a temp file
+    return std::random_device{}();
+}
+
+void
+hotWithAllowedGrowth(std::vector<int> &scratch, int n)
+{
+    // splint:hot-path-begin(allowed-growth)
+    for (int i = 0; i < n; ++i) {
+        // splint:allow(hot-path-alloc): capacity retained across calls
+        scratch.push_back(i);
+    }
+    // splint:hot-path-end
+}

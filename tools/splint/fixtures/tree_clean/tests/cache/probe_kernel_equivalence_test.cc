@@ -1,0 +1,7 @@
+// splint clean-tree fixture: registers the "fake" kernel, so
+// kernel-registration stays quiet.
+
+void
+testFakeKernelAgainstScalar()
+{
+}

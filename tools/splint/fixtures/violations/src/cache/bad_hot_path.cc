@@ -1,0 +1,22 @@
+// splint fixture: allocation and stream IO inside a marked hot-path
+// region. Never compiled.
+
+#include <iostream>
+#include <vector>
+
+void
+hotLoop(std::vector<int> &scratch, int n)
+{
+    scratch.push_back(0); // fine: outside any hot-path region
+
+    // splint:hot-path-begin(fixture-loop)
+    for (int i = 0; i < n; ++i) {
+        scratch.push_back(i);          // violation: hot-path-alloc
+        int *leak = new int(i);        // violation: hot-path-alloc
+        std::cout << *leak << '\n';    // violation: hot-path-alloc
+        delete leak;
+    }
+    // splint:hot-path-end
+
+    scratch.resize(0); // fine again: region closed
+}

@@ -1,0 +1,11 @@
+// splint fixture: unbalanced hot-path markers. Never compiled.
+
+// splint:hot-path-end  <- violation: end without begin
+
+void
+unclosedRegion()
+{
+    // splint:hot-path-begin(first)
+    // splint:hot-path-begin(nested)  <- violation: begin inside open region
+    // the outer region is never closed  <- violation at its begin line
+}

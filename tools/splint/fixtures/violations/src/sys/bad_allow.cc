@@ -1,0 +1,16 @@
+// splint fixture: malformed allow directives. Never compiled.
+
+#include <cstdlib>
+
+unsigned
+badAllows()
+{
+    // splint:allow(no-nondeterminism)
+    unsigned a = rand(); // the bare allow above is rejected
+                         // (allow-justification) and does NOT
+                         // suppress, so no-nondeterminism fires too
+
+    // splint:allow(no-such-rule): justification for a rule that
+    // does not exist -> allow-unknown-rule
+    return a;
+}

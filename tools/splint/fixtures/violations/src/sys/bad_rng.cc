@@ -1,0 +1,20 @@
+// splint fixture: nondeterminism sources in a simulation path
+// (fixture path is src/sys/, which is in scope). Never compiled.
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+unsigned
+nondeterministicSeed()
+{
+    std::random_device entropy;                       // violation
+    unsigned seed = entropy() ^ rand();               // violation
+    seed ^= static_cast<unsigned>(time(nullptr));     // violation
+    auto t = std::chrono::steady_clock::now();        // violation
+    (void)t;
+    return seed;
+}
+
+// "rand(" inside a string literal must not fire:
+const char *kProse = "call rand() and steady_clock for chaos";

@@ -1,0 +1,18 @@
+// splint fixture: raw threading primitives outside the pool. Never
+// compiled -- scanned by `sp_splint --self-test` and the unit tests
+// to prove no-raw-thread fires (including on a line whose comment
+// mentions std::thread only in prose, which must NOT fire).
+
+#include <future>
+#include <thread>
+
+void
+spawnsRawThread()
+{
+    std::thread worker([] {});     // violation: std::thread
+    worker.join();
+    auto f = std::async([] {});    // violation: std::async
+    f.get();
+}
+
+// prose about std::thread in a comment is fine; the scanner strips it

@@ -1,0 +1,673 @@
+#include "splint/splint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace sp::splint
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+// ---- Rule table ----------------------------------------------------
+
+const std::vector<Rule> kRules = {
+    {"no-raw-thread", Severity::Error,
+     "raw std::thread/std::async/pthread outside common/thread_pool",
+     "route parallel work through sp::common::ThreadPool so SP_JOBS "
+     "bounds it and the bit-identical execution contract holds"},
+    {"no-nondeterminism", Severity::Error,
+     "nondeterminism source (rand/random_device/clock) in a "
+     "simulation path",
+     "thread an explicit seed through the config (tensor/rng.h); "
+     "simulation output must be a pure function of the spec"},
+    {"hot-path-alloc", Severity::Error,
+     "allocation or stream IO inside a marked hot-path region",
+     "hoist the allocation into per-controller scratch that retains "
+     "capacity across calls, or move the IO off the hot path"},
+    {"hot-path-marker", Severity::Error,
+     "unbalanced splint:hot-path-begin/end markers",
+     "every hot-path-begin(<name>) needs one hot-path-end in the "
+     "same file, and regions cannot nest"},
+    {"kernel-registration", Severity::Error,
+     "probe-kernel TU missing from the kernel-equivalence harness",
+     "register the kernel in compiledProbeKernels() and name it in "
+     "tests/cache/probe_kernel_equivalence_test.cc so the harness "
+     "proves it bit-identical to scalar"},
+    {"spec-doc", Severity::Error,
+     "spec key parsed in spec.cc but undocumented in README.md",
+     "add the key to README.md's spec-key list (users discover the "
+     "grammar there, not in the parser)"},
+    {"allow-justification", Severity::Error,
+     "splint:allow without a justification",
+     "write `// splint:allow(<rule>): <why this site is exempt>`"},
+    {"allow-unknown-rule", Severity::Error,
+     "splint:allow naming a rule that does not exist",
+     "use a rule id from `splint --list-rules`"},
+};
+
+// ---- Line-scoped rule patterns -------------------------------------
+
+/** A regex-driven line rule plus its path scope. */
+struct LineRule
+{
+    const char *id;
+    std::regex pattern;
+    bool (*applies)(const std::string &path);
+    bool hot_path_only;
+};
+
+bool
+anyPath(const std::string &)
+{
+    return true;
+}
+
+bool
+outsideThreadPool(const std::string &path)
+{
+    return path != "src/common/thread_pool.cc" &&
+           path != "src/common/thread_pool.h";
+}
+
+bool
+simulationPath(const std::string &path)
+{
+    return path.starts_with("src/sys/") ||
+           path.starts_with("src/cache/") || path.starts_with("src/data/");
+}
+
+const std::vector<LineRule> &
+lineRules()
+{
+    static const std::vector<LineRule> rules = {
+        {"no-raw-thread",
+         std::regex(R"(\bstd\s*::\s*(thread|jthread|async)\b)"
+                    R"(|\bpthread_(create|join|detach)\b)"),
+         outsideThreadPool, false},
+        {"no-nondeterminism",
+         std::regex(R"(\bstd\s*::\s*random_device\b|\brandom_device\s*\{)"
+                    R"(|\bs?rand\s*\(|\btime\s*\(\s*(nullptr|NULL|0)?\s*\))"
+                    R"(|\b(steady|system|high_resolution)_clock\b)"),
+         simulationPath, false},
+        {"hot-path-alloc",
+         std::regex(R"(\bstd\s*::\s*(cout|cerr|clog)\b|\bf?printf\s*\()"
+                    R"(|\bnew\b|\bmalloc\s*\(|\bcalloc\s*\()"
+                    R"(|\bmake_(shared|unique)\b)"
+                    R"(|\b(push_back|emplace_back|resize|reserve)\s*\()"),
+         anyPath, true},
+    };
+    return rules;
+}
+
+// ---- Source text scanning ------------------------------------------
+
+/**
+ * One scanned source line, split by the lexer below: `code` keeps
+ * real tokens only (comments dropped, string/char literal contents
+ * blanked) so rule regexes never fire on prose; `comment` keeps the
+ * comment text, which is the only place splint directives are
+ * honored -- a directive spelled inside a string literal (e.g. in
+ * splint's own tests) is file *content*, not a marker.
+ */
+struct ScannedLine
+{
+    std::string code;
+    std::string comment;
+    //! `code` plus the string/char literal contents (comments still
+    //! dropped) -- for checks that must read literals, like the
+    //! spec-doc key extraction.
+    std::string code_with_literals;
+};
+
+/** Lex `text` into per-line code/comment splits. Block-comment state
+ *  carries across lines. */
+std::vector<ScannedLine>
+scanLines(const std::string &text)
+{
+    enum class Mode
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+    };
+
+    std::vector<ScannedLine> lines;
+    ScannedLine current;
+    Mode mode = Mode::Code;
+    bool escaped = false;
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            lines.push_back(std::move(current));
+            current = {};
+            if (mode == Mode::LineComment)
+                mode = Mode::Code;
+            // Unterminated literals do not occur in code that
+            // compiles; reset so one bad fixture line cannot swallow
+            // the rest of the file.
+            if (mode == Mode::String || mode == Mode::Char)
+                mode = Mode::Code;
+            escaped = false;
+            continue;
+        }
+        switch (mode) {
+        case Mode::Code:
+            if (c == '/' && next == '/') {
+                mode = Mode::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                mode = Mode::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                mode = Mode::String;
+                current.code.push_back('"');
+                current.code_with_literals.push_back('"');
+            } else if (c == '\'') {
+                mode = Mode::Char;
+                current.code.push_back('\'');
+                current.code_with_literals.push_back('\'');
+            } else {
+                current.code.push_back(c);
+                current.code_with_literals.push_back(c);
+            }
+            break;
+        case Mode::LineComment:
+            current.comment.push_back(c);
+            break;
+        case Mode::BlockComment:
+            if (c == '*' && next == '/') {
+                mode = Mode::Code;
+                ++i;
+            } else {
+                current.comment.push_back(c);
+            }
+            break;
+        case Mode::String:
+        case Mode::Char:
+            current.code_with_literals.push_back(c);
+            if (escaped) {
+                escaped = false;
+            } else if (c == '\\') {
+                escaped = true;
+            } else if ((mode == Mode::String && c == '"') ||
+                       (mode == Mode::Char && c == '\'')) {
+                current.code.push_back(c);
+                mode = Mode::Code;
+            }
+            break;
+        }
+    }
+    lines.push_back(std::move(current));
+    return lines;
+}
+
+/** A parsed `splint:allow(rule): justification` directive. */
+struct Allow
+{
+    std::string rule;
+    bool justified = false;
+};
+
+Diagnostic
+makeDiagnostic(const std::string &path, size_t line,
+               const std::string &rule_id, const std::string &message)
+{
+    const Rule *rule = findRule(rule_id);
+    Diagnostic diag;
+    diag.file = path;
+    diag.line = line;
+    diag.rule = rule_id;
+    diag.severity = rule != nullptr ? rule->severity : Severity::Error;
+    diag.message = message;
+    diag.fixit = rule != nullptr ? rule->fixit : "";
+    return diag;
+}
+
+std::optional<std::string>
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string
+relativePath(const fs::path &root, const fs::path &file)
+{
+    return fs::relative(file, root).generic_string();
+}
+
+// ---- Project-wide rules --------------------------------------------
+
+/**
+ * kernel-registration: every src/cache/probe_kernel_<arch>.cc must be
+ * named inside the kernel-equivalence harness (which enumerates
+ * compiledProbeKernels() and asserts each kernel against scalar, so a
+ * TU whose name never appears there was never wired into either).
+ */
+void
+lintKernelRegistration(const fs::path &root,
+                       std::vector<Diagnostic> &diagnostics)
+{
+    const fs::path kernel_dir = root / "src" / "cache";
+    if (!fs::is_directory(kernel_dir))
+        return;
+
+    std::vector<fs::path> kernel_tus;
+    for (const auto &entry : fs::directory_iterator(kernel_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.starts_with("probe_kernel_") && name.ends_with(".cc"))
+            kernel_tus.push_back(entry.path());
+    }
+    if (kernel_tus.empty())
+        return;
+
+    const fs::path harness =
+        root / "tests" / "cache" / "probe_kernel_equivalence_test.cc";
+    const std::optional<std::string> harness_text = readFile(harness);
+    for (const fs::path &tu : kernel_tus) {
+        const std::string name = tu.filename().string();
+        const std::string arch = name.substr(
+            std::string("probe_kernel_").size(),
+            name.size() - std::string("probe_kernel_").size() - 3);
+        if (!harness_text.has_value() ||
+            harness_text->find(arch) == std::string::npos) {
+            diagnostics.push_back(makeDiagnostic(
+                relativePath(root, tu), 0, "kernel-registration",
+                "probe kernel '" + arch + "' is not covered by " +
+                    "tests/cache/probe_kernel_equivalence_test.cc"));
+        }
+    }
+}
+
+/**
+ * spec-doc: every `key == "<k>"` comparison in spec.cc's parser must
+ * have a matching `<k>=` in README.md.
+ */
+void
+lintSpecDoc(const fs::path &root, std::vector<Diagnostic> &diagnostics)
+{
+    const fs::path spec = root / "src" / "sys" / "spec.cc";
+    const std::optional<std::string> spec_text = readFile(spec);
+    if (!spec_text.has_value())
+        return;
+
+    const std::optional<std::string> readme =
+        readFile(root / "README.md");
+    const std::regex key_pattern(R"(\bkey\s*==\s*"([A-Za-z0-9_]+)\")");
+
+    // The key names live inside string literals, so this check reads
+    // the literal-preserving channel (comments still stripped: a
+    // commented-out `key == "old"` is not a parsed key).
+    const std::vector<ScannedLine> lines = scanLines(*spec_text);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        auto begin =
+            std::sregex_iterator(lines[i].code_with_literals.begin(),
+                                 lines[i].code_with_literals.end(),
+                                 key_pattern);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::string key = (*it)[1].str();
+            if (!readme.has_value() ||
+                readme->find(key + "=") == std::string::npos) {
+                diagnostics.push_back(makeDiagnostic(
+                    relativePath(root, spec), i + 1, "spec-doc",
+                    "spec key '" + key +
+                        "=' is parsed here but not documented in "
+                        "README.md"));
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ---- Public API ----------------------------------------------------
+
+const char *
+severityName(Severity severity)
+{
+    return severity == Severity::Error ? "error" : "warning";
+}
+
+const std::vector<Rule> &
+rules()
+{
+    return kRules;
+}
+
+const Rule *
+findRule(const std::string &id)
+{
+    for (const Rule &rule : kRules) {
+        if (id == rule.id)
+            return &rule;
+    }
+    return nullptr;
+}
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, const std::string &text)
+{
+    std::vector<Diagnostic> diagnostics;
+    const std::vector<ScannedLine> lines = scanLines(text);
+
+    // Pass 1: directives. Only the comment channel is consulted, so a
+    // directive spelled inside a string literal never acts as one.
+    static const std::regex allow_pattern(
+        R"(splint:allow\(([A-Za-z0-9_-]+)\)(:\s*(\S.*))?)");
+    static const std::regex begin_pattern(
+        R"(splint:hot-path-begin(\(([A-Za-z0-9_-]+)\))?)");
+    static const std::regex end_pattern(R"(splint:hot-path-end\b)");
+
+    std::map<size_t, Allow> allows; // 0-based line -> directive
+    std::vector<bool> hot(lines.size(), false);
+    bool in_hot = false;
+    size_t hot_begin_line = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &comment = lines[i].comment;
+        std::smatch match;
+        if (std::regex_search(comment, match, allow_pattern)) {
+            Allow allow;
+            allow.rule = match[1].str();
+            allow.justified = match[3].matched;
+            if (findRule(allow.rule) == nullptr) {
+                diagnostics.push_back(makeDiagnostic(
+                    path, i + 1, "allow-unknown-rule",
+                    "splint:allow names unknown rule '" + allow.rule +
+                        "'"));
+            } else if (!allow.justified) {
+                diagnostics.push_back(makeDiagnostic(
+                    path, i + 1, "allow-justification",
+                    "splint:allow(" + allow.rule +
+                        ") has no justification"));
+            }
+            allows[i] = allow;
+        }
+        if (std::regex_search(comment, match, begin_pattern)) {
+            if (in_hot) {
+                diagnostics.push_back(makeDiagnostic(
+                    path, i + 1, "hot-path-marker",
+                    "hot-path-begin inside an open hot-path region "
+                    "(opened on line " +
+                        std::to_string(hot_begin_line + 1) + ")"));
+            }
+            in_hot = true;
+            hot_begin_line = i;
+        } else if (std::regex_search(comment, match, end_pattern)) {
+            if (!in_hot) {
+                diagnostics.push_back(makeDiagnostic(
+                    path, i + 1, "hot-path-marker",
+                    "hot-path-end without a matching begin"));
+            }
+            in_hot = false;
+        }
+        hot[i] = in_hot;
+    }
+    if (in_hot) {
+        diagnostics.push_back(makeDiagnostic(
+            path, hot_begin_line + 1, "hot-path-marker",
+            "hot-path-begin is never closed"));
+    }
+
+    // Pass 2: the regex rules, over comment/string-stripped code.
+    const auto allowed = [&](size_t line, const char *rule_id) {
+        for (const size_t candidate : {line, line - 1}) {
+            if (candidate > line) // line 0 has no predecessor
+                continue;
+            const auto it = allows.find(candidate);
+            if (it != allows.end() && it->second.rule == rule_id &&
+                it->second.justified)
+                return true;
+        }
+        return false;
+    };
+
+    for (const LineRule &rule : lineRules()) {
+        if (!rule.applies(path))
+            continue;
+        for (size_t i = 0; i < lines.size(); ++i) {
+            if (rule.hot_path_only && !hot[i])
+                continue;
+            std::smatch match;
+            if (!std::regex_search(lines[i].code, match, rule.pattern))
+                continue;
+            if (allowed(i, rule.id))
+                continue;
+            diagnostics.push_back(makeDiagnostic(
+                path, i + 1, rule.id,
+                "'" + match.str() + "' " +
+                    (rule.hot_path_only
+                         ? std::string("inside a hot-path region")
+                         : std::string("violates ") + rule.id)));
+        }
+    }
+
+    std::sort(diagnostics.begin(), diagnostics.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.line, a.rule) <
+                         std::tie(b.line, b.rule);
+              });
+    return diagnostics;
+}
+
+std::vector<Diagnostic>
+lintTree(const fs::path &root)
+{
+    std::vector<Diagnostic> diagnostics;
+
+    std::vector<fs::path> files;
+    for (const char *subtree : {"src", "bench", "tests"}) {
+        const fs::path dir = root / subtree;
+        if (!fs::is_directory(dir))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext == ".cc" || ext == ".h" || ext == ".cpp")
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &file : files) {
+        const std::optional<std::string> text = readFile(file);
+        if (!text.has_value())
+            continue;
+        std::vector<Diagnostic> file_diags =
+            lintSource(relativePath(root, file), *text);
+        diagnostics.insert(diagnostics.end(),
+                           std::make_move_iterator(file_diags.begin()),
+                           std::make_move_iterator(file_diags.end()));
+    }
+
+    lintKernelRegistration(root, diagnostics);
+    lintSpecDoc(root, diagnostics);
+    return diagnostics;
+}
+
+bool
+hasErrors(const std::vector<Diagnostic> &diagnostics)
+{
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [](const Diagnostic &diag) {
+                           return diag.severity == Severity::Error;
+                       });
+}
+
+std::string
+toText(const std::vector<Diagnostic> &diagnostics)
+{
+    std::ostringstream os;
+    for (const Diagnostic &diag : diagnostics) {
+        os << diag.file << ':' << diag.line << ": "
+           << severityName(diag.severity) << ": [" << diag.rule << "] "
+           << diag.message << '\n';
+        if (!diag.fixit.empty())
+            os << "    fixit: " << diag.fixit << '\n';
+    }
+    os << (diagnostics.empty() ? "splint: clean" : "splint: ")
+       << (diagnostics.empty()
+               ? std::string()
+               : std::to_string(diagnostics.size()) + " violation(s)")
+       << '\n';
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const std::vector<Diagnostic> &diagnostics)
+{
+    std::ostringstream os;
+    os << "{\"tool\":\"splint\",\"count\":" << diagnostics.size()
+       << ",\"violations\":[";
+    for (size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic &diag = diagnostics[i];
+        if (i > 0)
+            os << ',';
+        os << "\n  {\"file\":\"" << jsonEscape(diag.file)
+           << "\",\"line\":" << diag.line << ",\"rule\":\""
+           << jsonEscape(diag.rule) << "\",\"severity\":\""
+           << severityName(diag.severity) << "\",\"message\":\""
+           << jsonEscape(diag.message) << "\",\"fixit\":\""
+           << jsonEscape(diag.fixit) << "\"}";
+    }
+    os << (diagnostics.empty() ? "]}" : "\n]}") << '\n';
+    return os.str();
+}
+
+bool
+selfTest(const fs::path &fixtures, std::ostream &log)
+{
+    bool ok = true;
+    std::set<std::string> fired;
+    const auto fail = [&](const std::string &message) {
+        log << "splint self-test: " << message << '\n';
+        ok = false;
+    };
+
+    // Each bad fixture must produce its expected rule (and may
+    // produce others -- a file demonstrating hot-path-alloc also
+    // legitimately exercises the markers).
+    struct Expectation
+    {
+        const char *file; //!< path under fixtures/violations/
+        const char *rule;
+    };
+    const std::vector<Expectation> expectations = {
+        {"src/sys/bad_thread.cc", "no-raw-thread"},
+        {"src/sys/bad_rng.cc", "no-nondeterminism"},
+        {"src/cache/bad_hot_path.cc", "hot-path-alloc"},
+        {"src/cache/bad_markers.cc", "hot-path-marker"},
+        {"src/sys/bad_allow.cc", "allow-justification"},
+        {"src/sys/bad_allow.cc", "allow-unknown-rule"},
+    };
+    for (const Expectation &expected : expectations) {
+        const fs::path file = fixtures / "violations" / expected.file;
+        const std::optional<std::string> text = readFile(file);
+        if (!text.has_value()) {
+            fail("missing fixture " + file.string());
+            continue;
+        }
+        const std::vector<Diagnostic> diagnostics =
+            lintSource(expected.file, *text);
+        bool found = false;
+        for (const Diagnostic &diag : diagnostics) {
+            fired.insert(diag.rule);
+            if (diag.rule == expected.rule)
+                found = true;
+        }
+        if (!found)
+            fail(std::string("rule ") + expected.rule +
+                 " did not fire on violations/" + expected.file);
+    }
+
+    // Whole-tree fixtures: the project rules fire on their bad trees
+    // and the clean tree (which uses every feature, allows included)
+    // reports nothing.
+    const auto expectTreeRule = [&](const char *tree, const char *rule) {
+        const std::vector<Diagnostic> diagnostics =
+            lintTree(fixtures / tree);
+        bool found = false;
+        for (const Diagnostic &diag : diagnostics) {
+            fired.insert(diag.rule);
+            if (diag.rule == rule)
+                found = true;
+        }
+        if (!found)
+            fail(std::string("rule ") + rule + " did not fire on " +
+                 tree);
+    };
+    expectTreeRule("tree_bad_kernel", "kernel-registration");
+    expectTreeRule("tree_bad_spec", "spec-doc");
+
+    const std::vector<Diagnostic> clean = lintTree(fixtures / "tree_clean");
+    for (const Diagnostic &diag : clean)
+        fail("clean tree produced " + diag.rule + " at " + diag.file +
+             ":" + std::to_string(diag.line) + ": " + diag.message);
+
+    for (const Rule &rule : kRules) {
+        if (fired.find(rule.id) == fired.end())
+            fail(std::string("rule ") + rule.id +
+                 " never fired on any fixture");
+    }
+    if (ok)
+        log << "splint self-test: all " << kRules.size()
+            << " rules proven on fixtures\n";
+    return ok;
+}
+
+} // namespace sp::splint

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * splint -- the project-specific lint layer.
+ *
+ * Generic tooling (clang-tidy, the sanitizer matrix) cannot see this
+ * codebase's contracts, so splint enforces them as build-failing
+ * diagnostics:
+ *
+ *   no-raw-thread       all parallelism goes through
+ *                       sp::common::ThreadPool; a raw std::thread /
+ *                       std::async / pthread anywhere else silently
+ *                       escapes the SP_JOBS bound and the
+ *                       bit-identical-to-serial execution contract.
+ *   no-nondeterminism   simulation paths (src/sys, src/cache,
+ *                       src/data) must be seed-deterministic: no
+ *                       rand(), std::random_device, wall clocks, or
+ *                       clock-seeded RNGs -- the golden-output and
+ *                       determinism harnesses byte-compare results.
+ *   hot-path-alloc      regions bracketed by
+ *                       `// splint:hot-path-begin(<name>)` ...
+ *                       `// splint:hot-path-end` (the controller's
+ *                       classify loop, the probe kernels) must not
+ *                       allocate or do stream IO.
+ *   hot-path-marker     the markers themselves must pair up.
+ *   kernel-registration every src/cache/probe_kernel_<arch>.cc TU
+ *                       must be covered by the kernel-equivalence
+ *                       harness's registration list.
+ *   spec-doc            every spec key parsed in src/sys/spec.cc must
+ *                       be documented in README.md.
+ *
+ * Violations are suppressed per line with
+ * `// splint:allow(<rule>): <justification>` on the same or the
+ * preceding line; the justification is mandatory (allow-justification
+ * fires otherwise) and the rule id must exist (allow-unknown-rule).
+ *
+ * The rule table is data (id, severity, summary, fixit); the scanner
+ * strips comments and string literals before matching so prose about
+ * std::thread never trips the lint.
+ */
+
+#ifndef SP_TOOLS_SPLINT_H
+#define SP_TOOLS_SPLINT_H
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sp::splint
+{
+
+enum class Severity
+{
+    Error,
+    Warning,
+};
+
+/** Spelling used in text and JSON reports. */
+const char *severityName(Severity severity);
+
+/** One row of the rule table. */
+struct Rule
+{
+    const char *id;       //!< stable diagnostic id, e.g. "no-raw-thread"
+    Severity severity;    //!< errors fail the splint_tree gate
+    const char *summary;  //!< what the rule enforces
+    const char *fixit;    //!< how to fix (or legitimately allow) a hit
+};
+
+/** The full rule table, in reporting order. */
+const std::vector<Rule> &rules();
+
+/** Look up a rule by id; nullptr when unknown. */
+const Rule *findRule(const std::string &id);
+
+/** One reported violation. */
+struct Diagnostic
+{
+    std::string file;     //!< root-relative path (forward slashes)
+    size_t line = 0;      //!< 1-based; 0 for whole-project rules
+    std::string rule;     //!< rule id
+    Severity severity = Severity::Error;
+    std::string message;
+    std::string fixit;
+};
+
+/**
+ * Run every line-scoped rule over one file. `path` must be the
+ * root-relative path (e.g. "src/sys/spec.cc"); it decides which rules
+ * apply. Project-wide rules (kernel-registration, spec-doc) only run
+ * from lintTree.
+ */
+std::vector<Diagnostic> lintSource(const std::string &path,
+                                   const std::string &text);
+
+/**
+ * Lint the tree rooted at `root`: every .cc/.h/.cpp under src/,
+ * bench/ and tests/ through the line rules, then the project-wide
+ * rules. Missing subtrees are skipped (fixture trees are partial).
+ */
+std::vector<Diagnostic> lintTree(const std::filesystem::path &root);
+
+/** True if any diagnostic is an error (the gate condition). */
+bool hasErrors(const std::vector<Diagnostic> &diagnostics);
+
+/** Human-readable report, one diagnostic per line plus a summary. */
+std::string toText(const std::vector<Diagnostic> &diagnostics);
+
+/**
+ * Machine-readable report:
+ * {"tool":"splint","count":N,"violations":[{file,line,rule,severity,
+ * message,fixit}...]} -- the schema asserted by the JSON report test.
+ */
+std::string toJson(const std::vector<Diagnostic> &diagnostics);
+
+/**
+ * Prove every rule fires: lint the committed fixture files under
+ * `fixtures` (bad ones must produce exactly their expected rules,
+ * clean ones nothing) and check each table rule triggered at least
+ * once. Failures are described on `log`; returns overall success.
+ */
+bool selfTest(const std::filesystem::path &fixtures, std::ostream &log);
+
+} // namespace sp::splint
+
+#endif // SP_TOOLS_SPLINT_H

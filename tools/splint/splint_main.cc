@@ -1,0 +1,99 @@
+/**
+ * @file
+ * splint CLI.
+ *
+ *   sp_splint --root DIR [--format text|json]   lint a source tree
+ *   sp_splint --self-test --fixtures DIR        prove every rule fires
+ *   sp_splint --list-rules                      dump the rule table
+ *
+ * Exit status: 0 clean, 1 violations (or self-test failure), 2 usage.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "splint/splint.h"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--root DIR] [--format text|json]\n"
+              << "       " << argv0 << " --self-test --fixtures DIR\n"
+              << "       " << argv0 << " --list-rules\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string format = "text";
+    std::string fixtures;
+    bool self_test = false;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--root") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            root = v;
+        } else if (arg == "--format") {
+            const char *v = value();
+            if (v == nullptr ||
+                (std::strcmp(v, "text") != 0 &&
+                 std::strcmp(v, "json") != 0))
+                return usage(argv[0]);
+            format = v;
+        } else if (arg == "--fixtures") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            fixtures = v;
+        } else if (arg == "--self-test") {
+            self_test = true;
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else {
+            std::cerr << argv[0] << ": unknown argument '" << arg
+                      << "'\n";
+            return usage(argv[0]);
+        }
+    }
+
+    if (list_rules) {
+        for (const sp::splint::Rule &rule : sp::splint::rules()) {
+            std::cout << rule.id << " ["
+                      << sp::splint::severityName(rule.severity)
+                      << "]\n    " << rule.summary << "\n    fixit: "
+                      << rule.fixit << "\n";
+        }
+        return 0;
+    }
+
+    if (self_test) {
+        if (fixtures.empty()) {
+            std::cerr << argv[0]
+                      << ": --self-test requires --fixtures DIR\n";
+            return usage(argv[0]);
+        }
+        return sp::splint::selfTest(fixtures, std::cerr) ? 0 : 1;
+    }
+
+    const std::vector<sp::splint::Diagnostic> diagnostics =
+        sp::splint::lintTree(root);
+    std::cout << (format == "json" ? sp::splint::toJson(diagnostics)
+                                   : sp::splint::toText(diagnostics));
+    return sp::splint::hasErrors(diagnostics) ? 1 : 0;
+}

@@ -15,6 +15,14 @@
  * sys/spec.h for the grammar); all of them run over one shared
  * workload via sys::ExperimentRunner. --format selects an aligned
  * table, CSV, or a JSON array of RunResult objects.
+ *
+ * Failure contract: a spec whose simulation fails is reported (JSON
+ * "error" field, stderr message) while the rest of the sweep
+ * completes, unless --fail-fast aborts at the first failure. Exit
+ * codes: 0 every spec succeeded, 1 usage/configuration error, 2 every
+ * spec failed (or --fail-fast aborted), 3 some specs failed.
+ * --faults/SP_FAULTS arm the deterministic fault injector
+ * (common/fault.h) for chaos-testing those paths.
  */
 
 #include <iostream>
@@ -23,6 +31,7 @@
 
 #include "cache/probe_kernel.h"
 #include "common/args.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "data/trace_store.h"
@@ -79,6 +88,16 @@ void
 printDetailed(const sys::RunResult &result, const std::string &spec_name,
               const sim::HardwareConfig &hw, bool csv)
 {
+    if (result.failed()) {
+        metrics::TablePrinter table({"metric", "value"});
+        table.addRow({"system", result.system_name});
+        table.addRow({"status", "failed: " + result.error});
+        if (csv)
+            table.printCsv(std::cout);
+        else
+            table.print(std::cout);
+        return;
+    }
     metrics::TablePrinter table({"metric", "value"});
     table.addRow({"system", result.system_name});
     table.addRow({"iteration (ms)",
@@ -130,6 +149,13 @@ printComparison(const std::vector<sys::SystemSpec> &specs,
                                  "usd_per_1M"});
     for (size_t i = 0; i < results.size(); ++i) {
         const auto &result = results[i];
+        if (result.failed()) {
+            // The error text itself goes to stderr; the table keeps
+            // its column discipline.
+            table.addRow({result.system_name, specs[i].summary(),
+                          "failed", "-", "-", "-", "-", "-"});
+            continue;
+        }
         const auto instance = specs[i].name == "multigpu"
                                   ? metrics::AwsInstance::p3_16xlarge()
                                   : metrics::AwsInstance::p3_2xlarge();
@@ -186,6 +212,13 @@ main(int argc, char **argv)
                  "regenerate the trace instead of serving it from the "
                  "content-addressed cache (SP_TRACE_CACHE, default "
                  ".sp-trace-cache/)");
+    args.addString("faults", "",
+                   "arm the deterministic fault injector, e.g. "
+                   "'trace_store.publish.rename:after=1;"
+                   "trace_view.mmap:p=0.5,seed=7' (also via SP_FAULTS)");
+    args.addBool("fail-fast",
+                 "abort the sweep at the first failing spec (exit 2) "
+                 "instead of completing the rest (exit 3)");
     args.addBool("list-systems", "print registered systems and exit");
 
     try {
@@ -236,6 +269,13 @@ main(int argc, char **argv)
         // output stays byte-identical across cold and warm runs.
         data::TraceStore::setCacheEnabled(
             !args.getBool("no-trace-cache"));
+        // --faults replaces any SP_FAULTS schedule; the active
+        // schedule (with recorded seeds, for exact replay) goes to
+        // stderr so JSON output on stdout stays machine-readable.
+        if (args.wasSet("faults"))
+            common::fault::configure(args.getString("faults"));
+        if (common::fault::armed())
+            std::cerr << common::fault::describe() << "\n";
 
         sys::ExperimentOptions options;
         options.iterations =
@@ -247,6 +287,7 @@ main(int argc, char **argv)
         options.jobs = args.wasSet("jobs")
                            ? static_cast<uint32_t>(jobs)
                            : (args.getBool("parallel") ? 0 : 1);
+        options.fail_fast = args.getBool("fail-fast");
 
         const sim::HardwareConfig hw =
             sim::HardwareConfig::paperTestbed();
@@ -260,7 +301,23 @@ main(int argc, char **argv)
                       << " (SP_SIMD / probe= to change)\n";
         }
         const sys::ExperimentRunner runner(model, hw, options);
-        const auto results = runner.runAll(specs);
+        std::vector<sys::RunResult> results;
+        try {
+            results = runner.runAll(specs);
+        } catch (const std::exception &error) {
+            // Total failure: --fail-fast aborted, or an error escaped
+            // spec isolation (a panic, an injected thread_pool.task
+            // fault). Distinct from exit 1, which stays reserved for
+            // usage/configuration mistakes.
+            std::cerr << "sweep aborted: " << error.what() << "\n";
+            return 2;
+        }
+
+        for (const auto &result : results) {
+            if (result.failed())
+                std::cerr << "spec '" << result.system_name
+                          << "' failed: " << result.error << "\n";
+        }
 
         if (format == "json") {
             std::cout << sys::toJson(results) << "\n";
@@ -270,6 +327,7 @@ main(int argc, char **argv)
         } else {
             printComparison(specs, results, hw, format == "csv");
         }
+        return sys::sweepExitCode(results);
     } catch (const FatalError &error) {
         std::cerr << error.what() << "\n";
         return 1;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic fault-injection engine.
+ *
+ * Failure paths rot unless CI walks them. This engine plants *named
+ * fault sites* on every environmental-failure branch the simulator is
+ * supposed to survive -- a rename race during TraceStore publish, a
+ * failed mmap, a read that hits a truncated batch -- and lets a test
+ * (or an operator, via the SP_FAULTS environment variable or
+ * `spsim --faults`) make any of them fire on an exact, replayable
+ * schedule.
+ *
+ * Usage at a failure branch:
+ *
+ *     SP_FAULT_POINT("trace_store.publish.rename");
+ *     // ... the real rename ...
+ *
+ * When the site's schedule says "fire", the macro throws
+ * FaultInjectedError (a StatusError with code ErrorCode::FaultInjected),
+ * which travels the *same* recovery path a real environmental failure
+ * would. When no schedule is armed -- the production case -- the macro
+ * is a single relaxed atomic load and a not-taken branch.
+ *
+ * Schedule grammar (SP_FAULTS / --faults), entries joined by ';':
+ *
+ *     site                    fire on the first hit
+ *     site:after=N            fire once, on hit N+1
+ *     site:every=M            fire on every M-th hit
+ *     site:after=N,every=M    skip N hits, then every M-th
+ *     site:p=0.25             fire each hit with probability 0.25
+ *     site:p=0.25,seed=42     ... from an explicit seed
+ *
+ * Probabilistic schedules draw from a per-site splitmix64 stream; the
+ * seed (explicit or the default 0) is recorded in describe() so any
+ * probabilistic run can be replayed exactly. Sites must come from the
+ * registry in sites() -- configuring an unknown site is a fatal()
+ * with the known names listed, so typos die loudly instead of
+ * silently testing nothing.
+ *
+ * Sites may not sit inside splint hot-path regions (the hot-path-alloc
+ * rule rejects SP_FAULT_POINT there); per-call cost off the hot path
+ * is one predictable branch.
+ */
+
+#ifndef SP_COMMON_FAULT_H
+#define SP_COMMON_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sp::common::fault
+{
+
+/** Thrown when an armed fault site fires. */
+class FaultInjectedError : public StatusError
+{
+  public:
+    explicit FaultInjectedError(std::string site)
+        : StatusError(Status::error(ErrorCode::FaultInjected,
+                                    "injected fault at site '" + site +
+                                        "'")),
+          site_(std::move(site))
+    {
+    }
+
+    const std::string &
+    site() const
+    {
+        return site_;
+    }
+
+  private:
+    std::string site_;
+};
+
+/** One registered site and the degradation its firing must produce. */
+struct SiteInfo
+{
+    const char *name;
+    const char *degradation;
+};
+
+/** The full site registry (fixed at compile time, sorted by name). */
+const std::vector<SiteInfo> &sites();
+
+/** Parsed firing schedule for one site. */
+struct Schedule
+{
+    std::string site;
+    uint64_t after = 0;       //!< hits to skip before firing logic
+    uint64_t every = 0;       //!< 0: fire once; M: every M-th hit
+    double probability = -1;  //!< <0: deterministic; else Bernoulli(p)
+    uint64_t seed = 0;        //!< stream seed for probabilistic mode
+};
+
+/**
+ * Replace the active schedules with those parsed from `spec` (the
+ * SP_FAULTS grammar above; empty string disarms everything).
+ * fatal()s on grammar errors or unknown sites. Also resets all
+ * hit/fired counters. Not thread-safe against in-flight checkpoints:
+ * configure at startup or between sweeps, as tests and spsim do.
+ */
+void configure(const std::string &spec);
+
+/** Disarm every site and reset all counters. */
+void clear();
+
+/** The schedules configure() installed, in input order. */
+std::vector<Schedule> schedules();
+
+/** Human-readable dump of active schedules (seeds included). */
+std::string describe();
+
+/** Times `site` was reached since configure()/clear(). */
+uint64_t hitCount(const std::string &site);
+
+/** Times `site` actually fired since configure()/clear(). */
+uint64_t firedCount(const std::string &site);
+
+namespace detail
+{
+extern std::atomic<bool> g_armed;
+} // namespace detail
+
+/** True when any schedule is active (the macro's only fast-path cost). */
+inline bool
+armed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/** Slow path: count the hit and throw if the schedule says fire. */
+void checkpoint(const char *site);
+
+} // namespace sp::common::fault
+
+/**
+ * Plant a named fault site. Must use a registered name (checkpoint
+ * panics otherwise) and must not appear inside a splint hot-path
+ * region.
+ */
+#define SP_FAULT_POINT(site)                                           \
+    do {                                                               \
+        if (::sp::common::fault::armed())                              \
+            ::sp::common::fault::checkpoint(site);                     \
+    } while (false)
+
+#endif // SP_COMMON_FAULT_H

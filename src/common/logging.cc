@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+
+namespace sp
+{
+
+namespace
+{
+
+/** Occurrences of a key logged verbatim before suppression starts. */
+constexpr uint64_t kVerbatimWarnings = 3;
+/** After that, one warning per this many occurrences gets through. */
+constexpr uint64_t kSuppressedPeriod = 64;
+
+} // namespace
+
+void
+warnRateLimited(const std::string &key, const std::string &message)
+{
+    static std::mutex mutex;
+    static std::map<std::string, uint64_t> counts;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    const uint64_t count = ++counts[key];
+    if (count <= kVerbatimWarnings) {
+        std::cerr << "warn: " << message << "\n";
+    } else if ((count - kVerbatimWarnings) % kSuppressedPeriod == 0) {
+        std::cerr << "warn: " << message << " ("
+                  << (kSuppressedPeriod - 1) << " similar warnings for '"
+                  << key << "' suppressed)\n";
+    }
+}
+
+} // namespace sp

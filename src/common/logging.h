@@ -101,6 +101,16 @@ panicIf(bool cond, const Args &...args)
         panic(args...);
 }
 
+/**
+ * Emit "warn: <message>" on stderr, rate-limited per `key`: the first
+ * few occurrences of a key are logged verbatim, after which only every
+ * 64th is shown (with a suppressed count), so a failure branch hit in
+ * a loop -- a cache directory on a full disk, say -- cannot flood the
+ * run's diagnostics. Counting is per-process and clock-free, keeping
+ * simulation output deterministic. Thread-safe.
+ */
+void warnRateLimited(const std::string &key, const std::string &message);
+
 /** True in checked-invariant builds (cmake -DSP_CHECK=ON). */
 #ifdef SP_CHECK_INVARIANTS
 inline constexpr bool kCheckedInvariants = true;

@@ -52,7 +52,22 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        // Both task kinds report errors through their own channel
+        // (packaged_task -> future; ForState::drain -> first-error
+        // slot), so an exception reaching this frame is a task wrapper
+        // bug -- but it must not std::terminate the process. Isolate
+        // the worker and keep serving the queue.
+        try {
+            task();
+        } catch (const std::exception &e) {
+            warnRateLimited("thread_pool.worker",
+                            std::string("exception escaped a pooled "
+                                        "task: ") +
+                                e.what());
+        } catch (...) {
+            warnRateLimited("thread_pool.worker",
+                            "non-std exception escaped a pooled task");
+        }
     }
 }
 
@@ -84,6 +99,7 @@ struct ForState
                 return;
             if (!has_error.load(std::memory_order_relaxed)) {
                 try {
+                    SP_FAULT_POINT("thread_pool.task");
                     fn(i);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(mutex);
@@ -195,8 +211,14 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn,
     if (n == 0)
         return;
     if (n == 1 || size() <= 1 || max_helpers == 0) {
-        for (size_t i = 0; i < n; ++i)
+        // Serial fast path: the caller is the join point, so the
+        // first exception (including an injected "thread_pool.task"
+        // fault) propagates directly; later indices are skipped,
+        // exactly as drain() skips them once an error is recorded.
+        for (size_t i = 0; i < n; ++i) {
+            SP_FAULT_POINT("thread_pool.task");
             fn(i);
+        }
         return;
     }
 

@@ -45,7 +45,10 @@
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "common/fault.h"
 
 namespace sp::common
 {
@@ -69,14 +72,23 @@ class ThreadPool
     /** Number of worker threads. */
     size_t size() const { return workers_.size(); }
 
-    /** Enqueue `fn` on a worker; the future carries its result. */
+    /**
+     * Enqueue `fn` on a worker; the future carries its result. An
+     * exception thrown by `fn` is captured by the packaged task and
+     * rethrown from future.get() -- it never unwinds a worker. The
+     * fault site runs inside the task for the same reason: an
+     * injected "thread_pool.task" fault surfaces on the future.
+     */
     template <typename F>
     auto
     submit(F &&fn) -> std::future<std::invoke_result_t<F>>
     {
         using R = std::invoke_result_t<F>;
         auto task = std::make_shared<std::packaged_task<R()>>(
-            std::forward<F>(fn));
+            [body = std::forward<F>(fn)]() mutable -> R {
+                SP_FAULT_POINT("thread_pool.task");
+                return body();
+            });
         std::future<R> future = task->get_future();
         enqueue([task] { (*task)(); });
         return future;

@@ -20,12 +20,14 @@ AccessStats::AccessStats(size_t num_tables, uint64_t rows_per_table)
 void
 AccessStats::addBatch(const MiniBatch &batch)
 {
+    // splint:allow(io-status): internal invariant, a bug not I/O
     panicIf(batch.numTables() != counts_.size(),
             "batch has ", batch.numTables(), " tables, stats track ",
             counts_.size());
     for (size_t t = 0; t < counts_.size(); ++t) {
         auto &table_counts = counts_[t];
         for (uint32_t id : batch.ids(t)) {
+            // splint:allow(io-status): internal invariant, a bug not I/O
             panicIf(id >= rows_per_table_, "ID ", id,
                     " out of range for table with ", rows_per_table_,
                     " rows");
@@ -44,6 +46,7 @@ AccessStats::addDataset(const TraceDataset &dataset)
 uint64_t
 AccessStats::totalAccesses(size_t table) const
 {
+    // splint:allow(io-status): internal invariant, a bug not I/O
     panicIf(table >= counts_.size(), "table index out of range");
     return std::accumulate(counts_[table].begin(), counts_[table].end(),
                            uint64_t{0});
@@ -52,6 +55,7 @@ AccessStats::totalAccesses(size_t table) const
 const std::vector<uint64_t> &
 AccessStats::counts(size_t table) const
 {
+    // splint:allow(io-status): internal invariant, a bug not I/O
     panicIf(table >= counts_.size(), "table index out of range");
     return counts_[table];
 }

@@ -1,10 +1,13 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/trace_format.h"
 
@@ -50,9 +53,9 @@ TraceDataset::TraceDataset(std::shared_ptr<TraceView> view,
     for (uint64_t b = 0; b < num_batches; ++b) {
         MiniBatch &batch = batches_[b];
         batch.index = view_->batchIndex(b);
-        fatalIf(batch.index != b, "'", view_->path(),
-                "' stores batch index ", batch.index, " at position ",
-                b, "; the file is corrupt");
+        failIf(batch.index != b, ErrorCode::Corrupt, "'",
+               view_->path(), "' stores batch index ", batch.index,
+               " at position ", b, "; the file is corrupt");
         batch.batch_size = config_.batch_size;
         batch.lookups_per_table = config_.lookups_per_table;
         batch.table_views.resize(config_.num_tables);
@@ -64,6 +67,7 @@ TraceDataset::TraceDataset(std::shared_ptr<TraceView> view,
 const MiniBatch &
 TraceDataset::batch(uint64_t index) const
 {
+    // splint:allow(io-status): caller-bug bounds check, not I/O
     panicIf(index >= batches_.size(), "batch index ", index,
             " out of range (", batches_.size(), " batches)");
     return batches_[index];
@@ -94,38 +98,76 @@ TraceDataset::labels(uint64_t index) const
     return generator_.makeLabels(index);
 }
 
-void
-TraceDataset::save(const std::string &path) const
+namespace
 {
-    std::ofstream os(path, std::ios::binary);
-    fatalIf(!os, "cannot open '", path, "' for writing");
 
-    format::writeHeader(os, config_,
-                        static_cast<uint64_t>(batches_.size()));
-    for (const auto &batch : batches_) {
-        os.write(reinterpret_cast<const char *>(&batch.index),
-                 sizeof(batch.index));
-        for (size_t t = 0; t < batch.numTables(); ++t) {
-            const auto ids = batch.ids(t);
-            os.write(reinterpret_cast<const char *>(ids.data()),
-                     static_cast<std::streamsize>(ids.size() *
-                                                  sizeof(uint32_t)));
+/** Classify a failed write by errno: a full disk is the one cause
+ *  callers degrade differently for (it clears on its own; retrying a
+ *  corrupt path never will). */
+sp::Status
+writeFailure(const std::string &path, const char *stage)
+{
+    const ErrorCode code =
+        errno == ENOSPC ? ErrorCode::NoSpace : ErrorCode::IoError;
+    return Status::error(code, std::string("I/O error while ") + stage +
+                                   " '" + path + "'");
+}
+
+} // namespace
+
+sp::Status
+TraceDataset::saveTo(const std::string &path) const
+{
+    errno = 0;
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return writeFailure(path, "opening");
+
+    try {
+        format::writeHeader(os, config_,
+                            static_cast<uint64_t>(batches_.size()));
+        for (const auto &batch : batches_) {
+            SP_FAULT_POINT("dataset.save.write");
+            os.write(reinterpret_cast<const char *>(&batch.index),
+                     sizeof(batch.index));
+            for (size_t t = 0; t < batch.numTables(); ++t) {
+                const auto ids = batch.ids(t);
+                os.write(reinterpret_cast<const char *>(ids.data()),
+                         static_cast<std::streamsize>(
+                             ids.size() * sizeof(uint32_t)));
+            }
         }
+    } catch (const StatusError &e) {
+        return e.status();
     }
     // Durability: a full disk or short write may only surface at
     // flush/close time; check both so a truncated file is reported
     // here rather than as a corruption error at some later load().
     os.flush();
-    fatalIf(!os, "I/O error while writing '", path, "'");
+    if (!os)
+        return writeFailure(path, "writing");
     os.close();
-    fatalIf(os.fail(), "I/O error while closing '", path, "'");
+    if (os.fail())
+        return writeFailure(path, "closing");
+    return sp::Status();
+}
+
+void
+TraceDataset::save(const std::string &path) const
+{
+    const sp::Status status = saveTo(path);
+    if (!status.ok())
+        throw StatusError(status);
 }
 
 TraceDataset
 TraceDataset::load(const std::string &path, uint64_t max_batches)
 {
+    errno = 0;
     std::ifstream is(path, std::ios::binary);
-    fatalIf(!is, "cannot open '", path, "' for reading");
+    failIf(!is,
+           errno == ENOENT ? ErrorCode::NotFound : ErrorCode::IoError,
+           "cannot open '", path, "' for reading");
 
     const format::TraceFileHeader header = format::readHeader(is, path);
     is.seekg(0, std::ios::end);
@@ -144,6 +186,7 @@ TraceDataset::load(const std::string &path, uint64_t max_batches)
     const size_t ids_per_table = config.idsPerTable();
     for (uint64_t b = 0; b < num_batches; ++b) {
         MiniBatch batch;
+        SP_FAULT_POINT("dataset.load.read");
         is.read(reinterpret_cast<char *>(&batch.index),
                 sizeof(batch.index));
         batch.batch_size = config.batch_size;
@@ -157,20 +200,44 @@ TraceDataset::load(const std::string &path, uint64_t max_batches)
         }
         // Per-batch check so truncation fails at the cut, not after
         // looping num_batches times over a dead stream.
-        fatalIf(!is, "'", path, "' is truncated at batch ", b, " of ",
-                num_batches);
-        fatalIf(batch.index != b, "'", path, "' stores batch index ",
-                batch.index, " at position ", b,
-                "; the file is corrupt");
+        failIf(!is, ErrorCode::Truncated, "'", path,
+               "' is truncated at batch ", b, " of ", num_batches);
+        failIf(batch.index != b, ErrorCode::Corrupt, "'", path,
+               "' stores batch index ", batch.index, " at position ",
+               b, "; the file is corrupt");
         batches.push_back(std::move(batch));
     }
     return TraceDataset(config, std::move(batches));
+}
+
+sp::Result<TraceDataset>
+TraceDataset::tryLoad(const std::string &path, uint64_t max_batches)
+{
+    try {
+        return TraceDataset::load(path, max_batches);
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const FatalError &e) {
+        return Status::error(ErrorCode::IoError, e.what());
+    }
 }
 
 TraceDataset
 TraceDataset::mapped(const std::string &path, uint64_t max_batches)
 {
     return TraceDataset(TraceView::open(path), max_batches);
+}
+
+sp::Result<TraceDataset>
+TraceDataset::tryMapped(const std::string &path, uint64_t max_batches)
+{
+    try {
+        return TraceDataset::mapped(path, max_batches);
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const FatalError &e) {
+        return Status::error(ErrorCode::IoError, e.what());
+    }
 }
 
 } // namespace sp::data

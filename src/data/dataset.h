@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/trace.h"
 #include "data/trace_view.h"
 
@@ -70,27 +71,42 @@ class TraceDataset
     tensor::Matrix labels(uint64_t index) const;
 
     /**
-     * Serialise to a binary file. fatal() on any I/O error, including
-     * short writes detected at the final flush/close -- a silently
-     * truncated file must never be published.
+     * Serialise to a binary file. Environmental failures -- including
+     * short writes only detected at the final flush/close, which must
+     * never publish a silently truncated file -- come back as a
+     * classified Status (NoSpace when the disk filled, IoError
+     * otherwise). Never throws for I/O trouble.
      */
+    sp::Status saveTo(const std::string &path) const;
+
+    /** saveTo(), but throwing StatusError on failure (legacy callers). */
     void save(const std::string &path) const;
 
     /**
      * Eagerly load a dataset previously written by save(). With
      * `max_batches` != 0, stop after that many batches (prefix load).
+     * Throws StatusError classifying the failure (NotFound/Truncated/
+     * Corrupt/VersionMismatch/IoError).
      */
     static TraceDataset load(const std::string &path,
                              uint64_t max_batches = 0);
 
+    /** load() with the failure as a Result instead of an exception. */
+    static sp::Result<TraceDataset> tryLoad(const std::string &path,
+                                            uint64_t max_batches = 0);
+
     /**
      * mmap-backed load: batches are served straight from the file
-     * mapping (see TraceView). fatal() where load() would be, and
-     * additionally when the platform has no mmap support -- callers
-     * wanting a fallback check TraceView::supported() first.
+     * mapping (see TraceView). Throws StatusError where load() would,
+     * and with code Unsupported when the platform has no mmap --
+     * callers wanting a fallback check TraceView::supported() first.
      */
     static TraceDataset mapped(const std::string &path,
                                uint64_t max_batches = 0);
+
+    /** mapped() with the failure as a Result instead of an exception. */
+    static sp::Result<TraceDataset> tryMapped(const std::string &path,
+                                              uint64_t max_batches = 0);
 
     /** True when batches are served from an mmap'd view. */
     bool isMapped() const { return view_ != nullptr; }

@@ -97,6 +97,7 @@ TraceGenerator::TraceGenerator(const TraceConfig &config) : config_(config)
 double
 TraceGenerator::tableExponent(size_t table) const
 {
+    // splint:allow(io-status): caller-bug bounds check, not I/O
     panicIf(table >= config_.num_tables, "table index out of range");
     if (!config_.per_table_exponents.empty())
         return config_.per_table_exponents[table];

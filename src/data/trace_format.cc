@@ -4,7 +4,7 @@
 #include <istream>
 #include <ostream>
 
-#include "common/logging.h"
+#include "common/status.h"
 
 namespace sp::data::format
 {
@@ -50,11 +50,12 @@ class Cursor
         T value{};
         if (is_ != nullptr) {
             is_->read(reinterpret_cast<char *>(&value), sizeof(T));
-            fatalIf(!*is_, "'", path_,
-                    "' is truncated inside the trace header");
+            failIf(!*is_, ErrorCode::Truncated, "'", path_,
+                   "' is truncated inside the trace header");
         } else {
-            fatalIf(offset_ + sizeof(T) > size_, "'", path_,
-                    "' is truncated inside the trace header");
+            failIf(offset_ + sizeof(T) > size_, ErrorCode::Truncated,
+                   "'", path_,
+                   "' is truncated inside the trace header");
             std::memcpy(&value, data_ + offset_, sizeof(T));
             offset_ += sizeof(T);
         }
@@ -74,10 +75,12 @@ readHeaderFields(Cursor &cursor, const std::string &path)
 {
     const uint64_t magic = cursor.next<uint64_t>();
     const uint32_t version = cursor.next<uint32_t>();
-    fatalIf(magic != kMagic, "'", path, "' is not a ScratchPipe trace");
-    fatalIf(version != kTraceFormatVersion, "'", path,
-            "' has unsupported trace version ", version, " (expected ",
-            kTraceFormatVersion,
+    failIf(magic != kMagic, ErrorCode::Corrupt, "'", path,
+           "' is not a ScratchPipe trace");
+    failIf(version != kTraceFormatVersion, ErrorCode::VersionMismatch,
+           "'", path,
+           "' has unsupported trace version ", version, " (expected ",
+           kTraceFormatVersion,
             "); regenerate the trace -- pre-v2 headers did not record "
             "every generator field");
     cursor.next<uint32_t>(); // alignment pad
@@ -89,17 +92,18 @@ readHeaderFields(Cursor &cursor, const std::string &path)
     config.lookups_per_table = cursor.next<uint64_t>();
     config.batch_size = cursor.next<uint64_t>();
     const uint64_t locality = cursor.next<uint64_t>();
-    fatalIf(locality > static_cast<uint64_t>(Locality::High), "'", path,
-            "' names unknown locality preset ", locality);
+    failIf(locality > static_cast<uint64_t>(Locality::High),
+           ErrorCode::Corrupt, "'", path,
+           "' names unknown locality preset ", locality);
     config.locality = static_cast<Locality>(locality);
     config.seed = cursor.next<uint64_t>();
     config.dense_features = cursor.next<uint64_t>();
     const uint64_t num_exponents = cursor.next<uint64_t>();
-    fatalIf(num_exponents != 0 && num_exponents != config.num_tables,
-            "'", path, "' has ", num_exponents,
-            " per-table exponents for ", config.num_tables, " tables");
-    fatalIf(num_exponents > kMaxTables, "'", path,
-            "' header is implausible (", num_exponents, " exponents)");
+    failIf(num_exponents != 0 && num_exponents != config.num_tables,
+           ErrorCode::Corrupt, "'", path, "' has ", num_exponents,
+           " per-table exponents for ", config.num_tables, " tables");
+    failIf(num_exponents > kMaxTables, ErrorCode::Corrupt, "'", path,
+           "' header is implausible (", num_exponents, " exponents)");
     config.per_table_exponents.resize(num_exponents);
     for (uint64_t t = 0; t < num_exponents; ++t)
         config.per_table_exponents[t] = cursor.next<double>();
@@ -175,22 +179,25 @@ validateHeader(const TraceFileHeader &header, uint64_t file_bytes,
                const std::string &path)
 {
     const TraceConfig &config = header.config;
-    fatalIf(config.num_tables == 0 || config.num_tables > kMaxTables,
-            "'", path, "' header is implausible (", config.num_tables,
-            " tables)");
-    fatalIf(config.rows_per_table == 0, "'", path,
-            "' header is implausible (zero rows per table)");
-    fatalIf(config.batch_size == 0 || config.batch_size > kMaxBatchSize,
-            "'", path, "' header is implausible (batch size ",
-            config.batch_size, ")");
-    fatalIf(config.lookups_per_table == 0 ||
-                config.lookups_per_table > kMaxLookups,
-            "'", path, "' header is implausible (",
-            config.lookups_per_table, " lookups per table)");
-    fatalIf(config.dense_features > kMaxDenseFeatures, "'", path,
-            "' header is implausible (", config.dense_features,
-            " dense features)");
-    fatalIf(header.num_batches == 0, "'", path, "' holds no batches");
+    failIf(config.num_tables == 0 || config.num_tables > kMaxTables,
+           ErrorCode::Corrupt,
+           "'", path, "' header is implausible (", config.num_tables,
+           " tables)");
+    failIf(config.rows_per_table == 0, ErrorCode::Corrupt, "'", path,
+           "' header is implausible (zero rows per table)");
+    failIf(config.batch_size == 0 || config.batch_size > kMaxBatchSize,
+           ErrorCode::Corrupt,
+           "'", path, "' header is implausible (batch size ",
+           config.batch_size, ")");
+    failIf(config.lookups_per_table == 0 ||
+               config.lookups_per_table > kMaxLookups,
+           ErrorCode::Corrupt, "'", path, "' header is implausible (",
+           config.lookups_per_table, " lookups per table)");
+    failIf(config.dense_features > kMaxDenseFeatures, ErrorCode::Corrupt,
+           "'", path, "' header is implausible (", config.dense_features,
+           " dense features)");
+    failIf(header.num_batches == 0, ErrorCode::Corrupt, "'", path,
+           "' holds no batches");
 
     // Divide instead of multiplying record size by the (untrusted)
     // batch count, so an absurd count cannot overflow the check.
@@ -198,12 +205,13 @@ validateHeader(const TraceFileHeader &header, uint64_t file_bytes,
     const uint64_t record_bytes = batchRecordBytes(config);
     const uint64_t payload =
         file_bytes >= header_bytes ? file_bytes - header_bytes : 0;
-    fatalIf(file_bytes < header_bytes ||
-                payload % record_bytes != 0 ||
-                payload / record_bytes != header.num_batches,
-            "'", path, "' is ", file_bytes, " bytes but its header "
-            "describes ", header.num_batches, " batches of ",
-            record_bytes, " bytes; the file is truncated or corrupt");
+    failIf(file_bytes < header_bytes ||
+               payload % record_bytes != 0 ||
+               payload / record_bytes != header.num_batches,
+           ErrorCode::Truncated,
+           "'", path, "' is ", file_bytes, " bytes but its header "
+           "describes ", header.num_batches, " batches of ",
+           record_bytes, " bytes; the file is truncated or corrupt");
 }
 
 } // namespace sp::data::format

@@ -1,14 +1,17 @@
 #include "data/trace_store.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <iostream>
 #include <random>
 #include <system_error>
+#include <thread>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/status.h"
 #include "data/trace_format.h"
 #include "data/trace_view.h"
 
@@ -84,6 +87,40 @@ tempSuffix()
  * publishers race with different batch counts (the shorter file would
  * silently defeat every later warm start).
  */
+/** Rename attempts per publish (first try + retries with backoff). */
+constexpr int kRenameAttempts = 3;
+
+/** Removes the publish temp file on every failure path; commit()
+ *  after a successful rename keeps the (now nonexistent) temp name
+ *  from being unlinked needlessly. Being RAII it also covers exits
+ *  publish() never anticipated -- a bad_alloc, an injected fault. */
+class TempFileGuard
+{
+  public:
+    explicit TempFileGuard(std::string path) : path_(std::move(path)) {}
+
+    ~TempFileGuard()
+    {
+        if (committed_)
+            return;
+        std::error_code ec;
+        fs::remove(path_, ec);
+    }
+
+    TempFileGuard(const TempFileGuard &) = delete;
+    TempFileGuard &operator=(const TempFileGuard &) = delete;
+
+    void
+    commit()
+    {
+        committed_ = true;
+    }
+
+  private:
+    std::string path_;
+    bool committed_ = false;
+};
+
 bool
 entryCovers(const TraceConfig &config, uint64_t num_batches,
             const std::string &path)
@@ -124,12 +161,14 @@ TraceStore::entryPath(const TraceConfig &config) const
 
 std::optional<TraceDataset>
 TraceStore::tryLoad(const TraceConfig &config, uint64_t num_batches,
-                    const std::string &path, bool *mapped) const
+                    const std::string &path, bool *mapped,
+                    sp::Status *load_status) const
 {
     std::error_code ec;
     if (!fs::exists(path, ec) || ec)
         return std::nullopt;
     try {
+        SP_FAULT_POINT("trace_store.load");
         const bool use_view = use_mmap_ && TraceView::supported();
         TraceDataset dataset = use_view
                                    ? TraceDataset::mapped(path,
@@ -140,48 +179,93 @@ TraceStore::tryLoad(const TraceConfig &config, uint64_t num_batches,
         // *full* config must match field-by-field -- a hash collision
         // or a stale hand-edited entry must read as a miss, never as
         // silently wrong IDs.
-        if (!(dataset.config() == config))
+        if (!(dataset.config() == config)) {
+            *load_status = Status::error(
+                ErrorCode::Corrupt,
+                "'" + path + "' holds a different config than its "
+                "fingerprint promises");
             return std::nullopt;
+        }
         // A shorter entry cannot serve this request; regenerate.
-        if (dataset.numBatches() < num_batches)
+        if (dataset.numBatches() < num_batches) {
+            *load_status = Status::error(
+                ErrorCode::Truncated,
+                "'" + path + "' holds fewer batches than requested");
             return std::nullopt;
+        }
         *mapped = use_view;
         return dataset;
-    } catch (const FatalError &) {
-        // Truncated/corrupt entry: treat as a miss; the caller
-        // regenerates and republishes over it.
+    } catch (const StatusError &error) {
+        // Truncated/corrupt/unmappable entry: treat as a classified
+        // miss; the caller regenerates and republishes over it.
+        *load_status = error.status();
+        return std::nullopt;
+    } catch (const FatalError &error) {
+        *load_status = Status::error(ErrorCode::IoError, error.what());
         return std::nullopt;
     }
 }
 
-bool
+sp::Status
 TraceStore::publish(const TraceDataset &dataset,
                     const std::string &path) const
 {
     const std::string tmp = path + tempSuffix();
+    TempFileGuard guard(tmp);
+    sp::Status status;
     try {
         std::error_code ec;
         fs::create_directories(directory_, ec);
-        fatalIf(static_cast<bool>(ec), "cannot create trace cache "
-                "directory '", directory_, "': ", ec.message());
-        dataset.save(tmp);
+        if (ec) {
+            status = Status::error(
+                ErrorCode::IoError, "cannot create trace cache "
+                "directory '" + directory_ + "': " + ec.message());
+        } else {
+            SP_FAULT_POINT("trace_store.publish.save");
+            status = dataset.saveTo(tmp);
+        }
         // Atomic publication: rename() replaces any existing entry in
         // one step, so concurrent readers see the old file or the new
-        // one, never a torn write.
-        fs::rename(tmp, path, ec);
-        fatalIf(static_cast<bool>(ec), "cannot publish trace cache "
-                "entry '", path, "': ", ec.message());
-        return true;
+        // one, never a torn write. A failed rename may be a transient
+        // race (e.g. the target directory being recreated, NFS
+        // blips), so it gets a bounded retry with backoff before the
+        // run degrades to uncached.
+        for (int attempt = 0; status.ok(); ++attempt) {
+            try {
+                SP_FAULT_POINT("trace_store.publish.rename");
+                fs::rename(tmp, path, ec);
+            } catch (const common::fault::FaultInjectedError &e) {
+                ec = std::make_error_code(std::errc::io_error);
+                status = e.status();
+            }
+            if (!ec) {
+                guard.commit();
+                return sp::Status();
+            }
+            if (attempt + 1 >= kRenameAttempts) {
+                if (status.ok())
+                    status = Status::error(
+                        ErrorCode::IoError, "cannot publish trace "
+                        "cache entry '" + path + "': " + ec.message());
+                break;
+            }
+            status = sp::Status();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 << attempt));
+        }
+    } catch (const StatusError &error) {
+        status = error.status();
     } catch (const FatalError &error) {
-        // Cache trouble (read-only directory, disk full) must not
-        // kill the run -- the dataset is already in memory. Leave a
-        // loud hint and carry on uncached.
-        std::error_code ec;
-        fs::remove(tmp, ec);
-        std::cerr << "warning: trace cache publication failed ("
-                  << error.what() << "); continuing uncached\n";
-        return false;
+        status = Status::error(ErrorCode::IoError, error.what());
     }
+    // Cache trouble (read-only directory, disk full) must not kill
+    // the run -- the dataset is already in memory. Leave a loud (but
+    // rate-limited: sweeps retry per spec) hint and carry on
+    // uncached; the guard unlinks the temp file on this path.
+    warnRateLimited("trace_store.publish",
+                    "trace cache publication failed (" +
+                        status.toString() + "); continuing uncached");
+    return status;
 }
 
 TraceDataset
@@ -192,9 +276,14 @@ TraceStore::acquire(const TraceConfig &config, uint64_t num_batches,
     const std::string path = entryPath(config);
 
     bool mapped = false;
-    if (auto cached = tryLoad(config, num_batches, path, &mapped)) {
-        if (info != nullptr)
-            *info = {true, mapped, false};
+    sp::Status load_status;
+    if (auto cached =
+            tryLoad(config, num_batches, path, &mapped, &load_status)) {
+        if (info != nullptr) {
+            *info = AcquireInfo();
+            info->cache_hit = true;
+            info->mapped = mapped;
+        }
         return std::move(*cached);
     }
 
@@ -207,11 +296,18 @@ TraceStore::acquire(const TraceConfig &config, uint64_t num_batches,
     // check-to-rename window can still be clobbered -- without file
     // locks that race is irreducible -- but the next longer request
     // simply regenerates and heals the entry.
+    sp::Status publish_status;
     bool published = false;
-    if (!entryCovers(config, num_batches, path))
-        published = publish(fresh, path);
-    if (info != nullptr)
-        *info = {false, false, published};
+    if (!entryCovers(config, num_batches, path)) {
+        publish_status = publish(fresh, path);
+        published = publish_status.ok();
+    }
+    if (info != nullptr) {
+        *info = AcquireInfo();
+        info->published = published;
+        info->load_status = load_status;
+        info->publish_status = publish_status;
+    }
     return fresh;
 }
 

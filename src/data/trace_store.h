@@ -38,6 +38,7 @@
 #include <optional>
 #include <string>
 
+#include "common/status.h"
 #include "data/dataset.h"
 #include "data/trace.h"
 
@@ -66,6 +67,12 @@ class TraceStore
         bool mapped = false;
         /** This call generated and (re)published the entry. */
         bool published = false;
+        /** Why an existing entry was rejected (ok on a hit, or when
+         *  no entry existed at all). */
+        sp::Status load_status;
+        /** Why publication failed (ok when it succeeded or was not
+         *  attempted). */
+        sp::Status publish_status;
     };
 
     /** Store over the default directory (SP_TRACE_CACHE fallback). */
@@ -81,10 +88,12 @@ class TraceStore
      * The one-call API: return a dataset of exactly `num_batches`
      * batches for `config`, from the cache when a valid entry covers
      * it, otherwise by generating and atomically publishing one.
-     * Never fails because of cache trouble: corrupt entries are
-     * regenerated over, and publication errors (read-only or full
-     * disk) degrade to an uncached in-memory dataset with a warning
-     * on stderr.
+     * Never fails because of cache trouble: corrupt, truncated or
+     * version-mismatched entries are regenerated over, transient
+     * rename races are retried with backoff, and publication errors
+     * (read-only or full disk) degrade to an uncached in-memory
+     * dataset with a rate-limited warning on stderr. The classified
+     * causes are reported through `info` for callers that care.
      */
     TraceDataset acquire(const TraceConfig &config, uint64_t num_batches,
                          AcquireInfo *info = nullptr) const;
@@ -102,9 +111,10 @@ class TraceStore
     std::optional<TraceDataset> tryLoad(const TraceConfig &config,
                                         uint64_t num_batches,
                                         const std::string &path,
-                                        bool *mapped) const;
-    bool publish(const TraceDataset &dataset,
-                 const std::string &path) const;
+                                        bool *mapped,
+                                        sp::Status *load_status) const;
+    sp::Status publish(const TraceDataset &dataset,
+                       const std::string &path) const;
 
     std::string directory_;
     bool use_mmap_ = true;

@@ -1,8 +1,11 @@
 #include "data/trace_view.h"
 
+#include <cerrno>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/status.h"
 #include "data/trace_format.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -31,20 +34,29 @@ TraceView::open(const std::string &path)
 {
 #ifdef SP_HAVE_MMAP
     const int fd = ::open(path.c_str(), O_RDONLY);
-    fatalIf(fd < 0, "cannot open '", path, "' for mapping");
+    failIf(fd < 0,
+           errno == ENOENT ? ErrorCode::NotFound : ErrorCode::IoError,
+           "cannot open '", path, "' for mapping");
 
     struct stat st = {};
     if (::fstat(fd, &st) != 0) {
         ::close(fd);
-        fatal("cannot stat '", path, "'");
+        failWith(ErrorCode::IoError, "cannot stat '", path, "'");
     }
     const uint64_t size = static_cast<uint64_t>(st.st_size);
-    void *mapping =
-        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    void *mapping = MAP_FAILED;
+    try {
+        SP_FAULT_POINT("trace_view.mmap");
+        mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    } catch (...) {
+        // An injected mmap fault must not leak the descriptor.
+        ::close(fd);
+        throw;
+    }
     // The mapping outlives the descriptor.
     ::close(fd);
-    fatalIf(mapping == MAP_FAILED, "mmap of '", path, "' (", size,
-            " bytes) failed");
+    failIf(mapping == MAP_FAILED, ErrorCode::IoError, "mmap of '",
+           path, "' (", size, " bytes) failed");
 
     // From here the mapping must be released on any validation
     // failure; shared_ptr + ~TraceView handles both paths.
@@ -70,10 +82,22 @@ TraceView::open(const std::string &path)
               "the validated file size ", size);
     return view;
 #else
-    fatal("cannot map '", path,
-          "': no mmap support on this platform (use the eager "
-          "TraceDataset::load)");
+    failWith(ErrorCode::Unsupported, "cannot map '", path,
+             "': no mmap support on this platform (use the eager "
+             "TraceDataset::load)");
 #endif
+}
+
+sp::Result<std::shared_ptr<TraceView>>
+TraceView::tryOpen(const std::string &path)
+{
+    try {
+        return TraceView::open(path);
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const FatalError &e) {
+        return Status::error(ErrorCode::IoError, e.what());
+    }
 }
 
 TraceView::~TraceView()
@@ -87,6 +111,7 @@ TraceView::~TraceView()
 uint64_t
 TraceView::batchIndex(uint64_t b) const
 {
+    // splint:allow(io-status): caller-bug bounds check, not I/O
     panicIf(b >= num_batches_, "batch index ", b, " out of range (",
             num_batches_, " batches in '", path_, "')");
     uint64_t index = 0;
@@ -100,8 +125,10 @@ TraceView::batchIndex(uint64_t b) const
 std::span<const uint32_t>
 TraceView::ids(uint64_t b, uint64_t t) const
 {
+    // splint:allow(io-status): caller-bug bounds check, not I/O
     panicIf(b >= num_batches_, "batch index ", b, " out of range (",
             num_batches_, " batches in '", path_, "')");
+    // splint:allow(io-status): caller-bug bounds check, not I/O
     panicIf(t >= config_.num_tables, "table index ", t,
             " out of range (", config_.num_tables, " tables in '",
             path_, "')");

@@ -23,6 +23,7 @@
 #include <span>
 #include <string>
 
+#include "common/status.h"
 #include "data/trace.h"
 
 namespace sp::data
@@ -36,11 +37,16 @@ class TraceView
     static bool supported();
 
     /**
-     * Map `path` and validate its header. fatal() when the file is
-     * missing, not a trace, a pre-v2 version, corrupt, or when mmap
-     * is unsupported or fails.
+     * Map `path` and validate its header. Throws StatusError
+     * classifying the failure: NotFound (missing file), Corrupt /
+     * Truncated / VersionMismatch (validation), IoError (stat/mmap),
+     * Unsupported (platform without mmap).
      */
     static std::shared_ptr<TraceView> open(const std::string &path);
+
+    /** open() with the failure as a Result instead of an exception. */
+    static sp::Result<std::shared_ptr<TraceView>>
+    tryOpen(const std::string &path);
 
     ~TraceView();
     TraceView(const TraceView &) = delete;

@@ -89,6 +89,7 @@ ZipfSampler::sample(tensor::Rng &rng)
 double
 ZipfSampler::probability(uint64_t k)
 {
+    // splint:allow(io-status): caller-bug bounds check, not I/O
     panicIf(k >= n_, "probability(", k, ") out of range for n=", n_);
     if (exponent_ == 0.0)
         return 1.0 / static_cast<double>(n_);

@@ -1,5 +1,6 @@
 #include "sys/experiment.h"
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "data/trace_store.h"
@@ -45,6 +46,7 @@ ExperimentRunner::ExperimentRunner(const ModelConfig &model,
 RunResult
 ExperimentRunner::run(const SystemSpec &spec) const
 {
+    SP_FAULT_POINT("experiment.run");
     const auto system = Registry::build(spec, model_, hardware_);
     return system->simulate(*dataset_, *stats_, options_.iterations,
                             options_.warmup);
@@ -72,10 +74,31 @@ ExperimentRunner::runAll(const std::vector<SystemSpec> &specs) const
         spec.validate();
 
     std::vector<RunResult> results(specs.size());
+    // Failure isolation: one spec's error lands in its result slot
+    // instead of aborting the sweep (unless fail_fast). Panics pass
+    // through -- an invariant violation means nothing downstream is
+    // trustworthy. The slot-i-from-call-i write pattern keeps failed
+    // sweeps exactly as deterministic as clean ones.
+    const auto runOne = [this, &specs, &results](size_t i) {
+        if (options_.fail_fast) {
+            results[i] = run(specs[i]);
+            return;
+        }
+        try {
+            results[i] = run(specs[i]);
+        } catch (const PanicError &) {
+            throw;
+        } catch (const std::exception &e) {
+            results[i] = RunResult();
+            results[i].system_name = specs[i].summary();
+            results[i].error = e.what();
+        }
+    };
+
     const size_t jobs = effectiveJobs();
     if (specs.size() <= 1 || jobs <= 1) {
         for (size_t i = 0; i < specs.size(); ++i)
-            results[i] = run(specs[i]);
+            runOne(i);
         return results;
     }
 
@@ -85,11 +108,11 @@ ExperimentRunner::runAll(const std::vector<SystemSpec> &specs) const
     // longer oversubscribes the host 40 ways -- without stacking a
     // second pool on top of the one the inner sites (trace
     // generation, per-table planning) already use. parallelFor
-    // rethrows the first error.
-    common::ThreadPool::global().parallelFor(
-        specs.size(),
-        [this, &specs, &results](size_t i) { results[i] = run(specs[i]); },
-        jobs - 1);
+    // rethrows the first error (with fail_fast that is the first
+    // failing spec; otherwise only panics and injected
+    // "thread_pool.task" faults reach it).
+    common::ThreadPool::global().parallelFor(specs.size(), runOne,
+                                             jobs - 1);
     return results;
 }
 

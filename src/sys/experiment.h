@@ -50,6 +50,13 @@ struct ExperimentOptions
      * overridable via SP_JOBS).
      */
     uint32_t jobs = 1;
+    /**
+     * When false (default) a spec whose simulation throws is recorded
+     * as a failed RunResult (RunResult::failed()) and the sweep
+     * continues; when true the first failure aborts runAll by
+     * rethrowing (spsim --fail-fast).
+     */
+    bool fail_fast = false;
 };
 
 /** Shared-workload driver for comparing system design points. */
@@ -81,8 +88,15 @@ class ExperimentRunner
      * With options().jobs != 1 the systems fan out over the shared
      * worker pool, at most effectiveJobs() in flight at once; results
      * are bit-identical to a sequential sweep (systems are
-     * independent and read-only over the shared dataset). The first
-     * error (fatal() or panic()) is rethrown on the caller.
+     * independent and read-only over the shared dataset).
+     *
+     * Failure isolation: a spec whose simulation throws yields a
+     * RunResult with failed() set and the others still run -- one bad
+     * design point cannot take down a forty-spec sweep. Exceptions:
+     * with options().fail_fast the first failure is rethrown, and a
+     * panic() (internal invariant violation) always propagates --
+     * results near a library bug are not trustworthy enough to keep
+     * sweeping over.
      */
     std::vector<RunResult> runAll(const std::vector<SystemSpec> &specs) const;
 

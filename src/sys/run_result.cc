@@ -82,8 +82,21 @@ RunResult::toJson() const
     emitNumber(os, gpu_bytes);
     if (!bottleneck.empty())
         os << ",\"bottleneck\":\"" << escape(bottleneck) << "\"";
+    if (!error.empty())
+        os << ",\"error\":\"" << escape(error) << "\"";
     os << "}";
     return os.str();
+}
+
+int
+sweepExitCode(const std::vector<RunResult> &results)
+{
+    size_t failures = 0;
+    for (const RunResult &result : results)
+        failures += result.failed() ? 1 : 0;
+    if (failures == 0)
+        return 0;
+    return failures == results.size() ? 2 : 3;
 }
 
 std::string

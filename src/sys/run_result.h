@@ -33,17 +33,33 @@ struct RunResult
     double gpu_bytes = 0.0;
     /** Binding pipeline constraint (ScratchPipe only). */
     std::string bottleneck;
+    /** Why this spec's simulation failed; empty on success. A failed
+     *  result carries the spec's summary in system_name and default
+     *  values everywhere else. */
+    std::string error;
+
+    /** True when the spec failed and `error` explains why. */
+    bool failed() const { return !error.empty(); }
 
     /**
      * One JSON object with every field above; hit_rate is null when
-     * not applicable and bottleneck is omitted when empty. Numbers
-     * round-trip exactly (max_digits10).
+     * not applicable, and bottleneck/error are omitted when empty (a
+     * clean run's JSON is byte-identical to what pre-error-state
+     * builds emitted). Numbers round-trip exactly (max_digits10).
      */
     std::string toJson() const;
 };
 
 /** JSON array of RunResult::toJson() objects. */
 std::string toJson(const std::vector<RunResult> &results);
+
+/**
+ * Process exit code summarising a sweep: 0 when every spec succeeded,
+ * 2 when all failed (total failure), 3 when only some did (partial
+ * failure). spsim's exit-code contract (1 stays reserved for
+ * usage/configuration errors).
+ */
+int sweepExitCode(const std::vector<RunResult> &results);
 
 } // namespace sp::sys
 

@@ -155,6 +155,43 @@ TEST(ThreadPool, AsyncWaitRethrowsFirstErrorOnce)
     token.wait();
 }
 
+TEST(ThreadPool, AsyncErrorSkipsRemainingIndicesButRetiresThem)
+{
+    // Zero helpers pins the whole index space on the caller, in
+    // order, so the post-error behaviour is deterministic: indices
+    // before the throw run, indices after it are skipped, and yet the
+    // barrier retires all of them -- the wait() neither hangs nor
+    // reruns the body.
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    auto token = pool.parallelForAsync(
+        10,
+        [&ran](size_t i) {
+            if (i == 2)
+                throw std::runtime_error("bad");
+            ++ran;
+        },
+        /*max_helpers=*/0);
+    EXPECT_THROW(token.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 2);
+    // Surfaced exactly once: the spent token is silent from here on.
+    EXPECT_FALSE(token.pending());
+    token.wait();
+}
+
+TEST(ThreadPool, AsyncDropAfterErrorDoesNotTerminate)
+{
+    // Dropping a token whose body threw must swallow the error in the
+    // destructor (the pipeline only abandons a token while unwinding
+    // from the same root cause), never std::terminate.
+    ThreadPool pool(2);
+    {
+        auto token = pool.parallelForAsync(
+            8, [](size_t) { throw std::runtime_error("bad"); });
+    }
+    SUCCEED();
+}
+
 TEST(ThreadPool, AsyncCompletesWithZeroHelpers)
 {
     // max_helpers == 0 enqueues nothing: wait() must drain every

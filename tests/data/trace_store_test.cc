@@ -15,7 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/status.h"
+#include "data/trace_format.h"
 #include "data/trace_store.h"
 #include "data/trace_view.h"
 #include "sim/hardware_config.h"
@@ -308,6 +311,108 @@ TEST(TraceStore, EnvironmentKillSwitchDisablesCache)
     TraceStore::setCacheEnabled(false);
     ::unsetenv("SP_TRACE_CACHE");
     EXPECT_FALSE(TraceStore::cacheEnabled());
+}
+
+/** Arms one fault schedule for a scope; disarms on exit. */
+class FaultGuard
+{
+  public:
+    explicit FaultGuard(const std::string &spec)
+    {
+        common::fault::configure(spec);
+    }
+    ~FaultGuard() { common::fault::clear(); }
+};
+
+TEST(TraceStore, WriteFailureDuringPublishDegradesToUncached)
+{
+    // The injector stands in for ENOSPC mid-write: saveTo fails, the
+    // orphaned temp file is unlinked, the acquire still returns the
+    // in-memory dataset, and the status is classified -- never a
+    // crash, never litter that a later publish would trip over.
+    TempStore store("enospc_publish");
+    const TraceConfig config = smallConfig();
+    const TraceDataset want(config, 4);
+    {
+        FaultGuard guard("dataset.save.write:every=1");
+        TraceStore::AcquireInfo info;
+        const TraceDataset got = store->acquire(config, 4, &info);
+        EXPECT_FALSE(info.cache_hit);
+        EXPECT_FALSE(info.published);
+        EXPECT_EQ(info.publish_status.code(),
+                  ErrorCode::FaultInjected);
+        expectDatasetsEqual(got, want);
+        size_t files = 0;
+        for (const auto &entry : fs::directory_iterator(store.dir())) {
+            (void)entry;
+            ++files;
+        }
+        EXPECT_EQ(files, 0u) << "publish failure leaked a temp file";
+    }
+    // Disarmed, the same store publishes cleanly.
+    TraceStore::AcquireInfo info;
+    const TraceDataset clean = store->acquire(config, 4, &info);
+    EXPECT_TRUE(info.published);
+    expectDatasetsEqual(clean, want);
+}
+
+TEST(TraceStore, MidFileTruncationReadsAsMissAndRegenerates)
+{
+    TempStore store("truncation");
+    const TraceConfig config = smallConfig();
+    const TraceDataset original = store->acquire(config, 5);
+    const std::string path = store->entryPath(config);
+
+    // Cut the published entry mid-batch, as a crashed writer or a
+    // torn copy would.
+    fs::resize_file(path, fs::file_size(path) - 7);
+
+    TraceStore::AcquireInfo info;
+    const TraceDataset recovered = store->acquire(config, 5, &info);
+    EXPECT_FALSE(info.cache_hit);
+    EXPECT_EQ(info.load_status.code(), ErrorCode::Truncated);
+    EXPECT_TRUE(info.published) << "regenerated entry must republish";
+    expectDatasetsEqual(recovered, original);
+
+    const TraceDataset warm = store->acquire(config, 5, &info);
+    EXPECT_TRUE(info.cache_hit);
+    expectDatasetsEqual(warm, original);
+}
+
+TEST(TraceDataset, TryLoadClassifiesEnvironmentalFailures)
+{
+    TempStore store("classify");
+    const TraceConfig config = smallConfig();
+    store->acquire(config, 3);
+    const std::string path = store->entryPath(config);
+
+    EXPECT_EQ(TraceDataset::tryLoad(path + ".missing").status().code(),
+              ErrorCode::NotFound);
+
+    // Rewrite the u32 version field (byte offset 8) to a future
+    // version: valid magic, unsupported format.
+    {
+        std::fstream file(path,
+                          std::ios::binary | std::ios::in | std::ios::out);
+        file.seekp(8);
+        const uint32_t bad_version = format::kTraceFormatVersion + 9;
+        file.write(reinterpret_cast<const char *>(&bad_version),
+                   sizeof(bad_version));
+    }
+    EXPECT_EQ(TraceDataset::tryLoad(path).status().code(),
+              ErrorCode::VersionMismatch);
+    // And the store degrades it to a regenerate, like any bad entry.
+    TraceStore::AcquireInfo info;
+    const TraceDataset recovered = store->acquire(config, 3, &info);
+    EXPECT_FALSE(info.cache_hit);
+    EXPECT_EQ(info.load_status.code(), ErrorCode::VersionMismatch);
+    EXPECT_EQ(recovered.numBatches(), 3u);
+
+    fs::resize_file(path, fs::file_size(path) - 3);
+    EXPECT_EQ(TraceDataset::tryLoad(path).status().code(),
+              ErrorCode::Truncated);
+    const Result<TraceDataset> mapped = TraceDataset::tryMapped(path);
+    EXPECT_FALSE(mapped.ok());
 }
 
 TEST(TraceStore, ExperimentRunnerServesIdenticalResultsFromCache)

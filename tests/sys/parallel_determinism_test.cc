@@ -187,10 +187,24 @@ TEST(ParallelDeterminism, RunAllErrorsSurfaceFromTheFanOut)
     // This spec passes validation but fatals mid-simulate, inside the
     // fan-out: one slot with the capacity bound disabled means the
     // first batch has no hold-mask-eligible victim (paper §VI-D).
+    // Sweep-layer failure isolation: the bad spec is recorded in its
+    // result slot, the good spec still completes, order preserved.
     const std::vector<SystemSpec> specs = {
         SystemSpec::parse("hybrid"),
         SystemSpec::parse("scratchpipe:cache=0.0000001,bound=0")};
-    EXPECT_THROW(runner.runAll(specs), FatalError);
+    const std::vector<RunResult> results = runner.runAll(specs);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].failed());
+    EXPECT_GT(results[0].iterations, 0u);
+    EXPECT_TRUE(results[1].failed());
+    EXPECT_FALSE(results[1].error.empty());
+    EXPECT_EQ(sweepExitCode(results), 3);
+
+    // fail_fast restores abort-on-first-error for debugging runs.
+    ExperimentOptions strict = options;
+    strict.fail_fast = true;
+    const ExperimentRunner strict_runner(testModel(), kHw, strict);
+    EXPECT_THROW(strict_runner.runAll(specs), FatalError);
 }
 
 TEST(ParallelDeterminism, EffectiveJobsResolvesZeroToDefault)

@@ -183,6 +183,76 @@ TEST(SplintHotPath, MarkerImbalanceIsReported)
         << describe(nested);
 }
 
+TEST(SplintHotPath, FaultPointInsideRegionFires)
+{
+    const auto diags = lintSource(
+        "src/cache/x.cc",
+        "SP_FAULT_POINT(\"outside.is.fine\");\n"
+        "// splint:hot-path-begin(classify)\n"
+        "SP_FAULT_POINT(\"cache.classify\");\n" // line 3: violation
+        "// splint:hot-path-end\n");
+    EXPECT_EQ(countRule(diags, "hot-path-alloc"), 1u) << describe(diags);
+    EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(SplintIoStatus, ProcessKillersFireOnlyInDataPaths)
+{
+    const std::string text =
+        "void f() {\n"
+        "    if (bad) std::exit(1);\n"     // line 2
+        "    panicIf(worse, \"no\");\n"    // line 3
+        "    if (worst) std::terminate();\n" // line 4
+        "}\n";
+    const auto diags = lintSource("src/data/x.cc", text);
+    EXPECT_EQ(countRule(diags, "io-status"), 3u) << describe(diags);
+    // Out of scope: the sweep layer and common both have legitimate
+    // panics (invariants), policed by review instead.
+    EXPECT_EQ(countRule(lintSource("src/sys/x.cc", text), "io-status"),
+              0u);
+    EXPECT_EQ(
+        countRule(lintSource("src/common/x.cc", text), "io-status"),
+        0u);
+}
+
+TEST(SplintIoStatus, JustifiedAllowSuppressesAPanic)
+{
+    const auto diags = lintSource(
+        "src/data/x.cc",
+        "// splint:allow(io-status): bounds check, a bug not I/O\n"
+        "panicIf(i >= n, \"out of range\");\n");
+    EXPECT_TRUE(diags.empty()) << describe(diags);
+}
+
+TEST(SplintIoStatus, DiscardedStatusCallFires)
+{
+    const auto diags = lintSource(
+        "src/sys/x.cc",
+        "void f(Dataset &d, Store *s) {\n"
+        "    d.saveTo(\"x\");\n"              // line 2: discarded
+        "    s->store.tryLoad(\"x\");\n"      // line 3: discarded
+        "    Dataset::tryMapped(\"x\");\n"    // line 4: discarded
+        "}\n");
+    EXPECT_EQ(countRule(diags, "io-status"), 3u) << describe(diags);
+    EXPECT_EQ(diags[0].line, 2u);
+}
+
+TEST(SplintIoStatus, ConsumedStatusCallsDoNotFire)
+{
+    const auto diags = lintSource(
+        "src/sys/x.cc",
+        "void f(Dataset &d) {\n"
+        "    const auto s = d.saveTo(\"x\");\n"     // assigned
+        "    if (!d.saveTo(\"x\").ok()) return;\n"  // tested
+        "    return Dataset::tryLoad(\"x\");\n"     // returned
+        "}\n"
+        "sp::Status\n"
+        "Dataset::saveTo(const std::string &path) const\n" // definition
+        "{\n"
+        "    return sp::Status();\n"
+        "}\n");
+    EXPECT_EQ(countRule(diags, "io-status"), 0u) << describe(diags);
+}
+
 TEST(SplintAllow, UnknownRuleIsReported)
 {
     const auto diags = lintSource(

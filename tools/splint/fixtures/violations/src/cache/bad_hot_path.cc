@@ -14,6 +14,7 @@ hotLoop(std::vector<int> &scratch, int n)
         scratch.push_back(i);          // violation: hot-path-alloc
         int *leak = new int(i);        // violation: hot-path-alloc
         std::cout << *leak << '\n';    // violation: hot-path-alloc
+        SP_FAULT_POINT("fixture.hot"); // violation: hot-path-alloc
         delete leak;
     }
     // splint:hot-path-end

@@ -31,9 +31,19 @@ const std::vector<Rule> kRules = {
      "thread an explicit seed through the config (tensor/rng.h); "
      "simulation output must be a pure function of the spec"},
     {"hot-path-alloc", Severity::Error,
-     "allocation or stream IO inside a marked hot-path region",
+     "allocation, stream IO or fault site inside a marked hot-path "
+     "region",
      "hoist the allocation into per-controller scratch that retains "
-     "capacity across calls, or move the IO off the hot path"},
+     "capacity across calls, move the IO off the hot path, and plant "
+     "SP_FAULT_POINT outside marked regions (even disarmed it is a "
+     "branch per call)"},
+    {"io-status", Severity::Error,
+     "environmental-failure handling violation on an IO path",
+     "environmental failures in src/data return sp::Status / "
+     "sp::Result (common/status.h) so callers can degrade; panic/"
+     "exit/terminate are for programmer errors only (justify with "
+     "splint:allow). Never discard a Status-returning call "
+     "(saveTo/tryLoad/tryMapped/tryOpen) as a bare statement"},
     {"hot-path-marker", Severity::Error,
      "unbalanced splint:hot-path-begin/end markers",
      "every hot-path-begin(<name>) needs one hot-path-end in the "
@@ -86,6 +96,18 @@ simulationPath(const std::string &path)
            path.starts_with("src/cache/") || path.starts_with("src/data/");
 }
 
+bool
+dataPath(const std::string &path)
+{
+    return path.starts_with("src/data/");
+}
+
+bool
+srcPath(const std::string &path)
+{
+    return path.starts_with("src/");
+}
+
 const std::vector<LineRule> &
 lineRules()
 {
@@ -103,8 +125,33 @@ lineRules()
          std::regex(R"(\bstd\s*::\s*(cout|cerr|clog)\b|\bf?printf\s*\()"
                     R"(|\bnew\b|\bmalloc\s*\(|\bcalloc\s*\()"
                     R"(|\bmake_(shared|unique)\b)"
-                    R"(|\b(push_back|emplace_back|resize|reserve)\s*\()"),
+                    R"(|\b(push_back|emplace_back|resize|reserve)\s*\()"
+                    R"(|\bSP_FAULT_POINT\s*\()"),
          anyPath, true},
+        // io-status, facet 1: process-killing calls on IO paths. A
+        // panic in src/data is presumed wrong (environmental failures
+        // must come back as sp::Status) unless a splint:allow argues
+        // it guards a caller contract or internal invariant.
+        {"io-status",
+         std::regex(R"(\babort\s*\(|\bexit\s*\(|\bquick_exit\s*\()"
+                    R"(|\b_Exit\s*\(|\bstd\s*::\s*terminate\b)"
+                    R"(|\bpanic(If)?\s*\()"),
+         dataPath, false},
+        // io-status, facet 2: a Status-returning IO call discarded as
+        // a bare statement. The shape is a full single-line statement
+        // `receiver.call(...);` (or ->/:: chains into it): such a
+        // statement uses neither the Status nor a value, so the
+        // failure is silently dropped. Assignments, returns and
+        // conditions put a token before the receiver; declarations
+        // and definitions lack the trailing `;` or the qualifier.
+        // (Discards split across lines slip past a line lint; the
+        // [[nodiscard]] on Status/Result still catches those at
+        // compile time.)
+        {"io-status",
+         std::regex(R"(^\s*(?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)+)"
+                    R"((?:saveTo|tryLoad|tryMapped|tryOpen)\s*\()"
+                    R"([^;]*\)\s*;\s*$)"),
+         srcPath, false},
     };
     return rules;
 }
@@ -614,6 +661,7 @@ selfTest(const fs::path &fixtures, std::ostream &log)
         {"src/cache/bad_markers.cc", "hot-path-marker"},
         {"src/sys/bad_allow.cc", "allow-justification"},
         {"src/sys/bad_allow.cc", "allow-unknown-rule"},
+        {"src/data/bad_io_status.cc", "io-status"},
     };
     for (const Expectation &expected : expectations) {
         const fs::path file = fixtures / "violations" / expected.file;

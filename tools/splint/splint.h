@@ -20,8 +20,18 @@
  *                       `// splint:hot-path-begin(<name>)` ...
  *                       `// splint:hot-path-end` (the controller's
  *                       classify loop, the probe kernels) must not
- *                       allocate or do stream IO.
+ *                       allocate, do stream IO, or plant an
+ *                       SP_FAULT_POINT (even disarmed, a fault site
+ *                       is a branch per call).
  *   hot-path-marker     the markers themselves must pair up.
+ *   io-status           src/data reports environmental failures as
+ *                       sp::Status / sp::Result (common/status.h),
+ *                       never panic/exit/terminate (those are for
+ *                       programmer errors, and need a justified
+ *                       allow); and a Status-returning IO call
+ *                       (saveTo/tryLoad/tryMapped/tryOpen) anywhere
+ *                       in src/ must not be discarded as a bare
+ *                       statement.
  *   kernel-registration every src/cache/probe_kernel_<arch>.cc TU
  *                       must be covered by the kernel-equivalence
  *                       harness's registration list.

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "tensor/rng.h"
 #include "data/trace_store.h"
+#include "data/workload.h"
 #include "metrics/table_printer.h"
 
 namespace sp::bench
@@ -23,6 +24,15 @@ envOr(const char *name, uint64_t fallback)
         return fallback;
     const long long parsed = std::atoll(value);
     return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+/** The --workload spec applyCommonFlags parsed, consumed by every
+ *  subsequent makeWorkload in the process (empty = stationary). */
+data::WorkloadSpec &
+activeWorkload()
+{
+    static data::WorkloadSpec spec;
+    return spec;
 }
 
 } // namespace
@@ -50,6 +60,10 @@ addCommonFlags(ArgParser &args)
                  "regenerate the trace instead of serving it from the "
                  "content-addressed cache (SP_TRACE_CACHE, default "
                  ".sp-trace-cache/)");
+    args.addString("workload", "",
+                   "workload shaping spec applied to every workload the "
+                   "driver builds, e.g. 'drift_amp=0.4,drift_period=8' "
+                   "or 'replay=FILE' (see data/workload.h)");
 }
 
 uint32_t
@@ -59,6 +73,11 @@ applyCommonFlags(const ArgParser &args)
     // SP_TRACE_CACHE=off) opts out. Enable before any workload is
     // built so the very first trace acquisition can be a warm start.
     data::TraceStore::setCacheEnabled(!args.getBool("no-trace-cache"));
+
+    // Parse --workload once; makeWorkload overlays it on every model
+    // so the whole figure family runs the shaped (or replayed) stream.
+    activeWorkload() = data::WorkloadSpec::parse(
+        args.getString("workload"));
 
     const uint32_t jobs = parseJobsArg(args);
     if (args.wasSet("jobs")) {
@@ -122,6 +141,12 @@ makeWorkload(data::Locality locality, const WorkloadOptions &overrides)
         overrides.jobs > 0
             ? overrides.jobs
             : static_cast<uint32_t>(common::ThreadPool::global().size());
+    // Overlay the driver-wide --workload spec; geometry overrides from
+    // `base` keep their own shaping unless the flag asked for some.
+    const data::WorkloadSpec &shaping = activeWorkload();
+    if (!shaping.config.stationary())
+        workload.model.trace.workload = shaping.config;
+    options.replay_path = shaping.replay_path;
     workload.runner = std::make_unique<sys::ExperimentRunner>(
         workload.model, sim::HardwareConfig::paperTestbed(), options);
     return workload;
@@ -136,10 +161,10 @@ makeProbeWorkload(size_t buckets, int hit_pct, int load_pct,
     // stays below the 0.7 growth threshold.
     ProbeWorkload workload{cache::HitMap(buckets / 2), {}};
     tensor::Rng rng(seed);
-    std::vector<uint32_t> resident;
+    std::vector<uint64_t> resident;
     while (workload.map.size() * 100 <
            buckets * static_cast<size_t>(load_pct)) {
-        const auto key = static_cast<uint32_t>(rng.uniformInt(1u << 30));
+        const uint64_t key = rng.uniformInt(1u << 30);
         if (!workload.map.contains(key)) {
             workload.map.insert(
                 key, static_cast<uint32_t>(workload.map.size()));
@@ -152,8 +177,7 @@ makeProbeWorkload(size_t buckets, int hit_pct, int load_pct,
                          rng.uniform() * 100.0 <
                              static_cast<double>(hit_pct);
         key = hit ? resident[rng.uniformInt(resident.size())]
-                  : static_cast<uint32_t>((1u << 30) +
-                                          rng.uniformInt(1u << 30));
+                  : (1u << 30) + rng.uniformInt(1u << 30);
     }
     return workload;
 }

@@ -49,8 +49,10 @@ uint64_t measureIterations();
  * Register the shared driver flags: --jobs (worker threads for every
  * parallel site: trace generation, per-table planning, sharded mark
  * passes, pooled sweeps; 0 = all cores, default leaves the pool at
- * ThreadPool::defaultThreads()) and --no-trace-cache (regenerate the
- * trace instead of serving it from the content-addressed cache).
+ * ThreadPool::defaultThreads()), --no-trace-cache (regenerate the
+ * trace instead of serving it from the content-addressed cache), and
+ * --workload (shaping spec or replay=FILE, overlaid on every workload
+ * the driver builds -- see data/workload.h).
  */
 void addCommonFlags(ArgParser &args);
 
@@ -136,7 +138,7 @@ Workload makeWorkload(data::Locality locality,
 struct ProbeWorkload
 {
     cache::HitMap map;
-    std::vector<uint32_t> keys;
+    std::vector<uint64_t> keys;
 };
 
 /**

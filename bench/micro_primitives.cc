@@ -136,7 +136,7 @@ BM_ControllerPlan(benchmark::State &state)
 
     data::ZipfSampler sampler(10'000'000, 0.77);
     tensor::Rng rng(4);
-    std::vector<std::vector<uint32_t>> batches(8);
+    std::vector<std::vector<uint64_t>> batches(8);
     for (auto &batch : batches) {
         batch.resize(40960);
         for (auto &id : batch)
@@ -145,7 +145,7 @@ BM_ControllerPlan(benchmark::State &state)
     size_t next = 0;
     for (auto _ : state) {
         const auto &current = batches[next];
-        const std::span<const uint32_t> futures[2] = {
+        const std::span<const uint64_t> futures[2] = {
             batches[(next + 1) % batches.size()],
             batches[(next + 2) % batches.size()]};
         benchmark::DoNotOptimize(controller.plan(current, futures));
@@ -162,9 +162,9 @@ BM_GatherReduce(benchmark::State &state)
     emb::EmbeddingTable table(100'000, dim);
     tensor::Rng rng(5);
     table.initRandom(rng, 0.1f);
-    std::vector<uint32_t> ids(2048 * 20);
+    std::vector<uint64_t> ids(2048 * 20);
     for (auto &id : ids)
-        id = static_cast<uint32_t>(rng.uniformInt(100'000));
+        id = rng.uniformInt(100'000);
     tensor::Matrix out(2048, dim);
     for (auto _ : state) {
         emb::gatherReduce(table, ids, 20, out);
@@ -179,9 +179,9 @@ void
 BM_DuplicateAndCoalesce(benchmark::State &state)
 {
     tensor::Rng rng(6);
-    std::vector<uint32_t> ids(2048 * 20);
+    std::vector<uint64_t> ids(2048 * 20);
     for (auto &id : ids)
-        id = static_cast<uint32_t>(rng.uniformInt(100'000));
+        id = rng.uniformInt(100'000);
     tensor::Matrix grads(2048, 128);
     grads.fillNormal(rng, 1.0f);
     for (auto _ : state) {

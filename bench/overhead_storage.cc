@@ -78,7 +78,7 @@ main(int argc, char **argv)
         for (size_t t = 0; t < trace.num_tables; ++t) {
             core::ScratchPipeController controller(cc);
             for (uint64_t b = 0; b < dataset.numBatches(); ++b) {
-                std::vector<std::span<const uint32_t>> futures;
+                std::vector<std::span<const uint64_t>> futures;
                 for (uint64_t d = 1; d <= 2; ++d) {
                     const auto *next = dataset.lookAhead(b, d);
                     if (next == nullptr)

@@ -6,6 +6,9 @@
  *
  *   trace-gen  TraceDataset construction (batches fan out over the
  *              worker pool);
+ *   workload-gen  the same construction under the workload shaper's
+ *              drift / churn / flash-crowd overlays (data/workload.h),
+ *              pooled streams checksummed against serial;
  *   trace-cache  content-addressed TraceStore acquisition, cold
  *              (generate + atomic publish) vs warm (mmap + header
  *              validation) over a private temp cache dir; reported
@@ -55,6 +58,7 @@
 #include "core/controller.h"
 #include "data/dataset.h"
 #include "data/trace_store.h"
+#include "data/workload.h"
 #include "metrics/table_printer.h"
 #include "sys/experiment.h"
 #include "sys/plan_fanout.h"
@@ -125,6 +129,68 @@ benchTraceGeneration(const sys::ModelConfig &model, uint64_t batches,
         data::TraceDataset dataset(model.trace, batches);
     });
     return result;
+}
+
+/**
+ * The workload-shaping family: shaped trace generation -- drift,
+ * churn and flash-crowd overlays (data/workload.h) on top of the
+ * stationary samplers -- serial vs pooled. The pooled stream is
+ * checksummed against the serial one: shaping is allowed to cost
+ * time, never determinism.
+ */
+std::vector<BenchResult>
+benchWorkloadGen(const sys::ModelConfig &model, uint64_t batches,
+                 size_t jobs, int reps)
+{
+    const struct
+    {
+        const char *name;
+        const char *spec;
+    } scenarios[] = {
+        {"workload_gen_drift", "drift_amp=0.4,drift_period=4,phase=1"},
+        {"workload_gen_churn", "churn_k=1024,churn_period=4"},
+        {"workload_gen_burst",
+         "burst_frac=0.3,burst_period=8,burst_len=2,burst_ranks=512"},
+    };
+
+    const auto checksum = [](const data::TraceDataset &dataset) {
+        uint64_t sum = 0;
+        for (uint64_t b = 0; b < dataset.numBatches(); ++b) {
+            const auto &batch = dataset.batch(b);
+            for (size_t t = 0; t < batch.numTables(); ++t)
+                for (const uint64_t id : batch.ids(t))
+                    sum += id;
+        }
+        return sum;
+    };
+
+    std::vector<BenchResult> results;
+    for (const auto &scenario : scenarios) {
+        sys::ModelConfig shaped = model;
+        shaped.trace.workload =
+            data::WorkloadSpec::parse(scenario.spec).config;
+
+        BenchResult result;
+        result.name = scenario.name;
+        result.unit = "IDs/s";
+        result.work_units =
+            static_cast<double>(batches) *
+            static_cast<double>(shaped.trace.idsPerBatch());
+        uint64_t serial_sum = 0, pooled_sum = 0;
+        result.serial_s = timeAtWidth(1, reps, [&] {
+            serial_sum =
+                checksum(data::TraceDataset(shaped.trace, batches));
+        });
+        result.parallel_s = timeAtWidth(jobs, reps, [&] {
+            pooled_sum =
+                checksum(data::TraceDataset(shaped.trace, batches));
+        });
+        fatalIf(pooled_sum != serial_sum, scenario.name,
+                ": pooled shaped generation diverged from serial: ",
+                pooled_sum, " vs ", serial_sum);
+        results.push_back(std::move(result));
+    }
+    return results;
 }
 
 /** One full pass of per-table planning over `dataset` at the given
@@ -255,7 +321,7 @@ benchTraceCache(const sys::ModelConfig &model, uint64_t batches,
         for (uint64_t b = 0; b < dataset.numBatches(); ++b) {
             const auto &batch = dataset.batch(b);
             for (size_t t = 0; t < batch.numTables(); ++t)
-                for (const uint32_t id : batch.ids(t))
+                for (const uint64_t id : batch.ids(t))
                     sum += id;
         }
         return sum;
@@ -473,6 +539,9 @@ main(int argc, char **argv)
         std::vector<BenchResult> results;
         results.push_back(
             benchTraceGeneration(model, batches, jobs, reps));
+        for (auto &result :
+             benchWorkloadGen(model, batches, jobs, reps))
+            results.push_back(std::move(result));
         results.push_back(benchTraceCache(model, batches, jobs, reps));
         for (auto &result :
              benchPlanning(model, batches, jobs, shards, reps))

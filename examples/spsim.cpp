@@ -35,6 +35,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "data/trace_store.h"
+#include "data/workload.h"
 #include "metrics/cost.h"
 #include "metrics/energy.h"
 #include "metrics/table_printer.h"
@@ -202,6 +203,11 @@ main(int argc, char **argv)
     args.addInt("iterations", 10, "measured iterations");
     args.addInt("warmup", 5, "warm-up iterations");
     args.addInt("seed", 42, "trace seed");
+    args.addString("workload", "",
+                   "workload shaping spec, e.g. 'drift_amp=0.4,"
+                   "drift_period=8,burst_frac=0.3,burst_period=16,"
+                   "burst_len=2,burst_ranks=512', or 'replay=FILE' to "
+                   "run a recorded trace (see data/workload.h)");
     args.addString("format", "table", "table|csv|json");
     args.addBool("parallel", "simulate systems on the worker pool");
     args.addInt("jobs", 0,
@@ -259,6 +265,12 @@ main(int argc, char **argv)
             data::localityFromName(args.getString("locality"));
         model.trace.seed = static_cast<uint64_t>(args.getInt("seed"));
         model.embedding_dim = static_cast<size_t>(args.getInt("dim"));
+        // --workload: shaping keys reconfigure the generator; replay=
+        // substitutes a recorded file for generation entirely (the
+        // file's embedded config overrides the geometry flags above).
+        const data::WorkloadSpec workload =
+            data::WorkloadSpec::parse(args.getString("workload"));
+        model.trace.workload = workload.config;
 
         const uint32_t jobs = parseJobsArg(args);
         // Size the process-wide pool before any parallel work runs.
@@ -288,6 +300,7 @@ main(int argc, char **argv)
                            ? static_cast<uint32_t>(jobs)
                            : (args.getBool("parallel") ? 0 : 1);
         options.fail_fast = args.getBool("fail-fast");
+        options.replay_path = workload.replay_path;
 
         const sim::HardwareConfig hw =
             sim::HardwareConfig::paperTestbed();

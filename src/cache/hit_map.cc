@@ -12,31 +12,33 @@ HitMap::HitMap(size_t expected_entries)
 {
     size_t buckets = std::bit_ceil(std::max<size_t>(
         16, expected_entries * 2));
-    entries_.assign(buckets, kEmptyEntry);
+    keys_.assign(buckets, kEmptyKey);
+    slots_.assign(buckets, 0);
     mask_ = buckets - 1;
 }
 
 size_t
-HitMap::bucketFor(uint32_t key) const
+HitMap::bucketFor(uint64_t key) const
 {
     return probeHashKey(key) & mask_;
 }
 
 uint32_t
-HitMap::probeFrom(size_t bucket, uint32_t key) const
+HitMap::probeFrom(size_t bucket, uint64_t key) const
 {
     return probeChainFrom(probeTable(), bucket, key);
 }
 
 uint32_t
-HitMap::find(uint32_t key) const
+HitMap::find(uint64_t key) const
 {
-    panicIf(key == kEmptyKey, "HitMap does not support key 0xffffffff");
+    panicIf(key == kEmptyKey,
+            "HitMap does not support key 2^64-1 (empty sentinel)");
     return probeFrom(bucketFor(key), key);
 }
 
 void
-HitMap::findMany(std::span<const uint32_t> keys,
+HitMap::findMany(std::span<const uint64_t> keys,
                  std::span<uint32_t> out) const
 {
     panicIf(out.size() != keys.size(),
@@ -47,33 +49,36 @@ HitMap::findMany(std::span<const uint32_t> keys,
     // probe hot loop (a trivially vectorized scan over the key
     // stream, vs a branch per probe).
     panicIf(std::ranges::find(keys, kEmptyKey) != keys.end(),
-            "HitMap does not support key 0xffffffff");
+            "HitMap does not support key 2^64-1 (empty sentinel)");
     kernel_->fn(probeTable(), keys.data(), out.data(), keys.size());
 }
 
 void
-HitMap::insert(uint32_t key, uint32_t slot)
+HitMap::insert(uint64_t key, uint32_t slot)
 {
-    panicIf(key == kEmptyKey, "HitMap does not support key 0xffffffff");
-    if ((size_ + 1) * 10 >= entries_.size() * 7)
+    panicIf(key == kEmptyKey,
+            "HitMap does not support key 2^64-1 (empty sentinel)");
+    if ((size_ + 1) * 10 >= keys_.size() * 7)
         grow();
     size_t bucket = bucketFor(key);
-    while (entries_[bucket] != kEmptyEntry) {
-        panicIf(static_cast<uint32_t>(entries_[bucket] >> 32) == key,
+    while (keys_[bucket] != kEmptyKey) {
+        panicIf(keys_[bucket] == key,
                 "HitMap::insert of already-present key ", key);
         bucket = (bucket + 1) & mask_;
     }
-    entries_[bucket] = (static_cast<uint64_t>(key) << 32) | slot;
+    keys_[bucket] = key;
+    slots_[bucket] = slot;
     ++size_;
 }
 
 void
-HitMap::erase(uint32_t key)
+HitMap::erase(uint64_t key)
 {
-    panicIf(key == kEmptyKey, "HitMap does not support key 0xffffffff");
+    panicIf(key == kEmptyKey,
+            "HitMap does not support key 2^64-1 (empty sentinel)");
     size_t bucket = bucketFor(key);
-    while (static_cast<uint32_t>(entries_[bucket] >> 32) != key) {
-        panicIf(entries_[bucket] == kEmptyEntry,
+    while (keys_[bucket] != key) {
+        panicIf(keys_[bucket] == kEmptyKey,
                 "HitMap::erase of absent key ", key);
         bucket = (bucket + 1) & mask_;
     }
@@ -83,21 +88,21 @@ HitMap::erase(uint32_t key)
     const size_t start = bucket;
     size_t hole = bucket;
     size_t probe = (hole + 1) & mask_;
-    while (entries_[probe] != kEmptyEntry) {
-        const size_t home =
-            bucketFor(static_cast<uint32_t>(entries_[probe] >> 32));
+    while (keys_[probe] != kEmptyKey) {
+        const size_t home = bucketFor(keys_[probe]);
         // The entry at `probe` can fill the hole if its home bucket
         // does not lie (cyclically) between hole (exclusive) and
         // probe (inclusive).
         const bool can_move =
             ((probe - home) & mask_) >= ((probe - hole) & mask_);
         if (can_move) {
-            entries_[hole] = entries_[probe];
+            keys_[hole] = keys_[probe];
+            slots_[hole] = slots_[probe];
             hole = probe;
         }
         probe = (probe + 1) & mask_;
     }
-    entries_[hole] = kEmptyEntry;
+    keys_[hole] = kEmptyKey;
     --size_;
 #ifdef SP_CHECK_INVARIANTS
     checkClusterAfterErase(key, start);
@@ -116,14 +121,14 @@ HitMap::erase(uint32_t key)
  * broke it, instead of as a phantom miss many batches later.
  */
 void
-HitMap::checkClusterAfterErase(uint32_t erased_key, size_t start) const
+HitMap::checkClusterAfterErase(uint64_t erased_key, size_t start) const
 {
     SP_ASSERT(probeFrom(bucketFor(erased_key), erased_key) == kNotFound,
               "erased key ", erased_key, " is still reachable");
     size_t probe = start;
-    while (entries_[probe] != kEmptyEntry) {
-        const uint32_t key = static_cast<uint32_t>(entries_[probe] >> 32);
-        const uint32_t slot = static_cast<uint32_t>(entries_[probe]);
+    while (keys_[probe] != kEmptyKey) {
+        const uint64_t key = keys_[probe];
+        const uint32_t slot = slots_[probe];
         SP_ASSERT(probeFrom(bucketFor(key), key) == slot,
                   "backward-shift broke the probe chain: key ", key,
                   " in bucket ", probe, " no longer reachable from its "
@@ -136,37 +141,38 @@ HitMap::checkClusterAfterErase(uint32_t erased_key, size_t start) const
 void
 HitMap::clear()
 {
-    std::fill(entries_.begin(), entries_.end(), kEmptyEntry);
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
     size_ = 0;
 }
 
 void
-HitMap::forEach(const std::function<void(uint32_t, uint32_t)> &fn) const
+HitMap::forEach(const std::function<void(uint64_t, uint32_t)> &fn) const
 {
-    for (const uint64_t entry : entries_) {
-        if (entry != kEmptyEntry)
-            fn(static_cast<uint32_t>(entry >> 32),
-               static_cast<uint32_t>(entry));
+    for (size_t bucket = 0; bucket < keys_.size(); ++bucket) {
+        if (keys_[bucket] != kEmptyKey)
+            fn(keys_[bucket], slots_[bucket]);
     }
 }
 
 size_t
 HitMap::memoryBytes() const
 {
-    return entries_.capacity() * sizeof(uint64_t);
+    return keys_.capacity() * sizeof(uint64_t) +
+           slots_.capacity() * sizeof(uint32_t);
 }
 
 void
 HitMap::grow()
 {
-    std::vector<uint64_t> old_entries = std::move(entries_);
-    entries_.assign(old_entries.size() * 2, kEmptyEntry);
-    mask_ = entries_.size() - 1;
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_slots = std::move(slots_);
+    keys_.assign(old_keys.size() * 2, kEmptyKey);
+    slots_.assign(old_slots.size() * 2, 0);
+    mask_ = keys_.size() - 1;
     size_ = 0;
-    for (const uint64_t entry : old_entries) {
-        if (entry != kEmptyEntry)
-            insert(static_cast<uint32_t>(entry >> 32),
-                   static_cast<uint32_t>(entry));
+    for (size_t bucket = 0; bucket < old_keys.size(); ++bucket) {
+        if (old_keys[bucket] != kEmptyKey)
+            insert(old_keys[bucket], old_slots[bucket]);
     }
 }
 

@@ -8,7 +8,11 @@
  * hot structure of the whole runtime -- it sees every sparse ID of
  * every mini-batch -- so it is a purpose-built open-addressing table:
  * linear probing, power-of-two capacity, tombstone-free deletion via
- * backward-shift, uint32 keys and values, zero allocation per op.
+ * backward-shift, zero allocation per op. Keys are the full 64-bit
+ * row IDs (tables above 2^32 rows must not alias); values are 32-bit
+ * Storage slots. The two live in parallel arrays so the probe hot
+ * stream (keys) stays dense and the slot array is only touched on a
+ * hit.
  *
  * Batched probes run through the probe-kernel family
  * (cache/probe_kernel.h): scalar software-pipelined reference, AVX2
@@ -45,7 +49,7 @@ class HitMap
     bool empty() const { return size_ == 0; }
 
     /** Slot for `key`, or kNotFound. */
-    uint32_t find(uint32_t key) const;
+    uint32_t find(uint64_t key) const;
 
     /**
      * Batched probe: out[i] = find(keys[i]), executed by the selected
@@ -55,29 +59,29 @@ class HitMap
      * in one pre-pass, off the probe hot loop. `out` must hold
      * keys.size() entries.
      */
-    void findMany(std::span<const uint32_t> keys,
+    void findMany(std::span<const uint64_t> keys,
                   std::span<uint32_t> out) const;
 
     /** True if `key` is present. */
-    bool contains(uint32_t key) const { return find(key) != kNotFound; }
+    bool contains(uint64_t key) const { return find(key) != kNotFound; }
 
     /**
      * Insert key -> slot. The key must not already be present
      * (the cache controller never double-inserts); panics otherwise.
      */
-    void insert(uint32_t key, uint32_t slot);
+    void insert(uint64_t key, uint32_t slot);
 
     /** Remove `key`; panics if absent (controller invariant). */
-    void erase(uint32_t key);
+    void erase(uint64_t key);
 
     /** Remove all entries. */
     void clear();
 
     /** Visit every (key, slot) pair (unspecified order). */
-    void forEach(const std::function<void(uint32_t, uint32_t)> &fn) const;
+    void forEach(const std::function<void(uint64_t, uint32_t)> &fn) const;
 
     /** Current bucket count (power of two). */
-    size_t capacity() const { return entries_.size(); }
+    size_t capacity() const { return keys_.size(); }
 
     /** Approximate heap bytes used (overhead accounting, §VI-D). */
     size_t memoryBytes() const;
@@ -87,7 +91,10 @@ class HitMap
      * (and the fuzz harness's chain-invariant checks). Invalidated by
      * any mutation.
      */
-    ProbeTable probeTable() const { return {entries_.data(), mask_}; }
+    ProbeTable probeTable() const
+    {
+        return {keys_.data(), slots_.data(), mask_};
+    }
 
     /**
      * Pin this map's batched-probe kernel (spec key probe=). Auto
@@ -100,19 +107,22 @@ class HitMap
     const char *probeKernelName() const { return kernel_->name; }
 
   private:
-    static constexpr uint32_t kEmptyKey = kProbeEmptyKey;
-    // Key and value pack into one 64-bit entry (key in the high word)
-    // so every probe costs a single cache line touch.
-    static constexpr uint64_t kEmptyEntry = kProbeEmptyEntry;
+    // All-ones is the one 64-bit value no table geometry can produce
+    // as a row ID (it would need 2^64 rows), so it marks empty
+    // buckets; every 2^32-boundary ID, including 0xffffffff, is legal.
+    static constexpr uint64_t kEmptyKey = kProbeEmptyKey;
 
-    size_t bucketFor(uint32_t key) const;
-    uint32_t probeFrom(size_t bucket, uint32_t key) const;
+    size_t bucketFor(uint64_t key) const;
+    uint32_t probeFrom(size_t bucket, uint64_t key) const;
     void grow();
 #ifdef SP_CHECK_INVARIANTS
-    void checkClusterAfterErase(uint32_t erased_key, size_t start) const;
+    void checkClusterAfterErase(uint64_t erased_key, size_t start) const;
 #endif
 
-    std::vector<uint64_t> entries_;
+    // Parallel arrays: keys_ is the probe hot stream (8 buckets per
+    // 64-byte line), slots_ is read only on a hit.
+    std::vector<uint64_t> keys_;
+    std::vector<uint32_t> slots_;
     size_t size_ = 0;
     size_t mask_ = 0;
     const ProbeKernel *kernel_ = &selectProbeKernel(ProbeMode::Auto);

@@ -19,7 +19,7 @@ namespace
  * the prefetch distance gives DRAM time to deliver the line.
  */
 void
-probeScalar(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
+probeScalar(const ProbeTable &table, const uint64_t *keys, uint32_t *out,
             size_t n)
 {
     // splint:hot-path-begin(probe-kernel-scalar)
@@ -30,12 +30,12 @@ probeScalar(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
     for (size_t i = 0; i < lead; ++i) {
         const size_t bucket = probeBucketFor(table, keys[i]);
         ring[i % kDistance] = bucket;
-        __builtin_prefetch(table.entries + bucket);
+        __builtin_prefetch(table.keys + bucket);
     }
     for (size_t i = 0; i < n; ++i) {
         if (i + kDistance < n) {
             const size_t ahead = probeBucketFor(table, keys[i + kDistance]);
-            __builtin_prefetch(table.entries + ahead);
+            __builtin_prefetch(table.keys + ahead);
             // The probe below frees ring slot i % kDistance; the
             // lookahead bucket lands in it right after.
             const size_t bucket = ring[i % kDistance];

@@ -4,21 +4,24 @@
  *
  * HitMap::findMany is the hottest loop of the whole simulator -- the
  * [Plan] pre-probe runs it for every table of every batch -- and its
- * entry layout (one 64-bit key<<32|slot word per open-addressed
- * bucket) is gather-friendly, so the batched probe is implemented as
- * a family of kernels over the raw entry array:
+ * layout (parallel open-addressed arrays: 64-bit keys, 32-bit slots)
+ * keeps the probe-deciding key array dense and gather-friendly, so
+ * the batched probe is implemented as a family of kernels over the
+ * raw arrays:
  *
  *   scalar  the software-pipelined prefetch-ring reference (always
  *           compiled; the ground truth every other kernel must match
  *           bit for bit);
- *   avx2    hash 8 keys per step with vectorized Murmur3 finalizers,
- *           vpgatherqq the 8 start buckets, vectorized key-compare /
- *           empty-compare masks, scalar continuation for the rare
- *           lanes whose first bucket neither hits nor proves a miss
+ *   avx2    mix64-hash 8 keys per step (64-bit multiplies stay
+ *           scalar; AVX2 has no cheap 64x64 lane multiply), then
+ *           vpgatherqq the 8 start-bucket keys and vpgatherdd their
+ *           slots, with vectorized key-compare / empty-compare masks
+ *           settling the common single-probe lanes; the rare
+ *           collision chains fall back to the scalar continuation
  *           (compiled in its own TU with a per-file -mavx2, so the
  *           rest of the binary stays portable);
- *   neon    vectorized hashing + prefetch on aarch64 (no gather in
- *           NEON; the probes themselves stay scalar).
+ *   neon    the prefetch pipeline on aarch64 (no gather in NEON and
+ *           no vector 64-bit multiply; the probes stay scalar).
  *
  * Selection: ProbeMode::Auto follows the SP_SIMD environment variable
  * (scalar | native), Scalar/Native pin it per HitMap via the probe=
@@ -38,38 +41,40 @@
 namespace sp::cache
 {
 
-/** Sentinel key / probe result (HitMap::kNotFound). */
-constexpr uint32_t kProbeEmptyKey = 0xffffffffu;
-/** An empty bucket: empty key in the high word, zero value. */
-constexpr uint64_t kProbeEmptyEntry = 0xffffffff00000000ull;
+/** Sentinel key marking an empty bucket (never a legal row ID). */
+constexpr uint64_t kProbeEmptyKey = 0xffffffffffffffffull;
+/** Sentinel probe result on miss (HitMap::kNotFound). */
+constexpr uint32_t kProbeNotFound = 0xffffffffu;
 
 /**
- * A read-only view of a HitMap's open-addressing array: `mask + 1`
- * power-of-two buckets of key<<32|slot words. Valid only while the
- * owning map is not mutated.
+ * A read-only view of a HitMap's open addressing state: `mask + 1`
+ * power-of-two buckets as parallel arrays -- 64-bit keys (the probe
+ * hot stream) and their 32-bit Storage slots, read only on a hit.
+ * Valid only while the owning map is not mutated.
  */
 struct ProbeTable
 {
-    const uint64_t *entries = nullptr;
+    const uint64_t *keys = nullptr;
+    const uint32_t *slots = nullptr;
     size_t mask = 0;
 };
 
-/** Finalizer of MurmurHash3: good avalanche for sequential IDs. */
-inline uint32_t
-probeHashKey(uint32_t key)
+/** Murmur3 64-bit finalizer: good avalanche for sequential IDs. */
+inline uint64_t
+probeHashKey(uint64_t key)
 {
-    uint32_t h = key;
-    h ^= h >> 16;
-    h *= 0x85ebca6bu;
-    h ^= h >> 13;
-    h *= 0xc2b2ae35u;
-    h ^= h >> 16;
+    uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
     return h;
 }
 
 /** Start bucket of `key` in `table`. */
 inline size_t
-probeBucketFor(const ProbeTable &table, uint32_t key)
+probeBucketFor(const ProbeTable &table, uint64_t key)
 {
     return probeHashKey(key) & table.mask;
 }
@@ -79,14 +84,14 @@ probeBucketFor(const ProbeTable &table, uint32_t key)
  * bucket: the shared collision-continuation every kernel funnels into.
  */
 inline uint32_t
-probeChainFrom(const ProbeTable &table, size_t bucket, uint32_t key)
+probeChainFrom(const ProbeTable &table, size_t bucket, uint64_t key)
 {
     for (;;) {
-        const uint64_t entry = table.entries[bucket];
-        if (entry == kProbeEmptyEntry)
-            return kProbeEmptyKey;
-        if (static_cast<uint32_t>(entry >> 32) == key)
-            return static_cast<uint32_t>(entry);
+        const uint64_t bucket_key = table.keys[bucket];
+        if (bucket_key == kProbeEmptyKey)
+            return kProbeNotFound;
+        if (bucket_key == key)
+            return table.slots[bucket];
         bucket = (bucket + 1) & table.mask;
     }
 }
@@ -97,7 +102,7 @@ probeChainFrom(const ProbeTable &table, size_t bucket, uint32_t key)
  * results.
  */
 using ProbeKernelFn = void (*)(const ProbeTable &table,
-                               const uint32_t *keys, uint32_t *out,
+                               const uint64_t *keys, uint32_t *out,
                                size_t n);
 
 /** One compiled kernel. */

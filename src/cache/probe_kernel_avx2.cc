@@ -24,25 +24,26 @@ namespace
 {
 
 /**
- * Eight keys per step: vectorized Murmur3 finalizers give the start
- * buckets, one vpgatherqq pair pulls the 8 bucket words (8 parallel
- * cache-line touches -- the memory-level parallelism the scalar
- * kernel needs a prefetch ring to approximate), and vectorized
- * key/empty compares settle the common single-probe lanes. Lanes
- * whose first bucket neither hits nor proves a miss (a collision
- * chain) fall back to the shared scalar continuation -- rare below
- * the 0.7 load-factor ceiling. The next block's buckets are hashed
- * and prefetched while the current gather's lines are still in
- * flight.
+ * Eight keys per step: scalar mix64 finalizers give the start buckets
+ * (AVX2 has no usable 64x64 lane multiply, so hashing the 64-bit keys
+ * stays scalar), one vpgatherqq pair pulls the 8 bucket keys and one
+ * vpgatherdd their slots (parallel cache-line touches -- the
+ * memory-level parallelism the scalar kernel needs a prefetch ring to
+ * approximate), and vectorized key/empty compares settle the common
+ * single-probe lanes. Lanes whose first bucket neither hits nor
+ * proves a miss (a collision chain) fall back to the shared scalar
+ * continuation -- rare below the 0.7 load-factor ceiling. The next
+ * block's buckets are hashed and prefetched while the current
+ * gather's lines are still in flight.
  */
 void
-probeAvx2(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
+probeAvx2(const ProbeTable &table, const uint64_t *keys, uint32_t *out,
           size_t n)
 {
     // splint:hot-path-begin(probe-kernel-avx2)
-    // The vector path masks hashes in 32-bit lanes; a table wider
-    // than 2^32 buckets (never provisioned in practice) stays on the
-    // scalar chain.
+    // The vector path carries bucket indices in 32-bit gather lanes;
+    // a table wider than 2^32 buckets (never provisioned in practice)
+    // stays on the scalar chain.
     if (table.mask > 0xffffffffull) {
         for (size_t i = 0; i < n; ++i)
             out[i] = probeChainFrom(table, probeBucketFor(table, keys[i]),
@@ -50,28 +51,19 @@ probeAvx2(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
         return;
     }
 
-    const __m256i vmask =
-        _mm256_set1_epi32(static_cast<int>(table.mask));
-    const __m256i c1 = _mm256_set1_epi32(static_cast<int>(0x85ebca6bu));
-    const __m256i c2 = _mm256_set1_epi32(static_cast<int>(0xc2b2ae35u));
-    const __m256i vempty_entry =
-        _mm256_set1_epi64x(static_cast<long long>(kProbeEmptyEntry));
+    const __m256i vempty_key = _mm256_set1_epi64x(
+        static_cast<long long>(kProbeEmptyKey));
     const __m256i vnot_found =
-        _mm256_set1_epi32(static_cast<int>(kProbeEmptyKey));
+        _mm256_set1_epi32(static_cast<int>(kProbeNotFound));
     // Even dwords of four 64-bit lanes, for the 64->32 packs below.
     const __m256i pack_even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
 
-    const auto hash_buckets = [&](const uint32_t *p) {
-        __m256i h =
-            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
-        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
-        h = _mm256_mullo_epi32(h, c1);
-        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 13));
-        h = _mm256_mullo_epi32(h, c2);
-        h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
-        return _mm256_and_si256(h, vmask);
+    const auto hash_buckets = [&](const uint64_t *p, uint32_t *buckets) {
+        for (int lane = 0; lane < 8; ++lane)
+            buckets[lane] = static_cast<uint32_t>(
+                probeHashKey(p[lane]) & table.mask);
     };
-    // Low dword of each 64-bit lane across two gathers -> 8 dwords.
+    // Low dword of each 64-bit lane across two compares -> 8 dwords.
     const auto pack64to32 = [&](__m256i lo, __m256i hi) {
         const __m128i a = _mm256_castsi256_si128(
             _mm256_permutevar8x32_epi32(lo, pack_even));
@@ -86,16 +78,13 @@ probeAvx2(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
 
     const size_t blocks = n / 8;
     if (blocks > 0)
-        _mm256_store_si256(reinterpret_cast<__m256i *>(cur_buckets),
-                           hash_buckets(keys));
+        hash_buckets(keys, cur_buckets);
     for (size_t block = 0; block < blocks; ++block) {
         const size_t base = block * 8;
         if (block + 1 < blocks) {
-            _mm256_store_si256(
-                reinterpret_cast<__m256i *>(next_buckets),
-                hash_buckets(keys + base + 8));
+            hash_buckets(keys + base + 8, next_buckets);
             for (int lane = 0; lane < 8; ++lane)
-                __builtin_prefetch(table.entries + next_buckets[lane]);
+                __builtin_prefetch(table.keys + next_buckets[lane]);
         }
 
         const __m256i b32 = _mm256_load_si256(
@@ -104,40 +93,37 @@ probeAvx2(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
             _mm256_cvtepu32_epi64(_mm256_castsi256_si128(b32));
         const __m256i idx_hi =
             _mm256_cvtepu32_epi64(_mm256_extracti128_si256(b32, 1));
-        const auto *base_ptr =
-            reinterpret_cast<const long long *>(table.entries);
-        const __m256i ent_lo =
-            _mm256_i64gather_epi64(base_ptr, idx_lo, 8);
-        const __m256i ent_hi =
-            _mm256_i64gather_epi64(base_ptr, idx_hi, 8);
+        const auto *keys_ptr =
+            reinterpret_cast<const long long *>(table.keys);
+        const __m256i bk_lo =
+            _mm256_i64gather_epi64(keys_ptr, idx_lo, 8);
+        const __m256i bk_hi =
+            _mm256_i64gather_epi64(keys_ptr, idx_hi, 8);
+        // Slots of the 8 start buckets in one dword gather; miss
+        // lanes read a garbage-but-in-bounds slot the blend discards.
+        const __m256i vslots = _mm256_i32gather_epi32(
+            reinterpret_cast<const int *>(table.slots), b32, 4);
 
-        const __m256i k = _mm256_loadu_si256(
+        const __m256i k_lo = _mm256_loadu_si256(
             reinterpret_cast<const __m256i *>(keys + base));
-        const __m256i k_lo =
-            _mm256_cvtepu32_epi64(_mm256_castsi256_si128(k));
-        const __m256i k_hi =
-            _mm256_cvtepu32_epi64(_mm256_extracti128_si256(k, 1));
+        const __m256i k_hi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + base + 4));
 
-        // Hit: the entry's high word equals the key. Keys never equal
-        // the empty sentinel (validated upstream), so hit and empty
-        // are mutually exclusive.
-        const __m256i hit_lo = _mm256_cmpeq_epi64(
-            _mm256_srli_epi64(ent_lo, 32), k_lo);
-        const __m256i hit_hi = _mm256_cmpeq_epi64(
-            _mm256_srli_epi64(ent_hi, 32), k_hi);
-        const __m256i empty_lo =
-            _mm256_cmpeq_epi64(ent_lo, vempty_entry);
-        const __m256i empty_hi =
-            _mm256_cmpeq_epi64(ent_hi, vempty_entry);
+        // Hit: the bucket's key equals the probe key. Keys never
+        // equal the empty sentinel (validated upstream), so hit and
+        // empty are mutually exclusive.
+        const __m256i hit_lo = _mm256_cmpeq_epi64(bk_lo, k_lo);
+        const __m256i hit_hi = _mm256_cmpeq_epi64(bk_hi, k_hi);
+        const __m256i empty_lo = _mm256_cmpeq_epi64(bk_lo, vempty_key);
+        const __m256i empty_hi = _mm256_cmpeq_epi64(bk_hi, vempty_key);
 
-        const __m256i values = pack64to32(ent_lo, ent_hi);
         const __m256i hit_mask = pack64to32(hit_lo, hit_hi);
         const __m256i empty_mask = pack64to32(empty_lo, empty_hi);
 
-        // Hit lanes take the entry's slot word, settled lanes that
+        // Hit lanes take the gathered slot, settled lanes that
         // reached an empty bucket take kNotFound; both are final.
         const __m256i result =
-            _mm256_blendv_epi8(vnot_found, values, hit_mask);
+            _mm256_blendv_epi8(vnot_found, vslots, hit_mask);
         _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + base),
                             result);
 

@@ -1,12 +1,13 @@
 /**
  * @file
- * NEON batched-probe kernel (aarch64 only; Advanced SIMD is baseline
- * there, so no per-file flags are needed). NEON has no gather, so the
- * win is vectorized hashing plus an explicit prefetch pipeline: the
- * Murmur3 finalizers of 4 keys run in one uint32x4 register and the
- * start buckets are prefetched two blocks ahead, while the probes
- * themselves walk the shared scalar continuation. On other
- * architectures this TU compiles to the nullptr stub.
+ * NEON-tier batched-probe kernel (aarch64 only; Advanced SIMD is
+ * baseline there, so no per-file flags are needed). NEON has no
+ * gather and no vector 64-bit multiply for the mix64 key hash, so the
+ * win over the plain loop is the explicit prefetch pipeline: the
+ * start buckets of a block are hashed and prefetched two 4-wide
+ * blocks ahead, while the probes themselves walk the shared scalar
+ * continuation. On other architectures this TU compiles to the
+ * nullptr stub.
  */
 
 #include "cache/probe_kernel.h"
@@ -15,8 +16,6 @@
 
 #if defined(__aarch64__)
 
-#include <arm_neon.h>
-
 namespace sp::cache
 {
 
@@ -24,12 +23,12 @@ namespace
 {
 
 void
-probeNeon(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
+probeNeon(const ProbeTable &table, const uint64_t *keys, uint32_t *out,
           size_t n)
 {
     // splint:hot-path-begin(probe-kernel-neon)
-    // The vector path masks hashes in 32-bit lanes; a table wider
-    // than 2^32 buckets stays on the scalar chain.
+    // The pipeline carries bucket indices in 32-bit ring slots; a
+    // table wider than 2^32 buckets stays on the scalar chain.
     if (table.mask > 0xffffffffull) {
         for (size_t i = 0; i < n; ++i)
             out[i] = probeChainFrom(table, probeBucketFor(table, keys[i]),
@@ -37,16 +36,10 @@ probeNeon(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
         return;
     }
 
-    const uint32x4_t vmask =
-        vdupq_n_u32(static_cast<uint32_t>(table.mask));
-    const auto hash_buckets = [&](const uint32_t *p, uint32_t *buckets) {
-        uint32x4_t h = vld1q_u32(p);
-        h = veorq_u32(h, vshrq_n_u32(h, 16));
-        h = vmulq_u32(h, vdupq_n_u32(0x85ebca6bu));
-        h = veorq_u32(h, vshrq_n_u32(h, 13));
-        h = vmulq_u32(h, vdupq_n_u32(0xc2b2ae35u));
-        h = veorq_u32(h, vshrq_n_u32(h, 16));
-        vst1q_u32(buckets, vandq_u32(h, vmask));
+    const auto hash_buckets = [&](const uint64_t *p, uint32_t *buckets) {
+        for (size_t lane = 0; lane < 4; ++lane)
+            buckets[lane] = static_cast<uint32_t>(
+                probeHashKey(p[lane]) & table.mask);
     };
 
     // Ring of hashed buckets two 4-wide blocks deep: hash and
@@ -61,7 +54,7 @@ probeNeon(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
     for (size_t b = 0; b < lead; ++b) {
         hash_buckets(keys + b * kBlock, ring[b]);
         for (size_t lane = 0; lane < kBlock; ++lane)
-            __builtin_prefetch(table.entries + ring[b][lane]);
+            __builtin_prefetch(table.keys + ring[b][lane]);
     }
     for (size_t block = 0; block < blocks; ++block) {
         const size_t base = block * kBlock;
@@ -72,7 +65,7 @@ probeNeon(const ProbeTable &table, const uint32_t *keys, uint32_t *out,
         if (block + kDepth < blocks) {
             hash_buckets(keys + base + kDepth * kBlock, buckets);
             for (size_t lane = 0; lane < kBlock; ++lane)
-                __builtin_prefetch(table.entries + buckets[lane]);
+                __builtin_prefetch(table.keys + buckets[lane]);
         }
         for (size_t lane = 0; lane < kBlock; ++lane)
             out[base + lane] = probeChainFrom(table, current[lane],

@@ -7,7 +7,7 @@
 namespace sp::cache
 {
 
-StaticCache::StaticCache(std::span<const uint32_t> cached_rows, size_t dim,
+StaticCache::StaticCache(std::span<const uint64_t> cached_rows, size_t dim,
                          SlotArray::Backing backing)
     : cached_rows_(cached_rows.begin(), cached_rows.end()),
       map_(cached_rows.size()),
@@ -23,7 +23,7 @@ StaticCache::StaticCache(std::span<const uint32_t> cached_rows, size_t dim,
 }
 
 QuerySplit
-StaticCache::query(std::span<const uint32_t> ids) const
+StaticCache::query(std::span<const uint64_t> ids) const
 {
     QuerySplit split;
     split.hit_mask.resize(ids.size());
@@ -59,7 +59,7 @@ StaticCache::flushTo(emb::EmbeddingTable &table) const
 }
 
 float *
-StaticCache::Accessor::row(uint32_t id)
+StaticCache::Accessor::row(uint64_t id)
 {
     const uint32_t slot = cache_.map_.find(id);
     panicIf(slot == HitMap::kNotFound,
@@ -68,7 +68,7 @@ StaticCache::Accessor::row(uint32_t id)
 }
 
 const float *
-StaticCache::Accessor::row(uint32_t id) const
+StaticCache::Accessor::row(uint64_t id) const
 {
     const uint32_t slot = cache_.map_.find(id);
     panicIf(slot == HitMap::kNotFound,
@@ -76,7 +76,7 @@ StaticCache::Accessor::row(uint32_t id) const
     return cache_.storage_.slot(slot);
 }
 
-uint32_t
+uint64_t
 StaticCache::rowOfSlot(uint32_t slot) const
 {
     panicIf(slot >= cached_rows_.size(), "slot out of range");

@@ -54,17 +54,17 @@ class StaticCache
      * @param dim Embedding dimension.
      * @param backing Dense for functional runs, Phantom for timing.
      */
-    StaticCache(std::span<const uint32_t> cached_rows, size_t dim,
+    StaticCache(std::span<const uint64_t> cached_rows, size_t dim,
                 SlotArray::Backing backing = SlotArray::Backing::Dense);
 
     uint32_t numSlots() const { return storage_.numSlots(); }
     size_t dim() const { return storage_.dim(); }
 
     /** Classify each ID of a batch as hit or miss. */
-    QuerySplit query(std::span<const uint32_t> ids) const;
+    QuerySplit query(std::span<const uint64_t> ids) const;
 
     /** Slot for `id`, or HitMap::kNotFound. */
-    uint32_t slotFor(uint32_t id) const { return map_.find(id); }
+    uint32_t slotFor(uint64_t id) const { return map_.find(id); }
 
     /** Copy the cached rows' current values from a dense table. */
     void fillFrom(const emb::EmbeddingTable &table);
@@ -77,8 +77,8 @@ class StaticCache
     {
       public:
         explicit Accessor(StaticCache &cache) : cache_(cache) {}
-        float *row(uint32_t id) override;
-        const float *row(uint32_t id) const override;
+        float *row(uint64_t id) override;
+        const float *row(uint64_t id) const override;
         size_t dim() const override { return cache_.dim(); }
 
       private:
@@ -88,10 +88,10 @@ class StaticCache
     Accessor accessor() { return Accessor(*this); }
 
     /** The cached row ID held by a slot. */
-    uint32_t rowOfSlot(uint32_t slot) const;
+    uint64_t rowOfSlot(uint32_t slot) const;
 
   private:
-    std::vector<uint32_t> cached_rows_;
+    std::vector<uint64_t> cached_rows_;
     HitMap map_;
     SlotArray storage_;
 };

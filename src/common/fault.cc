@@ -229,6 +229,10 @@ sites()
         {"dataset.load.read",
          "load returns Truncated/Corrupt; TraceStore treats the entry "
          "as a miss and regenerates"},
+        {"dataset.replay.open",
+         "replay throws StatusError (NotFound/Truncated/Corrupt); the "
+         "driver reports the unusable replay file and exits via the "
+         "usage-error path instead of simulating a partial stream"},
         {"dataset.save.write",
          "saveTo returns NoSpace/IoError; publish unlinks the temp "
          "file and the run degrades to uncached"},

@@ -58,7 +58,7 @@ ScratchPipeController::shardsFor(size_t n) const
 }
 
 void
-ScratchPipeController::markPass(std::span<const uint32_t> ids,
+ScratchPipeController::markPass(std::span<const uint64_t> ids,
                                 uint32_t future_distance)
 {
     probe_.resize(ids.size());
@@ -107,7 +107,7 @@ ScratchPipeController::markPass(std::span<const uint32_t> ids,
 }
 
 void
-ScratchPipeController::probePass(std::span<const uint32_t> ids)
+ScratchPipeController::probePass(std::span<const uint64_t> ids)
 {
     probe_.resize(ids.size());
     const uint32_t shards = shardsFor(ids.size());
@@ -132,8 +132,8 @@ ScratchPipeController::probePass(std::span<const uint32_t> ids)
 
 const PlanResult &
 ScratchPipeController::plan(
-    std::span<const uint32_t> current_ids,
-    std::span<const std::span<const uint32_t>> future_ids)
+    std::span<const uint64_t> current_ids,
+    std::span<const std::span<const uint64_t>> future_ids)
 {
     // Reset the reusable schedule; clear() keeps vector capacity, so
     // a warmed-up controller plans without touching the heap.
@@ -183,7 +183,7 @@ ScratchPipeController::plan(
     // the old one-find-per-ID loop produced.
     probePass(current_ids);
     for (size_t i = 0; i < current_ids.size(); ++i) {
-        const uint32_t id = current_ids[i];
+        const uint64_t id = current_ids[i];
         uint32_t slot = probe_[i];
         if (slot == cache::HitMap::kNotFound || slot_key_[slot] != id)
             slot = map_.find(id);
@@ -209,7 +209,7 @@ ScratchPipeController::plan(
                 " slots are held by in-flight mini-batches; provision at "
                 "least the worst-case window working set (paper §VI-D)");
 
-        const uint32_t old_key = slot_key_[victim];
+        const uint64_t old_key = slot_key_[victim];
         if (old_key != kNoKey) {
             map_.erase(old_key);
             // plan_ is per-controller scratch; clear() above keeps
@@ -237,13 +237,13 @@ ScratchPipeController::plan(
 }
 
 bool
-ScratchPipeController::isResident(uint32_t id) const
+ScratchPipeController::isResident(uint64_t id) const
 {
     return map_.contains(id);
 }
 
 uint32_t
-ScratchPipeController::slotOf(uint32_t id) const
+ScratchPipeController::slotOf(uint64_t id) const
 {
     const uint32_t slot = map_.find(id);
     panicIf(slot == cache::HitMap::kNotFound,
@@ -252,13 +252,13 @@ ScratchPipeController::slotOf(uint32_t id) const
 }
 
 float *
-ScratchPipeController::Accessor::row(uint32_t id)
+ScratchPipeController::Accessor::row(uint64_t id)
 {
     return controller_.storage_.slot(controller_.slotOf(id));
 }
 
 const float *
-ScratchPipeController::Accessor::row(uint32_t id) const
+ScratchPipeController::Accessor::row(uint64_t id) const
 {
     return controller_.storage_.slot(controller_.slotOf(id));
 }
@@ -268,7 +268,7 @@ ScratchPipeController::flushTo(emb::EmbeddingTable &table) const
 {
     panicIf(table.dim() != config_.dim,
             "dimension mismatch flushing scratchpad");
-    map_.forEach([this, &table](uint32_t key, uint32_t slot) {
+    map_.forEach([this, &table](uint64_t key, uint32_t slot) {
         std::memcpy(table.row(key), storage_.slot(slot),
                     storage_.rowBytes());
     });
@@ -276,7 +276,7 @@ ScratchPipeController::flushTo(emb::EmbeddingTable &table) const
 
 void
 ScratchPipeController::forEachResident(
-    const std::function<void(uint32_t, uint32_t)> &fn) const
+    const std::function<void(uint64_t, uint32_t)> &fn) const
 {
     map_.forEach(fn);
 }
@@ -296,7 +296,7 @@ size_t
 ScratchPipeController::metadataBytes() const
 {
     return map_.memoryBytes() + holds_.memoryBytes() +
-           slot_key_.capacity() * sizeof(uint32_t);
+           slot_key_.capacity() * sizeof(uint64_t);
 }
 
 } // namespace sp::core

@@ -88,14 +88,14 @@ struct ControllerConfig
 /** One scheduled Storage fill: CPU row -> scratchpad slot. */
 struct FillOp
 {
-    uint32_t id;   //!< CPU-table row to bring in
+    uint64_t id;   //!< CPU-table row to bring in
     uint32_t slot; //!< destination Storage slot
 };
 
 /** One scheduled write-back: scratchpad slot -> CPU row. */
 struct EvictOp
 {
-    uint32_t id;   //!< CPU-table row to write back (the old key)
+    uint64_t id;   //!< CPU-table row to write back (the old key)
     uint32_t slot; //!< source Storage slot (read at [Collect])
 };
 
@@ -158,19 +158,21 @@ class ScratchPipeController
      * capacity-bound violation of Section VI-D.
      */
     const PlanResult &
-    plan(std::span<const uint32_t> current_ids,
-         std::span<const std::span<const uint32_t>> future_ids);
+    plan(std::span<const uint64_t> current_ids,
+         std::span<const std::span<const uint64_t>> future_ids);
 
     /** True iff `id` is resident in the scratchpad right now. */
-    bool isResident(uint32_t id) const;
+    bool isResident(uint64_t id) const;
 
     /** Storage slot of a resident `id`; panics if absent. */
-    uint32_t slotOf(uint32_t id) const;
+    uint32_t slotOf(uint64_t id) const;
 
     /** The key currently assigned to `slot` (kNoKey when vacant). */
-    uint32_t keyOfSlot(uint32_t slot) const { return slot_key_[slot]; }
+    uint64_t keyOfSlot(uint32_t slot) const { return slot_key_[slot]; }
 
-    static constexpr uint32_t kNoKey = 0xffffffffu;
+    /** Vacant-slot sentinel: the Hit-Map's reserved empty key, which
+     *  no table geometry can produce as a row ID. */
+    static constexpr uint64_t kNoKey = 0xffffffffffffffffull;
 
     /** Mutable Storage (functional fill/evict/train data movement). */
     cache::SlotArray &storage() { return storage_; }
@@ -191,8 +193,8 @@ class ScratchPipeController
             : controller_(controller)
         {
         }
-        float *row(uint32_t id) override;
-        const float *row(uint32_t id) const override;
+        float *row(uint64_t id) override;
+        const float *row(uint64_t id) const override;
         size_t dim() const override { return controller_.config_.dim; }
 
       private:
@@ -213,7 +215,7 @@ class ScratchPipeController
      * scratchpad) be drained alongside the embedding values.
      */
     void forEachResident(
-        const std::function<void(uint32_t, uint32_t)> &fn) const;
+        const std::function<void(uint64_t, uint32_t)> &fn) const;
 
     /**
      * Minimum slots that guarantee plan() can never fail: every ID of
@@ -239,18 +241,18 @@ class ScratchPipeController
      * HoldMask's shared (atomic) markers when sharded, so the
      * resulting masks equal the serial pass bit for bit.
      */
-    void markPass(std::span<const uint32_t> ids, uint32_t future_distance);
+    void markPass(std::span<const uint64_t> ids, uint32_t future_distance);
 
     /** Sharded map_.findMany(ids, probe_) without marking (the
      *  classify pre-probe). */
-    void probePass(std::span<const uint32_t> ids);
+    void probePass(std::span<const uint64_t> ids);
 
     ControllerConfig config_;
     cache::HitMap map_;
     HoldMask holds_;
     std::unique_ptr<cache::ReplacementPolicy> policy_;
     cache::SlotArray storage_;
-    std::vector<uint32_t> slot_key_;
+    std::vector<uint64_t> slot_key_;
     ControllerStats stats_;
     // Reusable plan() scratch: the returned schedule and the batched
     // Hit-Map probe results. Cleared (capacity kept) every plan, so

@@ -43,14 +43,14 @@ HazardAuditor::trainWritesSlot(size_t table, uint32_t slot)
 }
 
 void
-HazardAuditor::collectReadsCpuRow(size_t table, uint32_t row)
+HazardAuditor::collectReadsCpuRow(size_t table, uint64_t row)
 {
     tableAccess(table).collect_row_reads.insert(row);
     ++checked_;
 }
 
 void
-HazardAuditor::insertWritesCpuRow(size_t table, uint32_t row)
+HazardAuditor::insertWritesCpuRow(size_t table, uint64_t row)
 {
     tableAccess(table).insert_row_writes.insert(row);
     ++checked_;
@@ -77,7 +77,7 @@ HazardAuditor::endCycle()
                     table, " slot ", slot,
                     " written by both [Insert] and [Train]");
         }
-        for (uint32_t row : access.collect_row_reads) {
+        for (uint64_t row : access.collect_row_reads) {
             panicIf(access.insert_row_writes.count(row) > 0,
                     "RAW-4 hazard: cycle ", current_cycle_, " table ",
                     table, " CPU row ", row,

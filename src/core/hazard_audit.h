@@ -49,10 +49,10 @@ class HazardAuditor
     void trainWritesSlot(size_t table, uint32_t slot);
 
     /** [Collect] gathers this CPU-table row (a miss fetch). */
-    void collectReadsCpuRow(size_t table, uint32_t row);
+    void collectReadsCpuRow(size_t table, uint64_t row);
 
     /** [Insert] writes this CPU-table row back (a dirty eviction). */
-    void insertWritesCpuRow(size_t table, uint32_t row);
+    void insertWritesCpuRow(size_t table, uint64_t row);
 
     /** Run the disjointness checks for the recorded cycle. */
     void endCycle();
@@ -69,8 +69,8 @@ class HazardAuditor
         std::unordered_set<uint32_t> victim_slot_reads;
         std::unordered_set<uint32_t> insert_slot_writes;
         std::unordered_set<uint32_t> train_slot_writes;
-        std::unordered_set<uint32_t> collect_row_reads;
-        std::unordered_set<uint32_t> insert_row_writes;
+        std::unordered_set<uint64_t> collect_row_reads;
+        std::unordered_set<uint64_t> insert_row_writes;
     };
 
     TableAccesses &tableAccess(size_t table);

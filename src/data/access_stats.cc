@@ -26,7 +26,7 @@ AccessStats::addBatch(const MiniBatch &batch)
             counts_.size());
     for (size_t t = 0; t < counts_.size(); ++t) {
         auto &table_counts = counts_[t];
-        for (uint32_t id : batch.ids(t)) {
+        for (uint64_t id : batch.ids(t)) {
             // splint:allow(io-status): internal invariant, a bug not I/O
             panicIf(id >= rows_per_table_, "ID ", id,
                     " out of range for table with ", rows_per_table_,
@@ -85,14 +85,14 @@ AccessStats::coverage(size_t table, double top_fraction) const
     return static_cast<double>(captured) / static_cast<double>(total);
 }
 
-std::vector<uint32_t>
+std::vector<uint64_t>
 AccessStats::rankedRows(size_t table) const
 {
     const auto &table_counts = counts(table);
-    std::vector<uint32_t> order(table_counts.size());
+    std::vector<uint64_t> order(table_counts.size());
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(),
-                     [&table_counts](uint32_t a, uint32_t b) {
+                     [&table_counts](uint64_t a, uint64_t b) {
                          return table_counts[a] > table_counts[b];
                      });
     return order;

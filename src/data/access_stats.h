@@ -56,7 +56,7 @@ class AccessStats
      * Row IDs of table t ranked by descending access count; the first
      * k entries are the static cache contents for capacity k.
      */
-    std::vector<uint32_t> rankedRows(size_t table) const;
+    std::vector<uint64_t> rankedRows(size_t table) const;
 
     /** Number of distinct rows of table t that were ever accessed. */
     uint64_t uniqueRows(size_t table) const;

@@ -134,7 +134,7 @@ TraceDataset::saveTo(const std::string &path) const
                 const auto ids = batch.ids(t);
                 os.write(reinterpret_cast<const char *>(ids.data()),
                          static_cast<std::streamsize>(
-                             ids.size() * sizeof(uint32_t)));
+                             ids.size() * sizeof(uint64_t)));
             }
         }
     } catch (const StatusError &e) {
@@ -196,7 +196,7 @@ TraceDataset::load(const std::string &path, uint64_t max_batches)
             ids.resize(ids_per_table);
             is.read(reinterpret_cast<char *>(ids.data()),
                     static_cast<std::streamsize>(ids.size() *
-                                                 sizeof(uint32_t)));
+                                                 sizeof(uint64_t)));
         }
         // Per-batch check so truncation fails at the cut, not after
         // looping num_batches times over a dead stream.
@@ -226,6 +226,31 @@ TraceDataset
 TraceDataset::mapped(const std::string &path, uint64_t max_batches)
 {
     return TraceDataset(TraceView::open(path), max_batches);
+}
+
+TraceDataset
+TraceDataset::replay(const std::string &path, uint64_t max_batches)
+{
+    // Replay adapter: the file's embedded config drives the run, so a
+    // recorded trace flows through every system and harness exactly
+    // like a generated one. Zero-copy mmap when the platform has it,
+    // eager load otherwise.
+    SP_FAULT_POINT("dataset.replay.open");
+    if (TraceView::supported())
+        return mapped(path, max_batches);
+    return load(path, max_batches);
+}
+
+sp::Result<TraceDataset>
+TraceDataset::tryReplay(const std::string &path, uint64_t max_batches)
+{
+    try {
+        return TraceDataset::replay(path, max_batches);
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const FatalError &e) {
+        return Status::error(ErrorCode::IoError, e.what());
+    }
 }
 
 sp::Result<TraceDataset>

@@ -108,6 +108,19 @@ class TraceDataset
     static sp::Result<TraceDataset> tryMapped(const std::string &path,
                                               uint64_t max_batches = 0);
 
+    /**
+     * Replay adapter: ingest an externally recorded trace file whose
+     * embedded config drives the run (mmap-backed when the platform
+     * supports it, eager otherwise). Throws StatusError classifying
+     * the failure exactly like load()/mapped().
+     */
+    static TraceDataset replay(const std::string &path,
+                               uint64_t max_batches = 0);
+
+    /** replay() with the failure as a Result instead of an exception. */
+    static sp::Result<TraceDataset> tryReplay(const std::string &path,
+                                              uint64_t max_batches = 0);
+
     /** True when batches are served from an mmap'd view. */
     bool isMapped() const { return view_ != nullptr; }
 

@@ -30,6 +30,37 @@ mix64(uint64_t x)
     return x;
 }
 
+// --- Field-count tripwire ------------------------------------------
+// fingerprint() and operator== must cover every TraceConfig (and
+// nested WorkloadConfig) field, or stale cache entries alias new
+// workloads. Counting aggregate members at compile time turns "added
+// a field, forgot the fingerprint" into a build failure pointing
+// here instead of a silently poisoned cache.
+struct AnyField
+{
+    template <typename T> operator T() const; // never defined
+};
+
+template <typename T, typename... Fields>
+constexpr size_t
+fieldCount()
+{
+    if constexpr (requires { T{Fields{}..., AnyField{}}; })
+        return fieldCount<T, Fields..., AnyField>();
+    else
+        return sizeof...(Fields);
+}
+
+static_assert(fieldCount<WorkloadConfig>() == 9,
+              "WorkloadConfig gained or lost a field: update "
+              "TraceConfig::fingerprint(), the workload spec "
+              "parser/summary, the v3 trace header codec "
+              "(trace_format.cc) and this count together");
+static_assert(fieldCount<TraceConfig>() == 9,
+              "TraceConfig gained or lost a field: update "
+              "fingerprint(), the trace header codec "
+              "(trace_format.cc) and this count together");
+
 } // namespace
 
 std::string
@@ -52,6 +83,15 @@ TraceConfig::fingerprint() const
     fold(per_table_exponents.size());
     for (const double exponent : per_table_exponents)
         fold(std::bit_cast<uint64_t>(exponent));
+    fold(std::bit_cast<uint64_t>(workload.drift_amp));
+    fold(workload.drift_period);
+    fold(workload.churn_k);
+    fold(workload.churn_period);
+    fold(std::bit_cast<uint64_t>(workload.burst_frac));
+    fold(workload.burst_period);
+    fold(workload.burst_len);
+    fold(workload.burst_ranks);
+    fold(workload.phase);
 
     char hex[17];
     std::snprintf(hex, sizeof(hex), "%016llx",
@@ -88,6 +128,9 @@ TraceGenerator::TraceGenerator(const TraceConfig &config) : config_(config)
             "per_table_exponents must have one entry per table (",
             config_.num_tables, "), got ",
             config_.per_table_exponents.size());
+    const std::string workload_error =
+        config_.workload.validationError(config_.rows_per_table);
+    fatalIf(!workload_error.empty(), "workload config: ", workload_error);
 
     samplers_.reserve(config_.num_tables);
     for (size_t t = 0; t < config_.num_tables; ++t)
@@ -125,12 +168,24 @@ TraceGenerator::makeBatch(uint64_t index) const
     batch.table_ids.resize(config_.num_tables);
 
     const size_t ids_per_table = config_.idsPerTable();
+    const bool stationary = config_.workload.stationary();
     for (size_t t = 0; t < config_.num_tables; ++t) {
         tensor::Rng rng(streamSeed(kStreamIds, t, index));
         auto &ids = batch.table_ids[t];
         ids.resize(ids_per_table);
-        for (size_t i = 0; i < ids_per_table; ++i)
-            ids[i] = samplers_[t].sample(rng);
+        if (stationary) {
+            // Classic path: byte-identical to the pre-workload
+            // generator (the shaper would reproduce it, but skipping
+            // construction keeps the hot path allocation-free).
+            for (size_t i = 0; i < ids_per_table; ++i)
+                ids[i] = samplers_[t].sample(rng);
+        } else {
+            WorkloadShaper shaper(config_.workload, config_.seed,
+                                  config_.rows_per_table,
+                                  tableExponent(t), t, index);
+            for (size_t i = 0; i < ids_per_table; ++i)
+                ids[i] = shaper.sample(rng);
+        }
     }
     return batch;
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "data/locality.h"
+#include "data/workload.h"
 #include "data/zipf.h"
 #include "tensor/matrix.h"
 
@@ -51,6 +52,8 @@ struct TraceConfig
     uint64_t seed = 42;
     /** Number of dense (continuous) features per sample. */
     size_t dense_features = 13;
+    /** Workload shaping (drift/churn/burst/phase); default stationary. */
+    WorkloadConfig workload;
 
     /** Sparse IDs per table per mini-batch (B * L). */
     size_t idsPerTable() const { return batch_size * lookups_per_table; }
@@ -91,9 +94,9 @@ struct MiniBatch
      * table t; the IDs for sample i are the contiguous slice
      * [i*L, (i+1)*L). Empty for view-backed batches.
      */
-    std::vector<std::vector<uint32_t>> table_ids;
+    std::vector<std::vector<uint64_t>> table_ids;
     /** Zero-copy backing: spans into an mmap'd trace file. */
-    std::vector<std::span<const uint32_t>> table_views;
+    std::vector<std::span<const uint64_t>> table_views;
 
     size_t numTables() const
     {
@@ -102,10 +105,10 @@ struct MiniBatch
     }
 
     /** Table t's row IDs, whichever backing holds them. */
-    std::span<const uint32_t> ids(size_t t) const
+    std::span<const uint64_t> ids(size_t t) const
     {
         return table_views.empty()
-                   ? std::span<const uint32_t>(table_ids[t])
+                   ? std::span<const uint64_t>(table_ids[t])
                    : table_views[t];
     }
 

@@ -81,8 +81,8 @@ readHeaderFields(Cursor &cursor, const std::string &path)
            "'", path,
            "' has unsupported trace version ", version, " (expected ",
            kTraceFormatVersion,
-            "); regenerate the trace -- pre-v2 headers did not record "
-            "every generator field");
+            "); regenerate the trace -- pre-v3 files stored truncated "
+            "32-bit IDs and did not record every generator field");
     cursor.next<uint32_t>(); // alignment pad
 
     TraceFileHeader header;
@@ -98,6 +98,15 @@ readHeaderFields(Cursor &cursor, const std::string &path)
     config.locality = static_cast<Locality>(locality);
     config.seed = cursor.next<uint64_t>();
     config.dense_features = cursor.next<uint64_t>();
+    config.workload.drift_amp = cursor.next<double>();
+    config.workload.drift_period = cursor.next<uint64_t>();
+    config.workload.churn_k = cursor.next<uint64_t>();
+    config.workload.churn_period = cursor.next<uint64_t>();
+    config.workload.burst_frac = cursor.next<double>();
+    config.workload.burst_period = cursor.next<uint64_t>();
+    config.workload.burst_len = cursor.next<uint64_t>();
+    config.workload.burst_ranks = cursor.next<uint64_t>();
+    config.workload.phase = cursor.next<uint64_t>();
     const uint64_t num_exponents = cursor.next<uint64_t>();
     failIf(num_exponents != 0 && num_exponents != config.num_tables,
            ErrorCode::Corrupt, "'", path, "' has ", num_exponents,
@@ -116,16 +125,17 @@ readHeaderFields(Cursor &cursor, const std::string &path)
 uint64_t
 headerBytes(const TraceConfig &config)
 {
-    // magic + version + pad, eight u64 fields + num_batches, plus the
-    // optional exponent block.
-    return 8 + 4 + 4 + 8 * 9 +
+    // magic + version + pad, seven geometry u64s, the nine-word
+    // workload block, num_exponents + num_batches, plus the optional
+    // exponent block.
+    return 8 + 4 + 4 + 8 * 18 +
            8 * static_cast<uint64_t>(config.per_table_exponents.size());
 }
 
 uint64_t
 batchRecordBytes(const TraceConfig &config)
 {
-    return 8 + sizeof(uint32_t) *
+    return 8 + sizeof(uint64_t) *
                    static_cast<uint64_t>(config.num_tables) *
                    static_cast<uint64_t>(config.idsPerTable());
 }
@@ -134,7 +144,7 @@ uint64_t
 idsOffset(const TraceConfig &config, uint64_t b, uint64_t t)
 {
     return headerBytes(config) + b * batchRecordBytes(config) + 8 +
-           t * sizeof(uint32_t) *
+           t * sizeof(uint64_t) *
                static_cast<uint64_t>(config.idsPerTable());
 }
 
@@ -152,6 +162,15 @@ writeHeader(std::ostream &os, const TraceConfig &config,
     writePod(os, static_cast<uint64_t>(config.locality));
     writePod(os, config.seed);
     writePod(os, static_cast<uint64_t>(config.dense_features));
+    writePod(os, config.workload.drift_amp);
+    writePod(os, config.workload.drift_period);
+    writePod(os, config.workload.churn_k);
+    writePod(os, config.workload.churn_period);
+    writePod(os, config.workload.burst_frac);
+    writePod(os, config.workload.burst_period);
+    writePod(os, config.workload.burst_len);
+    writePod(os, config.workload.burst_ranks);
+    writePod(os, config.workload.phase);
     writePod(os,
              static_cast<uint64_t>(config.per_table_exponents.size()));
     for (const double exponent : config.per_table_exponents)
@@ -198,6 +217,10 @@ validateHeader(const TraceFileHeader &header, uint64_t file_bytes,
            " dense features)");
     failIf(header.num_batches == 0, ErrorCode::Corrupt, "'", path,
            "' holds no batches");
+    const std::string workload_error =
+        config.workload.validationError(config.rows_per_table);
+    failIf(!workload_error.empty(), ErrorCode::Corrupt, "'", path,
+           "' has an impossible workload block: ", workload_error);
 
     // Divide instead of multiplying record size by the (untrusted)
     // batch count, so an absurd count cannot overflow the check.

@@ -5,7 +5,7 @@
  * One header codec shared by the eager loader (dataset.cc), the mmap
  * view (trace_view.cc) and the writer, so the three can never drift.
  *
- * Layout (version 2; all fields native-endian, written raw):
+ * Layout (version 3; all fields native-endian, written raw):
  *
  *   u64 magic            "SCRTPIPE"
  *   u32 version          kTraceFormatVersion
@@ -17,23 +17,32 @@
  *   u64 locality
  *   u64 seed
  *   u64 dense_features
+ *   f64 wl_drift_amp     -- workload shaping block (workload.h); all
+ *   u64 wl_drift_period     zero for a stationary trace --
+ *   u64 wl_churn_k
+ *   u64 wl_churn_period
+ *   f64 wl_burst_frac
+ *   u64 wl_burst_period
+ *   u64 wl_burst_len
+ *   u64 wl_burst_ranks
+ *   u64 wl_phase
  *   u64 num_exponents    0, or num_tables per-table Zipf exponents
  *   f64 exponents[num_exponents]
  *   u64 num_batches
  *   -- then num_batches records of --
  *   u64 batch_index
- *   u32 ids[num_tables][batch_size * lookups_per_table]
+ *   u64 ids[num_tables][batch_size * lookups_per_table]
  *
  * Every batch record has the same computable size, so a reader can mmap
  * the file and serve any (batch, table) ID slice as a pointer into the
- * mapping: the ID payload is always 4-byte aligned (the header size is
- * a multiple of 8 and each record is 8 + a multiple of 4 bytes).
+ * mapping: the ID payload is always 8-byte aligned (the header size and
+ * each record are multiples of 8 bytes).
  *
- * Version 1 files -- whose header omitted the per-table exponents, so
- * a loaded config could silently differ from the one that generated
- * the IDs -- are rejected with a regenerate hint: an incompletely
- * described trace must never be served from the content-addressed
- * cache.
+ * Version 1 files omitted the per-table exponents; version 2 files
+ * stored 32-bit IDs (truncating tables above 2^32 rows) and knew no
+ * workload block. Both are rejected with a regenerate hint: an
+ * incompletely described trace must never be served from the
+ * content-addressed cache.
  */
 
 #ifndef SP_DATA_TRACE_FORMAT_H
@@ -49,7 +58,7 @@ namespace sp::data::format
 {
 
 inline constexpr uint64_t kMagic = 0x5343525450495045ull; // "SCRTPIPE"
-inline constexpr uint32_t kTraceFormatVersion = 2;
+inline constexpr uint32_t kTraceFormatVersion = 3;
 
 /** Decoded and validated file header. */
 struct TraceFileHeader
@@ -67,7 +76,7 @@ uint64_t batchRecordBytes(const TraceConfig &config);
 /** Byte offset of table `t`'s IDs inside batch `b`'s record. */
 uint64_t idsOffset(const TraceConfig &config, uint64_t b, uint64_t t);
 
-/** Write the v2 header. The caller checks stream state. */
+/** Write the v3 header. The caller checks stream state. */
 void writeHeader(std::ostream &os, const TraceConfig &config,
                  uint64_t num_batches);
 

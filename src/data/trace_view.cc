@@ -122,7 +122,7 @@ TraceView::batchIndex(uint64_t b) const
     return index;
 }
 
-std::span<const uint32_t>
+std::span<const uint64_t>
 TraceView::ids(uint64_t b, uint64_t t) const
 {
     // splint:allow(io-status): caller-bug bounds check, not I/O
@@ -132,15 +132,15 @@ TraceView::ids(uint64_t b, uint64_t t) const
     panicIf(t >= config_.num_tables, "table index ", t,
             " out of range (", config_.num_tables, " tables in '",
             path_, "')");
-    // The ID payload is 4-aligned by the format's construction (see
+    // The ID payload is 8-aligned by the format's construction (see
     // trace_format.h), so the reinterpret_cast is well-defined here.
     SP_ASSERT(format::idsOffset(config_, b, t) +
-                      config_.idsPerTable() * sizeof(uint32_t) <=
+                      config_.idsPerTable() * sizeof(uint64_t) <=
                   size_,
               "ids span of batch ", b, " table ", t, " overruns '",
               path_, "' (", size_, " bytes)");
     const unsigned char *base = data_ + format::idsOffset(config_, b, t);
-    return {reinterpret_cast<const uint32_t *>(base),
+    return {reinterpret_cast<const uint64_t *>(base),
             config_.idsPerTable()};
 }
 

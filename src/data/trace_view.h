@@ -2,7 +2,7 @@
  * @file
  * Zero-copy mmap view over a serialised trace file.
  *
- * A TraceView maps a v2 trace file (see trace_format.h) read-only into
+ * A TraceView maps a v3 trace file (see trace_format.h) read-only into
  * the address space and serves any (batch, table) ID slice as a span
  * pointing straight into the mapping -- warm-starting a paper-scale
  * sweep costs one mmap plus header validation instead of regenerating
@@ -60,7 +60,7 @@ class TraceView
     uint64_t batchIndex(uint64_t b) const;
 
     /** Table `t`'s IDs for batch `b`: a span into the mapping. */
-    std::span<const uint32_t> ids(uint64_t b, uint64_t t) const;
+    std::span<const uint64_t> ids(uint64_t b, uint64_t t) const;
 
   private:
     TraceView() = default;

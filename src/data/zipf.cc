@@ -65,11 +65,11 @@ ZipfSampler::hIntegralInverse(double x) const
     return std::exp(helper1(t) * x);
 }
 
-uint32_t
+uint64_t
 ZipfSampler::sample(tensor::Rng &rng)
 {
     if (exponent_ == 0.0)
-        return static_cast<uint32_t>(rng.uniformInt(n_));
+        return rng.uniformInt(n_);
 
     for (;;) {
         const double u = h_integral_n_ +
@@ -82,7 +82,7 @@ ZipfSampler::sample(tensor::Rng &rng)
             k = n_;
         const double kd = static_cast<double>(k);
         if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd))
-            return static_cast<uint32_t>(k - 1);
+            return k - 1;
     }
 }
 

@@ -36,7 +36,7 @@ class ZipfSampler
     ZipfSampler(uint64_t n, double exponent);
 
     /** Draw a zero-based rank using the supplied generator. */
-    uint32_t sample(tensor::Rng &rng);
+    uint64_t sample(tensor::Rng &rng);
 
     uint64_t numElements() const { return n_; }
     double exponent() const { return exponent_; }

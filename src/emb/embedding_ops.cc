@@ -11,7 +11,7 @@ namespace sp::emb
 {
 
 void
-gather(const RowAccessor &table, std::span<const uint32_t> ids,
+gather(const RowAccessor &table, std::span<const uint64_t> ids,
        tensor::Matrix &out)
 {
     const size_t dim = table.dim();
@@ -46,7 +46,7 @@ reduceSum(const tensor::Matrix &gathered, size_t lookups,
 }
 
 void
-gatherReduce(const RowAccessor &table, std::span<const uint32_t> ids,
+gatherReduce(const RowAccessor &table, std::span<const uint64_t> ids,
              size_t lookups, tensor::Matrix &out)
 {
     panicIf(lookups == 0, "gatherReduce with zero lookups");
@@ -70,7 +70,7 @@ gatherReduce(const RowAccessor &table, std::span<const uint32_t> ids,
 }
 
 CoalescedGradients
-duplicateAndCoalesce(std::span<const uint32_t> ids,
+duplicateAndCoalesce(std::span<const uint64_t> ids,
                      const tensor::Matrix &output_grads, size_t lookups)
 {
     panicIf(lookups == 0, "duplicateAndCoalesce with zero lookups");
@@ -101,7 +101,7 @@ duplicateAndCoalesce(std::span<const uint32_t> ids,
 
     size_t out_row = 0;
     for (size_t i = 0; i < order.size(); ++i) {
-        const uint32_t id = ids[order[i]];
+        const uint64_t id = ids[order[i]];
         const size_t sample = order[i] / lookups;
         const float *src = output_grads.row(sample);
         if (i == 0 || id != ids[order[i - 1]]) {
@@ -157,14 +157,14 @@ adagradScatter(RowAccessor &table, RowAccessor &state,
 }
 
 size_t
-countUnique(std::span<const uint32_t> ids)
+countUnique(std::span<const uint64_t> ids)
 {
-    std::vector<uint32_t> scratch;
+    std::vector<uint64_t> scratch;
     return countUnique(ids, scratch);
 }
 
 size_t
-countUnique(std::span<const uint32_t> ids, std::vector<uint32_t> &scratch)
+countUnique(std::span<const uint64_t> ids, std::vector<uint64_t> &scratch)
 {
     scratch.assign(ids.begin(), ids.end());
     std::sort(scratch.begin(), scratch.end());
@@ -172,10 +172,10 @@ countUnique(std::span<const uint32_t> ids, std::vector<uint32_t> &scratch)
         std::unique(scratch.begin(), scratch.end()) - scratch.begin());
 }
 
-std::vector<uint32_t>
-uniqueIds(std::span<const uint32_t> ids)
+std::vector<uint64_t>
+uniqueIds(std::span<const uint64_t> ids)
 {
-    std::vector<uint32_t> sorted(ids.begin(), ids.end());
+    std::vector<uint64_t> sorted(ids.begin(), ids.end());
     std::sort(sorted.begin(), sorted.end());
     sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
     return sorted;

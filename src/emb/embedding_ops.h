@@ -34,7 +34,7 @@ namespace sp::emb
  * Gather `ids.size()` rows into `out` (ids.size() x dim).
  * Row i of out is a copy of table row ids[i].
  */
-void gather(const RowAccessor &table, std::span<const uint32_t> ids,
+void gather(const RowAccessor &table, std::span<const uint64_t> ids,
             tensor::Matrix &out);
 
 /**
@@ -46,14 +46,14 @@ void reduceSum(const tensor::Matrix &gathered, size_t lookups,
                tensor::Matrix &out);
 
 /** Fused gather + per-sample sum (out is batch x dim). */
-void gatherReduce(const RowAccessor &table, std::span<const uint32_t> ids,
+void gatherReduce(const RowAccessor &table, std::span<const uint64_t> ids,
                   size_t lookups, tensor::Matrix &out);
 
 /** Result of gradient duplication + coalescing for one table. */
 struct CoalescedGradients
 {
     /** Unique row IDs in ascending order. */
-    std::vector<uint32_t> ids;
+    std::vector<uint64_t> ids;
     /** ids.size() x dim summed gradients, matching `ids` order. */
     tensor::Matrix grads;
 };
@@ -70,7 +70,7 @@ struct CoalescedGradients
  * result is deterministic. With sum-reduction the duplicated gradient
  * of every lookup of sample i is exactly output_grads row i.
  */
-CoalescedGradients duplicateAndCoalesce(std::span<const uint32_t> ids,
+CoalescedGradients duplicateAndCoalesce(std::span<const uint64_t> ids,
                                         const tensor::Matrix &output_grads,
                                         size_t lookups);
 
@@ -94,7 +94,7 @@ void adagradScatter(RowAccessor &table, RowAccessor &state,
                     float eps);
 
 /** Number of distinct IDs in `ids` (timing-mode helper). */
-size_t countUnique(std::span<const uint32_t> ids);
+size_t countUnique(std::span<const uint64_t> ids);
 
 /**
  * countUnique with a caller-provided scratch buffer: `scratch` is
@@ -102,11 +102,11 @@ size_t countUnique(std::span<const uint32_t> ids);
  * repeated calls (the per-batch statistics loops) stop paying a heap
  * allocation per call.
  */
-size_t countUnique(std::span<const uint32_t> ids,
-                   std::vector<uint32_t> &scratch);
+size_t countUnique(std::span<const uint64_t> ids,
+                   std::vector<uint64_t> &scratch);
 
 /** Distinct IDs of `ids`, ascending (timing-mode helper). */
-std::vector<uint32_t> uniqueIds(std::span<const uint32_t> ids);
+std::vector<uint64_t> uniqueIds(std::span<const uint64_t> ids);
 
 } // namespace sp::emb
 

@@ -30,19 +30,19 @@ EmbeddingTable::initRandom(tensor::Rng &rng, float stddev)
 }
 
 float *
-EmbeddingTable::row(uint32_t id)
+EmbeddingTable::row(uint64_t id)
 {
     panicIf(!isDense(), "row access on a phantom embedding table");
     panicIf(id >= rows_, "row ", id, " out of range (", rows_, " rows)");
-    return data_.data() + static_cast<uint64_t>(id) * dim_;
+    return data_.data() + id * dim_;
 }
 
 const float *
-EmbeddingTable::row(uint32_t id) const
+EmbeddingTable::row(uint64_t id) const
 {
     panicIf(!isDense(), "row access on a phantom embedding table");
     panicIf(id >= rows_, "row ", id, " out of range (", rows_, " rows)");
-    return data_.data() + static_cast<uint64_t>(id) * dim_;
+    return data_.data() + id * dim_;
 }
 
 bool

@@ -34,10 +34,10 @@ class RowAccessor
     virtual ~RowAccessor() = default;
 
     /** Mutable pointer to the dim() floats of row `id`. */
-    virtual float *row(uint32_t id) = 0;
+    virtual float *row(uint64_t id) = 0;
 
     /** Read-only pointer to the dim() floats of row `id`. */
-    virtual const float *row(uint32_t id) const = 0;
+    virtual const float *row(uint64_t id) const = 0;
 
     /** Embedding vector dimension. */
     virtual size_t dim() const = 0;
@@ -67,8 +67,8 @@ class EmbeddingTable : public RowAccessor
     /** Initialise dense storage with N(0, stddev) values. */
     void initRandom(tensor::Rng &rng, float stddev);
 
-    float *row(uint32_t id) override;
-    const float *row(uint32_t id) const override;
+    float *row(uint64_t id) override;
+    const float *row(uint64_t id) const override;
 
     /** Deep equality of two dense tables (bit-identical floats). */
     static bool identical(const EmbeddingTable &a, const EmbeddingTable &b);

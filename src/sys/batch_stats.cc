@@ -18,7 +18,7 @@ BatchStats::BatchStats(const data::TraceDataset &dataset,
     // of the batches instead of allocating per countUnique call.
     unique_.resize(iterations);
     common::parallelFor(iterations, [this, &dataset](size_t b) {
-        static thread_local std::vector<uint32_t> scratch;
+        static thread_local std::vector<uint64_t> scratch;
         const auto &batch = dataset.batch(b);
         unique_[b].reserve(batch.numTables());
         for (size_t t = 0; t < batch.numTables(); ++t)

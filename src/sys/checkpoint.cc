@@ -92,7 +92,7 @@ saveCheckpoint(const std::string &path,
                 "cannot checkpoint a phantom embedding table");
         writePod(os, table.rows());
         writePod(os, static_cast<uint64_t>(table.dim()));
-        for (uint32_t r = 0; r < table.rows(); ++r) {
+        for (uint64_t r = 0; r < table.rows(); ++r) {
             os.write(reinterpret_cast<const char *>(table.row(r)),
                      static_cast<std::streamsize>(table.rowBytes()));
         }
@@ -130,7 +130,7 @@ loadCheckpoint(const std::string &path,
                 "checkpoint mismatch: table is ", rows, "x", dim,
                 " on disk but ", table.rows(), "x", table.dim(),
                 " in the model");
-        for (uint32_t r = 0; r < table.rows(); ++r) {
+        for (uint64_t r = 0; r < table.rows(); ++r) {
             is.read(reinterpret_cast<char *>(table.row(r)),
                     static_cast<std::streamsize>(table.rowBytes()));
         }

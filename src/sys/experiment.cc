@@ -28,6 +28,24 @@ ExperimentRunner::ExperimentRunner(const ModelConfig &model,
     model_.validate();
     const uint64_t batches =
         options_.warmup + options_.iterations + kLookahead;
+    if (!options_.replay_path.empty()) {
+        // Replay: the recorded file is the trace. Its embedded config
+        // replaces the model's trace geometry so the systems, batch
+        // statistics and capacity bounds all see the recorded stream's
+        // true shape; the trace cache never participates.
+        dataset_ = std::make_unique<data::TraceDataset>(
+            data::TraceDataset::replay(options_.replay_path, batches));
+        fatalIf(dataset_->numBatches() < batches, "replay file '",
+                options_.replay_path, "' holds only ",
+                dataset_->numBatches(), " batches; warmup ",
+                options_.warmup, " + iterations ", options_.iterations,
+                " + look-ahead ", kLookahead, " needs ", batches);
+        model_.trace = dataset_->config();
+        model_.validate();
+        stats_ = std::make_unique<BatchStats>(
+            *dataset_, options_.warmup + options_.iterations);
+        return;
+    }
     // With the process-wide trace cache on (drivers enable it; see
     // data/trace_store.h), warm starts mmap a published trace instead
     // of regenerating it -- batch contents are identical either way,

@@ -57,6 +57,15 @@ struct ExperimentOptions
      * rethrowing (spsim --fail-fast).
      */
     bool fail_fast = false;
+    /**
+     * Replay an externally recorded trace file instead of generating
+     * one (spsim --workload replay=...). The file's embedded
+     * TraceConfig -- geometry, locality, seed, workload shaping --
+     * replaces model.trace wholesale, so every system simulates
+     * exactly the recorded ID stream. The content-addressed trace
+     * cache is bypassed: the file itself is the trace.
+     */
+    std::string replay_path;
 };
 
 /** Shared-workload driver for comparing system design points. */

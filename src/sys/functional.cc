@@ -188,7 +188,7 @@ class SplitAccessor : public emb::RowAccessor
     }
 
     float *
-    row(uint32_t id) override
+    row(uint64_t id) override
     {
         if (cache_.slotFor(id) != cache::HitMap::kNotFound)
             return cache_accessor_.row(id);
@@ -196,7 +196,7 @@ class SplitAccessor : public emb::RowAccessor
     }
 
     const float *
-    row(uint32_t id) const override
+    row(uint64_t id) const override
     {
         if (cache_.slotFor(id) != cache::HitMap::kNotFound)
             return cache_accessor_.row(id);
@@ -362,7 +362,7 @@ FunctionalScratchPipeTrainer::planBatch(const data::TraceDataset &dataset,
     common::parallelFor(
         config_.trace.num_tables,
         [this, &staged, &dataset, &mini, index, fw](size_t t) {
-            std::vector<std::span<const uint32_t>> futures;
+            std::vector<std::span<const uint64_t>> futures;
             futures.reserve(fw);
             for (uint32_t d = 1; d <= fw; ++d) {
                 const auto *next = dataset.lookAhead(index, d);
@@ -477,12 +477,12 @@ class SlotStateAccessor : public emb::RowAccessor
     {
     }
     float *
-    row(uint32_t id) override
+    row(uint64_t id) override
     {
         return storage_.slot(controller_.slotOf(id));
     }
     const float *
-    row(uint32_t id) const override
+    row(uint64_t id) const override
     {
         return storage_.slot(controller_.slotOf(id));
     }
@@ -524,7 +524,7 @@ FunctionalScratchPipeTrainer::trainBatch(const data::TraceDataset &dataset,
 
     if (auditing_) {
         for (size_t t = 0; t < mini.numTables(); ++t) {
-            for (uint32_t id : emb::uniqueIds(mini.ids(t)))
+            for (uint64_t id : emb::uniqueIds(mini.ids(t)))
                 auditor_.trainWritesSlot(t, controllers_[t].slotOf(id));
         }
     }
@@ -589,7 +589,7 @@ FunctionalScratchPipeTrainer::train(const data::TraceDataset &dataset,
         controllers_[t].flushTo(tables_[t]);
         if (config_.optimizer == Optimizer::AdaGrad) {
             controllers_[t].forEachResident(
-                [this, t](uint32_t key, uint32_t slot) {
+                [this, t](uint64_t key, uint32_t slot) {
                     std::memcpy(state_tables_[t].row(key),
                                 state_storage_[t].slot(slot),
                                 state_storage_[t].rowBytes());

@@ -85,7 +85,7 @@ MultiGpuSystem::simulate(const data::TraceDataset &dataset,
         // Host input pipeline: each GPU pulls its shard of IDs and
         // dense features over PCIe.
         const double input_bytes =
-            (static_cast<double>(trace.idsPerBatch()) * sizeof(uint32_t) +
+            (static_cast<double>(trace.idsPerBatch()) * sizeof(uint64_t) +
              static_cast<double>(batch) * (trace.dense_features + 1) *
                  sizeof(float)) /
             gpus;

@@ -166,7 +166,7 @@ class PlanFanout
     uint32_t future_window_;
     std::array<std::vector<TablePlanOutcome>, 2> outcomes_;
     size_t next_buffer_ = 0;
-    std::vector<std::vector<std::span<const uint32_t>>> future_scratch_;
+    std::vector<std::vector<std::span<const uint64_t>>> future_scratch_;
 };
 
 } // namespace sp::sys

@@ -134,8 +134,8 @@ ScratchPipeMultiGpuSystem::simulate(const data::TraceDataset &dataset,
         // [Load]
         {
             emb::Traffic t;
-            t.dense_read_bytes = n_total * sizeof(uint32_t);
-            t.dense_write_bytes = n_total * sizeof(uint32_t);
+            t.dense_read_bytes = n_total * sizeof(uint64_t);
+            t.dense_write_bytes = n_total * sizeof(uint64_t);
             total[0].demand += latency_.cpuDemand(t, CpuPath::Runtime);
         }
         // [Plan]: per-GPU ID shard over its own PCIe + probes in its
@@ -143,7 +143,7 @@ ScratchPipeMultiGpuSystem::simulate(const data::TraceDataset &dataset,
         {
             const double ids_per_gpu =
                 static_cast<double>(tables_per_gpu) * n_per_table *
-                sizeof(uint32_t);
+                sizeof(uint64_t);
             total[1].demand += latency_.pcieH2DDemand(ids_per_gpu);
             emb::Traffic t;
             t.dense_read_bytes =

@@ -126,14 +126,14 @@ ScratchPipeSystem::simulate(const data::TraceDataset &dataset,
         // [Load]: stream the next batch's IDs through host memory.
         {
             emb::Traffic t;
-            t.dense_read_bytes = n_total * sizeof(uint32_t);
-            t.dense_write_bytes = n_total * sizeof(uint32_t);
+            t.dense_read_bytes = n_total * sizeof(uint64_t);
+            t.dense_write_bytes = n_total * sizeof(uint64_t);
             total[0].demand += latency_.cpuDemand(t, CpuPath::Runtime);
         }
         // [Plan]: IDs H2D, Hit-Map probes and mask maintenance on GPU.
         {
             total[1].demand +=
-                latency_.pcieH2DDemand(n_total * sizeof(uint32_t));
+                latency_.pcieH2DDemand(n_total * sizeof(uint64_t));
             emb::Traffic t;
             t.dense_read_bytes = n_total * 16.0; // hash probes
             t.dense_read_bytes += static_cast<double>(slots_per_table_) *

@@ -1,9 +1,11 @@
 #include "sys/spec.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <vector>
 
 #include "common/logging.h"
 #include "sys/registry.h"
@@ -62,6 +64,7 @@ SystemSpec::parse(const std::string &text)
 
     std::stringstream options(text.substr(colon + 1));
     std::string item;
+    std::vector<std::string> seen;
     while (std::getline(options, item, ',')) {
         const size_t eq = item.find('=');
         fatalIf(eq == std::string::npos,
@@ -69,6 +72,13 @@ SystemSpec::parse(const std::string &text)
                 text, "'");
         const std::string key = item.substr(0, eq);
         const std::string value = item.substr(eq + 1);
+        // Reject duplicates instead of letting the last one win: a
+        // typo like policy=lfu,policy=lru would otherwise silently
+        // simulate a different system than the one on the screen.
+        fatalIf(std::find(seen.begin(), seen.end(), key) != seen.end(),
+                "system spec: duplicate key '", key, "' in '", text,
+                "' (each option may appear once)");
+        seen.push_back(key);
         if (key == "cache") {
             spec.cache_fraction = parseDouble(key, value);
         } else if (key == "policy") {

@@ -50,7 +50,7 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
 
     // The static cache never changes contents, so warm-up batches are
     // simply skipped.
-    std::vector<uint32_t> subset, unique_scratch;
+    std::vector<uint64_t> subset, unique_scratch;
     for (uint64_t i = warmup; i < warmup + iterations; ++i) {
         const auto &mini = dataset.batch(i);
 
@@ -60,7 +60,7 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
             const auto ids = mini.ids(t);
             subset.clear();
             uint64_t table_hits = 0;
-            for (uint32_t id : ids) {
+            for (uint64_t id : ids) {
                 if (id < cached_rows_)
                     ++table_hits;
                 else
@@ -74,7 +74,7 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
             // coalesced scatters.
             const size_t u_miss = emb::countUnique(subset, unique_scratch);
             subset.clear();
-            for (uint32_t id : ids) {
+            for (uint64_t id : ids) {
                 if (id < cached_rows_)
                     subset.push_back(id);
             }
@@ -100,10 +100,10 @@ StaticCacheSystem::simulate(const data::TraceDataset &dataset,
         emb::Traffic probe;
         probe.dense_read_bytes = n_total * 16.0; // hash-table probes
         const double t_query =
-            latency_.pcieTime(n_total * sizeof(uint32_t)) +
+            latency_.pcieTime(n_total * sizeof(uint64_t)) +
             latency_.gpuMemTime(probe) +
             latency_.pcieTime(static_cast<double>(misses) *
-                              sizeof(uint32_t));
+                              sizeof(uint64_t));
 
         const double t_cpu_fwd =
             latency_.cpuTime(cpu_fwd, CpuPath::Framework) +

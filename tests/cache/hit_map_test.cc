@@ -72,8 +72,37 @@ TEST(HitMap, EraseAbsentPanics)
 TEST(HitMap, ReservedKeyRejected)
 {
     HitMap map;
-    EXPECT_THROW(map.insert(0xffffffffu, 1), PanicError);
-    EXPECT_THROW(map.find(0xffffffffu), PanicError);
+    EXPECT_THROW(map.insert(kProbeEmptyKey, 1), PanicError);
+    EXPECT_THROW(map.find(kProbeEmptyKey), PanicError);
+}
+
+/**
+ * Keys at and around every 2^32 boundary are ordinary 64-bit keys.
+ * The old packed-entry layout reserved 0xffffffff and truncated
+ * anything wider; both were exactly the aliasing bug a >2^32-row
+ * table would hit, so pin the fixed behavior.
+ */
+TEST(HitMap, Keys64BitCleanAcrossThe32BitBoundary)
+{
+    HitMap map;
+    const uint64_t keys[] = {
+        0xfffffffeull,          // just below 2^32 - 1
+        0xffffffffull,          // the old reserved sentinel: legal now
+        0x100000000ull,         // 2^32
+        0x100000001ull,         // 2^32 + 1: aliased 1 when truncated
+        0xfedcba9876543210ull,  // high-entropy upper half
+    };
+    map.insert(1, 1000); // would collide with 2^32+1 under truncation
+    for (uint32_t i = 0; i < 5; ++i)
+        map.insert(keys[i], i);
+    for (uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(map.find(keys[i]), i);
+    EXPECT_EQ(map.find(1), 1000u);
+    // Truncation aliases must stay distinct misses.
+    EXPECT_EQ(map.find(0x1fffffffeull), HitMap::kNotFound);
+    map.erase(keys[1]);
+    EXPECT_EQ(map.find(keys[1]), HitMap::kNotFound);
+    EXPECT_EQ(map.find(keys[3]), 3u);
 }
 
 TEST(HitMap, GrowsPastInitialCapacity)
@@ -103,8 +132,8 @@ TEST(HitMap, ForEachVisitsAllEntries)
     map.insert(3, 30);
     map.insert(6, 60);
     map.insert(9, 90);
-    std::unordered_map<uint32_t, uint32_t> seen;
-    map.forEach([&](uint32_t k, uint32_t v) { seen[k] = v; });
+    std::unordered_map<uint64_t, uint32_t> seen;
+    map.forEach([&](uint64_t k, uint32_t v) { seen[k] = v; });
     EXPECT_EQ(seen.size(), 3u);
     EXPECT_EQ(seen[3], 30u);
     EXPECT_EQ(seen[6], 60u);
@@ -126,13 +155,12 @@ TEST(HitMap, MemoryBytesPositive)
 TEST(HitMap, RandomOpsMatchReferenceModel)
 {
     HitMap map(8);
-    std::unordered_map<uint32_t, uint32_t> reference;
+    std::unordered_map<uint64_t, uint32_t> reference;
     tensor::Rng rng(4242);
-    constexpr uint32_t key_space = 512; // force dense collisions
+    constexpr uint64_t key_space = 512; // force dense collisions
 
     for (int op = 0; op < 200000; ++op) {
-        const uint32_t key =
-            static_cast<uint32_t>(rng.uniformInt(key_space));
+        const uint64_t key = rng.uniformInt(key_space);
         const double action = rng.uniform();
         if (action < 0.45) {
             if (reference.find(key) == reference.end()) {
@@ -155,7 +183,7 @@ TEST(HitMap, RandomOpsMatchReferenceModel)
     }
 
     // Final full sweep.
-    for (uint32_t key = 0; key < key_space; ++key) {
+    for (uint64_t key = 0; key < key_space; ++key) {
         const auto it = reference.find(key);
         const uint32_t expected =
             it == reference.end() ? HitMap::kNotFound : it->second;
@@ -175,9 +203,9 @@ TEST(HitMapFindMany, MatchesFindOnEverySize)
             map.insert(k * 3, k);
 
         tensor::Rng rng(77 + static_cast<uint64_t>(n));
-        std::vector<uint32_t> keys(n);
+        std::vector<uint64_t> keys(n);
         for (auto &key : keys)
-            key = static_cast<uint32_t>(rng.uniformInt(1200));
+            key = rng.uniformInt(1200);
 
         std::vector<uint32_t> got(n);
         map.findMany(keys, got);
@@ -191,7 +219,7 @@ TEST(HitMapFindMany, HandlesDuplicateAndMissingKeys)
     HitMap map;
     map.insert(7, 70);
     map.insert(9, 90);
-    const std::vector<uint32_t> keys = {7, 8, 7, 9, 9, 7, 1000};
+    const std::vector<uint64_t> keys = {7, 8, 7, 9, 9, 7, 1000};
     std::vector<uint32_t> got(keys.size());
     map.findMany(keys, got);
     const std::vector<uint32_t> expected = {
@@ -202,7 +230,7 @@ TEST(HitMapFindMany, HandlesDuplicateAndMissingKeys)
 TEST(HitMapFindMany, SizeMismatchPanics)
 {
     HitMap map;
-    const std::vector<uint32_t> keys = {1, 2, 3};
+    const std::vector<uint64_t> keys = {1, 2, 3};
     std::vector<uint32_t> out(2);
     EXPECT_THROW(map.findMany(keys, out), PanicError);
 }
@@ -211,10 +239,35 @@ TEST(HitMapFindMany, ReservedKeyRejected)
 {
     HitMap map;
     map.insert(1, 10);
-    std::vector<uint32_t> keys(20, 1);
-    keys[15] = 0xffffffffu; // caught by the lookahead hashing stage
+    std::vector<uint64_t> keys(20, 1);
+    keys[15] = kProbeEmptyKey; // caught by the validation pre-pass
     std::vector<uint32_t> out(keys.size());
     EXPECT_THROW(map.findMany(keys, out), PanicError);
+}
+
+/**
+ * Batched probes across the 2^32 boundary: keys that alias under
+ * 32-bit truncation must resolve independently through every kernel
+ * the dispatcher picks.
+ */
+TEST(HitMapFindMany, WideKeysDoNotAlias)
+{
+    HitMap map;
+    constexpr uint64_t kStride = 0x100000000ull; // 2^32
+    for (uint32_t k = 0; k < 64; ++k)
+        map.insert(37 + k * kStride, k);
+    std::vector<uint64_t> keys;
+    for (uint32_t k = 0; k < 64; ++k) {
+        keys.push_back(37 + k * kStride);      // hit, slot k
+        keys.push_back(38 + k * kStride);      // miss, truncates to 38
+    }
+    std::vector<uint32_t> got(keys.size());
+    map.findMany(keys, got);
+    for (uint32_t k = 0; k < 64; ++k) {
+        ASSERT_EQ(got[2 * k], k) << "key " << keys[2 * k];
+        ASSERT_EQ(got[2 * k + 1], HitMap::kNotFound)
+            << "key " << keys[2 * k + 1];
+    }
 }
 
 /**
@@ -225,17 +278,17 @@ TEST(HitMapFindMany, ReservedKeyRejected)
 TEST(HitMapFindMany, RandomGrowStressMatchesReferenceModel)
 {
     HitMap map(4);
-    std::unordered_map<uint32_t, uint32_t> reference;
+    std::unordered_map<uint64_t, uint32_t> reference;
     tensor::Rng rng(20220613);
-    constexpr uint32_t key_space = 100'000;
+    constexpr uint64_t key_space = 100'000;
 
-    std::vector<uint32_t> keys, got;
+    std::vector<uint64_t> keys;
+    std::vector<uint32_t> got;
     for (int round = 0; round < 60; ++round) {
         // Mutation burst: mostly inserts so the table keeps growing,
         // with enough erases to exercise backward-shift chains.
         for (int op = 0; op < 1500; ++op) {
-            const uint32_t key =
-                static_cast<uint32_t>(rng.uniformInt(key_space));
+            const uint64_t key = rng.uniformInt(key_space);
             if (rng.uniform() < 0.75) {
                 if (reference.find(key) == reference.end()) {
                     const uint32_t value =
@@ -253,8 +306,7 @@ TEST(HitMapFindMany, RandomGrowStressMatchesReferenceModel)
         // Batched probe sweep over a random (hit-heavy) key mix.
         keys.clear();
         for (int i = 0; i < 2000; ++i)
-            keys.push_back(
-                static_cast<uint32_t>(rng.uniformInt(key_space)));
+            keys.push_back(rng.uniformInt(key_space));
         got.assign(keys.size(), 0);
         map.findMany(keys, got);
         for (size_t i = 0; i < keys.size(); ++i) {
@@ -274,20 +326,19 @@ TEST(HitMapFindMany, RandomGrowStressMatchesReferenceModel)
  * actually sits must be occupied. An erase that breaks this leaves a
  * hole that makes a later probe report a false miss -- the classic
  * silent corruption of hand-rolled open addressing. Checked over the
- * raw entry array after every erase in the fuzz loop below.
+ * raw key array after every erase in the fuzz loop below.
  */
 void
 assertProbeChainsUnbroken(const HitMap &map)
 {
     const ProbeTable table = map.probeTable();
     for (size_t bucket = 0; bucket <= table.mask; ++bucket) {
-        const uint64_t entry = table.entries[bucket];
-        if (entry == kProbeEmptyEntry)
+        const uint64_t key = table.keys[bucket];
+        if (key == kProbeEmptyKey)
             continue;
-        const uint32_t key = static_cast<uint32_t>(entry >> 32);
         for (size_t b = probeBucketFor(table, key); b != bucket;
              b = (b + 1) & table.mask) {
-            ASSERT_NE(table.entries[b], kProbeEmptyEntry)
+            ASSERT_NE(table.keys[b], kProbeEmptyKey)
                 << "hole at bucket " << b << " breaks the chain of key "
                 << key << " (home " << probeBucketFor(table, key)
                 << ", resting at " << bucket << ")";
@@ -305,15 +356,17 @@ assertProbeChainsUnbroken(const HitMap &map)
 TEST(HitMapFuzz, RandomOpsPreserveModelAndChainInvariant)
 {
     HitMap map(4);
-    std::unordered_map<uint32_t, uint32_t> reference;
+    std::unordered_map<uint64_t, uint32_t> reference;
     tensor::Rng rng(0xf00df00d);
-    constexpr uint32_t key_space = 1024; // dense collisions
+    // Dense collisions, straddling 2^32 so truncation bugs alias.
+    constexpr uint64_t key_space = 1024;
+    constexpr uint64_t key_base = 0xfffffe00ull; // 2^32 - 512
     bool grew = false, cleared = false;
 
-    std::vector<uint32_t> keys, got;
+    std::vector<uint64_t> keys;
+    std::vector<uint32_t> got;
     for (int op = 0; op < 20000; ++op) {
-        const uint32_t key =
-            static_cast<uint32_t>(rng.uniformInt(key_space));
+        const uint64_t key = key_base + rng.uniformInt(key_space);
         const double action = rng.uniform();
         if (action < 0.40) {
             if (reference.find(key) == reference.end()) {
@@ -342,8 +395,7 @@ TEST(HitMapFuzz, RandomOpsPreserveModelAndChainInvariant)
             // Batched probe through the dispatched kernel.
             keys.clear();
             for (int i = 0; i < 64; ++i)
-                keys.push_back(
-                    static_cast<uint32_t>(rng.uniformInt(key_space)));
+                keys.push_back(key_base + rng.uniformInt(key_space));
             got.assign(keys.size(), 0);
             map.findMany(keys, got);
             for (size_t i = 0; i < keys.size(); ++i) {
@@ -361,7 +413,7 @@ TEST(HitMapFuzz, RandomOpsPreserveModelAndChainInvariant)
     EXPECT_TRUE(cleared);
     assertProbeChainsUnbroken(map);
 
-    for (uint32_t key = 0; key < key_space; ++key) {
+    for (uint64_t key = key_base; key < key_base + key_space; ++key) {
         const auto it = reference.find(key);
         EXPECT_EQ(map.find(key), it == reference.end() ? HitMap::kNotFound
                                                        : it->second);

@@ -50,7 +50,7 @@ runnableKernels()
  */
 void
 expectAllKernelsAgree(const HitMap &map,
-                      const std::vector<uint32_t> &keys,
+                      const std::vector<uint64_t> &keys,
                       const std::string &label)
 {
     const ProbeTable table = map.probeTable();
@@ -73,11 +73,11 @@ expectAllKernelsAgree(const HitMap &map,
 }
 
 /** First `count` keys (by value) whose home bucket is `bucket`. */
-std::vector<uint32_t>
+std::vector<uint64_t>
 keysHomedAt(const ProbeTable &table, size_t bucket, size_t count)
 {
-    std::vector<uint32_t> keys;
-    for (uint32_t k = 0; keys.size() < count; ++k) {
+    std::vector<uint64_t> keys;
+    for (uint64_t k = 0; keys.size() < count; ++k) {
         panicIf(k == kProbeEmptyKey, "key space exhausted hunting for "
                                      "colliding keys");
         if (probeBucketFor(table, k) == bucket)
@@ -106,10 +106,10 @@ TEST(ProbeKernelEquivalence, LongCollisionChain)
     for (size_t i = 0; i < 60; ++i)
         map.insert(colliders[i], static_cast<uint32_t>(i));
 
-    std::vector<uint32_t> keys;
-    for (const uint32_t k : colliders) // 60 hits + 20 full-chain misses
+    std::vector<uint64_t> keys;
+    for (const uint64_t k : colliders) // 60 hits + 20 full-chain misses
         keys.push_back(k);
-    for (uint32_t k = 0; k < 40; ++k) // mixed-bucket traffic
+    for (uint64_t k = 0; k < 40; ++k) // mixed-bucket traffic
         keys.push_back(1'000'000 + k * 97);
     expectAllKernelsAgree(map, keys, "collision chain");
 }
@@ -130,10 +130,9 @@ TEST(ProbeKernelEquivalence, NearLoadFactorLimit)
     ASSERT_EQ(map.capacity(), buckets) << "the fill must not grow it";
     ASSERT_GE(map.size() * 10, buckets * 7 - 20);
 
-    std::vector<uint32_t> keys;
+    std::vector<uint64_t> keys;
     for (uint32_t i = 0; i < 1000; ++i)
-        keys.push_back(static_cast<uint32_t>(
-            rng.uniformInt(2 * next_key))); // ~50% hits
+        keys.push_back(rng.uniformInt(2 * next_key)); // ~50% hits
     expectAllKernelsAgree(map, keys, "near load-factor limit");
 }
 
@@ -144,10 +143,10 @@ TEST(ProbeKernelEquivalence, ChainsWrapTheTableEnd)
     // math.
     HitMap map(64);
     const ProbeTable table = map.probeTable();
-    std::vector<uint32_t> inserted;
+    std::vector<uint64_t> inserted;
     for (size_t offset = 0; offset < 4; ++offset) {
         const size_t bucket = (table.mask - offset) & table.mask;
-        for (const uint32_t k : keysHomedAt(table, bucket, 6)) {
+        for (const uint64_t k : keysHomedAt(table, bucket, 6)) {
             map.insert(k, static_cast<uint32_t>(inserted.size()));
             inserted.push_back(k);
         }
@@ -155,10 +154,10 @@ TEST(ProbeKernelEquivalence, ChainsWrapTheTableEnd)
     // 24 entries homed in the last 4 buckets: the tail chains must
     // wrap. Probe the inserted keys, wrapped-home misses, and keys
     // homed at bucket 0 (whose chain is occupied by wrapped entries).
-    std::vector<uint32_t> keys = inserted;
-    for (const uint32_t k : keysHomedAt(table, table.mask, 30))
+    std::vector<uint64_t> keys = inserted;
+    for (const uint64_t k : keysHomedAt(table, table.mask, 30))
         keys.push_back(k);
-    for (const uint32_t k : keysHomedAt(table, 0, 10))
+    for (const uint64_t k : keysHomedAt(table, 0, 10))
         keys.push_back(k);
     expectAllKernelsAgree(map, keys, "bucket wrap");
 }
@@ -168,7 +167,7 @@ TEST(ProbeKernelEquivalence, DuplicateKeysInOneBatch)
     HitMap map;
     map.insert(5, 50);
     map.insert(9, 90);
-    const std::vector<uint32_t> keys = {5, 5, 9, 5, 777, 777, 9, 9,
+    const std::vector<uint64_t> keys = {5, 5, 9, 5, 777, 777, 9, 9,
                                         5, 9, 777, 5, 5, 5, 9, 777, 9};
     expectAllKernelsAgree(map, keys, "duplicate keys");
 }
@@ -179,7 +178,7 @@ TEST(ProbeKernelEquivalence, AllMissAndAllHitBatches)
     for (uint32_t k = 0; k < 500; ++k)
         map.insert(k * 2, k);
 
-    std::vector<uint32_t> hits, misses;
+    std::vector<uint64_t> hits, misses;
     for (uint32_t k = 0; k < 500; ++k) {
         hits.push_back(k * 2);
         misses.push_back(k * 2 + 1);
@@ -200,9 +199,9 @@ TEST(ProbeKernelEquivalence, BlockRemaindersAroundSimdWidth)
                            size_t{9}, size_t{12}, size_t{13}, size_t{15},
                            size_t{16}, size_t{17}, size_t{31}, size_t{64},
                            size_t{100}, size_t{1001}}) {
-        std::vector<uint32_t> keys(n);
+        std::vector<uint64_t> keys(n);
         for (auto &key : keys)
-            key = static_cast<uint32_t>(rng.uniformInt(1200));
+            key = rng.uniformInt(1200);
         expectAllKernelsAgree(map, keys,
                               "remainder n=" + std::to_string(n));
     }
@@ -215,24 +214,22 @@ TEST(ProbeKernelEquivalence, RandomizedLoadFactorByHitRateSweep)
         for (const double hit_rate : {0.0, 0.5, 0.95, 1.0}) {
             HitMap map(1024);
             const size_t buckets = map.capacity();
-            std::vector<uint32_t> resident;
+            std::vector<uint64_t> resident;
             while (static_cast<double>(map.size()) <
                    load * static_cast<double>(buckets)) {
-                const auto key =
-                    static_cast<uint32_t>(rng.uniformInt(1u << 30));
+                const uint64_t key = rng.uniformInt(1u << 30);
                 if (map.find(key) == HitMap::kNotFound) {
                     map.insert(key,
                                static_cast<uint32_t>(map.size()));
                     resident.push_back(key);
                 }
             }
-            std::vector<uint32_t> keys(2048);
+            std::vector<uint64_t> keys(2048);
             for (auto &key : keys) {
                 const bool hit = rng.uniform() < hit_rate;
                 key = hit && !resident.empty()
                           ? resident[rng.uniformInt(resident.size())]
-                          : static_cast<uint32_t>(
-                                (1u << 30) + rng.uniformInt(1u << 30));
+                          : (1u << 30) + rng.uniformInt(1u << 30);
             }
             expectAllKernelsAgree(
                 map, keys,
@@ -242,6 +239,24 @@ TEST(ProbeKernelEquivalence, RandomizedLoadFactorByHitRateSweep)
     }
 }
 
+TEST(ProbeKernelEquivalence, KeysAboveThe32BitBoundary)
+{
+    // Full-width keys whose low 32 bits collide pairwise: any kernel
+    // that hashes, compares, or carries only the low half aliases
+    // them. The mixed batch also covers the old reserved value
+    // 0xffffffff, legal since keys went 64-bit.
+    HitMap map;
+    constexpr uint64_t kStride = 0x100000000ull;
+    std::vector<uint64_t> keys;
+    for (uint32_t k = 0; k < 200; ++k) {
+        const uint64_t key = 0xfffffff0ull + k * kStride;
+        map.insert(key, k);
+        keys.push_back(key);            // hit
+        keys.push_back(key + kStride);  // miss aliasing the next hit
+    }
+    expectAllKernelsAgree(map, keys, "wide keys");
+}
+
 TEST(ProbeKernelEquivalence, MutateAndGrowBetweenBatches)
 {
     // Kernel results must track the live table through grows and
@@ -249,11 +264,10 @@ TEST(ProbeKernelEquivalence, MutateAndGrowBetweenBatches)
     // call).
     HitMap map(8);
     tensor::Rng rng(404);
-    std::vector<uint32_t> present;
+    std::vector<uint64_t> present;
     for (int round = 0; round < 20; ++round) {
         for (int op = 0; op < 200; ++op) {
-            const auto key =
-                static_cast<uint32_t>(rng.uniformInt(5000));
+            const uint64_t key = rng.uniformInt(5000);
             if (map.find(key) == HitMap::kNotFound) {
                 map.insert(key, static_cast<uint32_t>(op));
                 present.push_back(key);
@@ -261,9 +275,9 @@ TEST(ProbeKernelEquivalence, MutateAndGrowBetweenBatches)
                 map.erase(key);
             }
         }
-        std::vector<uint32_t> keys(300);
+        std::vector<uint64_t> keys(300);
         for (auto &key : keys)
-            key = static_cast<uint32_t>(rng.uniformInt(6000));
+            key = rng.uniformInt(6000);
         expectAllKernelsAgree(map, keys,
                               "mutate round " + std::to_string(round));
     }
@@ -300,15 +314,15 @@ TEST(ProbeKernelDispatch, HitMapModesProduceIdenticalResults)
 
     tensor::Rng rng(77);
     for (uint32_t k = 0; k < 600; ++k) {
-        const auto key = static_cast<uint32_t>(rng.uniformInt(1u << 20));
+        const uint64_t key = rng.uniformInt(1u << 20);
         if (scalar_map.find(key) == HitMap::kNotFound) {
             scalar_map.insert(key, k);
             native_map.insert(key, k);
         }
     }
-    std::vector<uint32_t> keys(1000);
+    std::vector<uint64_t> keys(1000);
     for (auto &key : keys)
-        key = static_cast<uint32_t>(rng.uniformInt(1u << 20));
+        key = rng.uniformInt(1u << 20);
     std::vector<uint32_t> scalar_out(keys.size()),
         native_out(keys.size());
     scalar_map.findMany(keys, scalar_out);

@@ -24,9 +24,9 @@ rampTable(uint32_t rows, size_t dim)
 
 TEST(StaticCache, QuerySplitsHitsAndMisses)
 {
-    const std::vector<uint32_t> cached = {2, 5, 9};
+    const std::vector<uint64_t> cached = {2, 5, 9};
     StaticCache cache(cached, 4);
-    const std::vector<uint32_t> ids = {5, 1, 9, 9, 7};
+    const std::vector<uint64_t> ids = {5, 1, 9, 9, 7};
     const QuerySplit split = cache.query(ids);
     EXPECT_EQ(split.hits, 3u);
     EXPECT_EQ(split.misses, 2u);
@@ -37,9 +37,9 @@ TEST(StaticCache, QuerySplitsHitsAndMisses)
 
 TEST(StaticCache, EmptyQueryIsNoops)
 {
-    const std::vector<uint32_t> cached = {1};
+    const std::vector<uint64_t> cached = {1};
     StaticCache cache(cached, 4);
-    const QuerySplit split = cache.query(std::vector<uint32_t>{});
+    const QuerySplit split = cache.query(std::vector<uint64_t>{});
     EXPECT_EQ(split.hits, 0u);
     EXPECT_EQ(split.misses, 0u);
     EXPECT_DOUBLE_EQ(split.hitRate(), 0.0);
@@ -47,7 +47,7 @@ TEST(StaticCache, EmptyQueryIsNoops)
 
 TEST(StaticCache, SlotLookup)
 {
-    const std::vector<uint32_t> cached = {10, 20, 30};
+    const std::vector<uint64_t> cached = {10, 20, 30};
     StaticCache cache(cached, 2);
     EXPECT_EQ(cache.slotFor(10), 0u);
     EXPECT_EQ(cache.slotFor(20), 1u);
@@ -59,7 +59,7 @@ TEST(StaticCache, SlotLookup)
 TEST(StaticCache, FillCopiesTableValues)
 {
     auto table = rampTable(10, 3);
-    const std::vector<uint32_t> cached = {4, 7};
+    const std::vector<uint64_t> cached = {4, 7};
     StaticCache cache(cached, 3);
     cache.fillFrom(table);
     auto accessor = cache.accessor();
@@ -70,7 +70,7 @@ TEST(StaticCache, FillCopiesTableValues)
 TEST(StaticCache, FlushWritesBackUpdates)
 {
     auto table = rampTable(10, 2);
-    const std::vector<uint32_t> cached = {3};
+    const std::vector<uint64_t> cached = {3};
     StaticCache cache(cached, 2);
     cache.fillFrom(table);
 
@@ -85,7 +85,7 @@ TEST(StaticCache, FlushWritesBackUpdates)
 
 TEST(StaticCache, AccessorPanicsOnNonCachedRow)
 {
-    const std::vector<uint32_t> cached = {1};
+    const std::vector<uint64_t> cached = {1};
     StaticCache cache(cached, 2);
     auto accessor = cache.accessor();
     EXPECT_THROW(accessor.row(2), PanicError);
@@ -94,9 +94,9 @@ TEST(StaticCache, AccessorPanicsOnNonCachedRow)
 TEST(StaticCache, TopNOfRankedRowsActsAsFrequencyCache)
 {
     // IDs 0..9; cache the "hottest" 3 by construction.
-    const std::vector<uint32_t> ranked = {0, 1, 2};
+    const std::vector<uint64_t> ranked = {0, 1, 2};
     StaticCache cache(ranked, 2);
-    std::vector<uint32_t> ids;
+    std::vector<uint64_t> ids;
     for (uint32_t i = 0; i < 10; ++i)
         ids.push_back(i);
     const QuerySplit split = cache.query(ids);
@@ -106,14 +106,14 @@ TEST(StaticCache, TopNOfRankedRowsActsAsFrequencyCache)
 
 TEST(StaticCache, EmptyContentsFatal)
 {
-    const std::vector<uint32_t> none;
+    const std::vector<uint64_t> none;
     EXPECT_THROW(StaticCache(none, 4), FatalError);
 }
 
 TEST(StaticCache, DimensionMismatchPanics)
 {
     auto table = rampTable(10, 3);
-    const std::vector<uint32_t> cached = {1};
+    const std::vector<uint64_t> cached = {1};
     StaticCache cache(cached, 2);
     EXPECT_THROW(cache.fillFrom(table), PanicError);
     EXPECT_THROW(cache.flushTo(table), PanicError);
@@ -121,10 +121,10 @@ TEST(StaticCache, DimensionMismatchPanics)
 
 TEST(StaticCache, PhantomBackingForTimingMode)
 {
-    const std::vector<uint32_t> cached = {1, 2, 3};
+    const std::vector<uint64_t> cached = {1, 2, 3};
     StaticCache cache(cached, 128, SlotArray::Backing::Phantom);
     // Queries work without storage...
-    const std::vector<uint32_t> ids = {1, 9};
+    const std::vector<uint64_t> ids = {1, 9};
     EXPECT_EQ(cache.query(ids).hits, 1u);
     // ...but data access is forbidden.
     auto accessor = cache.accessor();

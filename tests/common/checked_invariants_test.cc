@@ -84,14 +84,14 @@ TEST(CheckedInvariants, HitMapEraseChurnKeepsChainsProbeable)
 {
     cache::HitMap map(16);
     std::mt19937 rng(1234);
-    std::vector<uint32_t> live;
-    std::set<uint32_t> seen;
+    std::vector<uint64_t> live;
+    std::set<uint64_t> seen;
 
     for (int round = 0; round < 2000; ++round) {
         const bool insert = live.size() < 64 ||
                             (rng() % 3 != 0 && live.size() < 512);
         if (insert) {
-            uint32_t key = rng() % 4096;
+            uint64_t key = rng() % 4096;
             while (key == 0xffffffffu || !seen.insert(key).second)
                 key = rng() % 4096;
             map.insert(key, static_cast<uint32_t>(live.size()));
@@ -105,7 +105,7 @@ TEST(CheckedInvariants, HitMapEraseChurnKeepsChainsProbeable)
         }
     }
     EXPECT_EQ(map.size(), live.size());
-    for (const uint32_t key : live)
+    for (const uint64_t key : live)
         EXPECT_NE(map.find(key), cache::HitMap::kNotFound) << key;
 }
 

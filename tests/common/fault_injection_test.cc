@@ -393,6 +393,33 @@ TEST(FaultMatrix, EveryRegisteredSiteDegradesAsDocumented)
         {"dataset.load.read",
          // Read path only runs in the eager (no-mmap) tier.
          [] { loadFaultScenario("dataset.load.read", false); }},
+        {"dataset.replay.open",
+         [] {
+             // Replay path: an armed open surfaces through tryReplay
+             // as a classified status (the drivers' usage-error path,
+             // never a partial stream); disarmed, the same file
+             // replays data identical to the recorded dataset.
+             const data::TraceConfig config = matrixConfig();
+             const data::TraceDataset want(config, kBatches);
+             const fs::path path =
+                 fs::path(::testing::TempDir()) /
+                 "sp_fault_matrix_replay.trace";
+             ASSERT_TRUE(want.saveTo(path.string()).ok());
+             {
+                 FaultGuard guard("dataset.replay.open:every=1");
+                 const auto faulted = data::TraceDataset::tryReplay(
+                     path.string(), kBatches);
+                 ASSERT_FALSE(faulted.ok());
+                 EXPECT_EQ(faulted.status().code(),
+                           ErrorCode::FaultInjected);
+                 EXPECT_GT(firedCount("dataset.replay.open"), 0u);
+             }
+             const auto clean = data::TraceDataset::tryReplay(
+                 path.string(), kBatches);
+             ASSERT_TRUE(clean.ok()) << clean.status().toString();
+             expectIdenticalData(clean.value(), want);
+             fs::remove(path);
+         }},
         {"dataset.save.write",
          [] { publishFaultScenario("dataset.save.write", false); }},
         {"experiment.run", experimentRunScenario},

@@ -16,7 +16,7 @@ namespace sp::core
 namespace
 {
 
-constexpr std::span<const std::span<const uint32_t>> kNoFutures;
+constexpr std::span<const std::span<const uint64_t>> kNoFutures;
 
 ControllerConfig
 baseConfig(uint32_t slots, uint32_t past = 3, uint32_t future = 2)
@@ -32,7 +32,7 @@ baseConfig(uint32_t slots, uint32_t past = 3, uint32_t future = 2)
 TEST(Controller, FirstBatchAllMisses)
 {
     ScratchPipeController controller(baseConfig(64));
-    const std::vector<uint32_t> ids = {5, 9, 13};
+    const std::vector<uint64_t> ids = {5, 9, 13};
     const auto plan = controller.plan(ids, kNoFutures);
     EXPECT_EQ(plan.misses, 3u);
     EXPECT_EQ(plan.hits, 0u);
@@ -44,7 +44,7 @@ TEST(Controller, FirstBatchAllMisses)
 TEST(Controller, FillsGetDistinctSlots)
 {
     ScratchPipeController controller(baseConfig(64));
-    const std::vector<uint32_t> ids = {1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<uint64_t> ids = {1, 2, 3, 4, 5, 6, 7, 8};
     const auto plan = controller.plan(ids, kNoFutures);
     std::set<uint32_t> slots;
     for (const auto &fill : plan.fills)
@@ -55,7 +55,7 @@ TEST(Controller, FillsGetDistinctSlots)
 TEST(Controller, DuplicateIdWithinBatchCountsOneMiss)
 {
     ScratchPipeController controller(baseConfig(64));
-    const std::vector<uint32_t> ids = {7, 7, 7};
+    const std::vector<uint64_t> ids = {7, 7, 7};
     const auto plan = controller.plan(ids, kNoFutures);
     EXPECT_EQ(plan.misses, 1u);
     EXPECT_EQ(plan.hits, 2u);
@@ -69,11 +69,11 @@ TEST(Controller, AlwaysHitAfterPlan)
     ScratchPipeController controller(baseConfig(256, 3, 2));
     tensor::Rng rng(1);
     for (int batch = 0; batch < 50; ++batch) {
-        std::vector<uint32_t> ids(16);
+        std::vector<uint64_t> ids(16);
         for (auto &id : ids)
             id = static_cast<uint32_t>(rng.uniformInt(1000));
         controller.plan(ids, kNoFutures);
-        for (uint32_t id : ids) {
+        for (uint64_t id : ids) {
             EXPECT_TRUE(controller.isResident(id));
             EXPECT_LT(controller.slotOf(id), 256u);
         }
@@ -83,7 +83,7 @@ TEST(Controller, AlwaysHitAfterPlan)
 TEST(Controller, RepeatBatchHitsEverything)
 {
     ScratchPipeController controller(baseConfig(64));
-    const std::vector<uint32_t> ids = {10, 20, 30};
+    const std::vector<uint64_t> ids = {10, 20, 30};
     controller.plan(ids, kNoFutures);
     const auto plan = controller.plan(ids, kNoFutures);
     EXPECT_EQ(plan.hits, 3u);
@@ -94,10 +94,10 @@ TEST(Controller, EvictionsAreWriteBacksOfResidentRows)
 {
     ScratchPipeController controller(baseConfig(8, 1, 0));
     // Fill all 8 slots over two batches, then force turnover.
-    controller.plan(std::vector<uint32_t>{0, 1, 2, 3}, kNoFutures);
-    controller.plan(std::vector<uint32_t>{4, 5, 6, 7}, kNoFutures);
+    controller.plan(std::vector<uint64_t>{0, 1, 2, 3}, kNoFutures);
+    controller.plan(std::vector<uint64_t>{4, 5, 6, 7}, kNoFutures);
     const auto plan =
-        controller.plan(std::vector<uint32_t>{100, 101}, kNoFutures);
+        controller.plan(std::vector<uint64_t>{100, 101}, kNoFutures);
     EXPECT_EQ(plan.fills.size(), 2u);
     EXPECT_EQ(plan.evictions.size(), 2u);
     for (const auto &evict : plan.evictions) {
@@ -109,8 +109,8 @@ TEST(Controller, EvictionsAreWriteBacksOfResidentRows)
 TEST(Controller, EvictedSlotReusedByFill)
 {
     ScratchPipeController controller(baseConfig(4, 0, 0));
-    controller.plan(std::vector<uint32_t>{0, 1, 2, 3}, kNoFutures);
-    const auto plan = controller.plan(std::vector<uint32_t>{9}, kNoFutures);
+    controller.plan(std::vector<uint64_t>{0, 1, 2, 3}, kNoFutures);
+    const auto plan = controller.plan(std::vector<uint64_t>{9}, kNoFutures);
     ASSERT_EQ(plan.fills.size(), 1u);
     ASSERT_EQ(plan.evictions.size(), 1u);
     EXPECT_EQ(plan.fills[0].slot, plan.evictions[0].slot);
@@ -120,7 +120,7 @@ TEST(Controller, CapacityExhaustionIsFatal)
 {
     // 4 slots, but a single batch pins 5 distinct IDs.
     ScratchPipeController controller(baseConfig(4, 3, 2));
-    const std::vector<uint32_t> ids = {1, 2, 3, 4, 5};
+    const std::vector<uint64_t> ids = {1, 2, 3, 4, 5};
     EXPECT_THROW(controller.plan(ids, kNoFutures), FatalError);
 }
 
@@ -131,10 +131,10 @@ TEST(Controller, WindowPinsSpanMultipleBatches)
     // distinct batch.
     auto run = [](uint32_t slots) {
         ScratchPipeController controller(baseConfig(slots, 2, 0));
-        controller.plan(std::vector<uint32_t>{0, 1}, kNoFutures);
-        controller.plan(std::vector<uint32_t>{2, 3}, kNoFutures);
-        controller.plan(std::vector<uint32_t>{4, 5}, kNoFutures);
-        controller.plan(std::vector<uint32_t>{6, 7}, kNoFutures);
+        controller.plan(std::vector<uint64_t>{0, 1}, kNoFutures);
+        controller.plan(std::vector<uint64_t>{2, 3}, kNoFutures);
+        controller.plan(std::vector<uint64_t>{4, 5}, kNoFutures);
+        controller.plan(std::vector<uint64_t>{6, 7}, kNoFutures);
     };
     EXPECT_THROW(run(5), FatalError);
     EXPECT_NO_THROW(run(8));
@@ -157,15 +157,15 @@ TEST(Controller, WorstCaseSlotsSufficeForAdversarialTrace)
         ScratchPipeController::worstCaseSlots(3, 2, ids_per_batch);
     ScratchPipeController controller(baseConfig(slots, 3, 2));
     uint32_t next_id = 0;
-    std::vector<std::vector<uint32_t>> batches;
+    std::vector<std::vector<uint64_t>> batches;
     for (int b = 0; b < 40; ++b) {
-        std::vector<uint32_t> ids(ids_per_batch);
+        std::vector<uint64_t> ids(ids_per_batch);
         for (auto &id : ids)
             id = next_id++;
         batches.push_back(std::move(ids));
     }
     for (size_t b = 0; b < batches.size(); ++b) {
-        std::vector<std::span<const uint32_t>> futures;
+        std::vector<std::span<const uint64_t>> futures;
         for (size_t d = 1; d <= 2 && b + d < batches.size(); ++d)
             futures.emplace_back(batches[b + d]);
         EXPECT_NO_THROW(controller.plan(batches[b], futures));
@@ -184,21 +184,21 @@ TEST(Controller, FutureIdsNeverEvicted)
     ScratchPipeController controller(baseConfig(slots, past, future));
 
     tensor::Rng rng(99);
-    std::vector<std::vector<uint32_t>> batches;
+    std::vector<std::vector<uint64_t>> batches;
     for (int b = 0; b < 120; ++b) {
-        std::vector<uint32_t> ids(ids_per_batch);
+        std::vector<uint64_t> ids(ids_per_batch);
         for (auto &id : ids)
             id = static_cast<uint32_t>(rng.uniformInt(200)); // hot pool
         batches.push_back(std::move(ids));
     }
 
     for (size_t b = 0; b < batches.size(); ++b) {
-        std::vector<std::span<const uint32_t>> futures;
+        std::vector<std::span<const uint64_t>> futures;
         for (size_t d = 1; d <= future && b + d < batches.size(); ++d)
             futures.emplace_back(batches[b + d]);
         const auto plan = controller.plan(batches[b], futures);
 
-        std::set<uint32_t> protected_ids;
+        std::set<uint64_t> protected_ids;
         const size_t lo = b >= past ? b - past : 0;
         const size_t hi = std::min(batches.size() - 1, b + future);
         for (size_t w = lo; w <= hi; ++w)
@@ -218,7 +218,7 @@ TEST(Controller, HitRateTracksLocality)
         tensor::Rng rng(5);
         uint64_t hits = 0, total = 0;
         for (int b = 0; b < 100; ++b) {
-            std::vector<uint32_t> ids(8);
+            std::vector<uint64_t> ids(8);
             for (auto &id : ids)
                 id = static_cast<uint32_t>(rng.uniformInt(id_space));
             const auto plan = controller.plan(ids, kNoFutures);
@@ -238,7 +238,7 @@ TEST(Controller, AccessorResolvesResidentRows)
     auto config = baseConfig(16);
     config.backing = cache::SlotArray::Backing::Dense;
     ScratchPipeController controller(config);
-    controller.plan(std::vector<uint32_t>{3}, kNoFutures);
+    controller.plan(std::vector<uint64_t>{3}, kNoFutures);
 
     auto accessor = controller.accessor();
     EXPECT_EQ(accessor.dim(), 4u);
@@ -252,7 +252,7 @@ TEST(Controller, FlushWritesResidentRowsBack)
     auto config = baseConfig(16);
     config.backing = cache::SlotArray::Backing::Dense;
     ScratchPipeController controller(config);
-    controller.plan(std::vector<uint32_t>{2, 5}, kNoFutures);
+    controller.plan(std::vector<uint64_t>{2, 5}, kNoFutures);
     controller.accessor().row(2)[1] = 7.0f;
     controller.accessor().row(5)[3] = -3.0f;
 
@@ -267,7 +267,7 @@ TEST(Controller, KeyOfSlotTracksAssignment)
 {
     ScratchPipeController controller(baseConfig(8, 0, 0));
     const auto plan =
-        controller.plan(std::vector<uint32_t>{11}, kNoFutures);
+        controller.plan(std::vector<uint64_t>{11}, kNoFutures);
     ASSERT_EQ(plan.fills.size(), 1u);
     EXPECT_EQ(controller.keyOfSlot(plan.fills[0].slot), 11u);
 }
@@ -282,8 +282,8 @@ TEST(Controller, MetadataBytesAccounted)
 TEST(Controller, StatsAccumulate)
 {
     ScratchPipeController controller(baseConfig(64));
-    controller.plan(std::vector<uint32_t>{1, 2}, kNoFutures);
-    controller.plan(std::vector<uint32_t>{1, 3}, kNoFutures);
+    controller.plan(std::vector<uint64_t>{1, 2}, kNoFutures);
+    controller.plan(std::vector<uint64_t>{1, 3}, kNoFutures);
     const auto &stats = controller.stats();
     EXPECT_EQ(stats.plans, 2u);
     EXPECT_EQ(stats.hits, 1u);
@@ -312,19 +312,19 @@ TEST_P(ControllerPolicies, AlwaysHitHoldsUnderEveryPolicy)
     ScratchPipeController controller(config);
 
     tensor::Rng rng(17);
-    std::vector<std::vector<uint32_t>> batches;
+    std::vector<std::vector<uint64_t>> batches;
     for (int b = 0; b < 60; ++b) {
-        std::vector<uint32_t> ids(8);
+        std::vector<uint64_t> ids(8);
         for (auto &id : ids)
             id = static_cast<uint32_t>(rng.uniformInt(500));
         batches.push_back(std::move(ids));
     }
     for (size_t b = 0; b < batches.size(); ++b) {
-        std::vector<std::span<const uint32_t>> futures;
+        std::vector<std::span<const uint64_t>> futures;
         for (size_t d = 1; d <= 2 && b + d < batches.size(); ++d)
             futures.emplace_back(batches[b + d]);
         controller.plan(batches[b], futures);
-        for (uint32_t id : batches[b])
+        for (uint64_t id : batches[b])
             ASSERT_TRUE(controller.isResident(id));
     }
 }

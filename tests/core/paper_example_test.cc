@@ -23,7 +23,7 @@ namespace sp::core
 namespace
 {
 
-constexpr std::span<const std::span<const uint32_t>> kNoFutures;
+constexpr std::span<const std::span<const uint64_t>> kNoFutures;
 
 ControllerConfig
 figure11Config()
@@ -43,7 +43,7 @@ TEST(PaperFigure11, FullFiveCycleWalk)
 
     // 1st cycle: batch 1 = {7089, 2021}. Both miss; the scratchpad is
     // empty, so no write-backs are scheduled.
-    const std::vector<uint32_t> batch1 = {7089, 2021};
+    const std::vector<uint64_t> batch1 = {7089, 2021};
     const auto plan1 = controller.plan(batch1, kNoFutures);
     EXPECT_EQ(plan1.hits, 0u);
     EXPECT_EQ(plan1.misses, 2u);
@@ -58,7 +58,7 @@ TEST(PaperFigure11, FullFiveCycleWalk)
     EXPECT_TRUE(controller.isResident(2021));
 
     // 2nd cycle: batch 2 = {3010, 7089} -> miss / hit.
-    const std::vector<uint32_t> batch2 = {3010, 7089};
+    const std::vector<uint64_t> batch2 = {3010, 7089};
     const auto plan2 = controller.plan(batch2, kNoFutures);
     EXPECT_EQ(plan2.hits, 1u);
     EXPECT_EQ(plan2.misses, 1u);
@@ -68,7 +68,7 @@ TEST(PaperFigure11, FullFiveCycleWalk)
 
     // 3rd cycle: batch 3 = {1017, 5382}. Both miss, filling the last
     // two vacant slots; still nothing to write back.
-    const std::vector<uint32_t> batch3 = {1017, 5382};
+    const std::vector<uint64_t> batch3 = {1017, 5382};
     const auto plan3 = controller.plan(batch3, kNoFutures);
     EXPECT_EQ(plan3.hits, 0u);
     EXPECT_EQ(plan3.misses, 2u);
@@ -76,11 +76,11 @@ TEST(PaperFigure11, FullFiveCycleWalk)
 
     // All five slots now hold {7089, 2021, 3010, 1017, 5382},
     // matching the figure's Hit-Map at the 3rd cycle.
-    for (uint32_t id : {7089u, 2021u, 3010u, 1017u, 5382u})
+    for (uint64_t id : {7089u, 2021u, 3010u, 1017u, 5382u})
         EXPECT_TRUE(controller.isResident(id)) << id;
 
     // 4th cycle: batch 4 = {7089, 1017} -> both hit, no movement.
-    const std::vector<uint32_t> batch4 = {7089, 1017};
+    const std::vector<uint64_t> batch4 = {7089, 1017};
     const auto plan4 = controller.plan(batch4, kNoFutures);
     EXPECT_EQ(plan4.hits, 2u);
     EXPECT_EQ(plan4.misses, 0u);
@@ -90,7 +90,7 @@ TEST(PaperFigure11, FullFiveCycleWalk)
     // 5th cycle: batch 5 = {6547, 3010}. 3010 hits. 6547 misses and
     // must evict E[2021] -- the only slot whose Hold mask is "000"
     // after the 4th cycle (Figure 11(d,e)).
-    const std::vector<uint32_t> batch5 = {6547, 3010};
+    const std::vector<uint64_t> batch5 = {6547, 3010};
     const auto plan5 = controller.plan(batch5, kNoFutures);
     EXPECT_EQ(plan5.hits, 1u);
     EXPECT_EQ(plan5.misses, 1u);
@@ -105,7 +105,7 @@ TEST(PaperFigure11, FullFiveCycleWalk)
 
     // 6th cycle (extrapolating the figure's Load column): batch 6 =
     // {9021, 1017}. 9021 misses; 5382 is now the only unheld row.
-    const std::vector<uint32_t> batch6 = {9021, 1017};
+    const std::vector<uint64_t> batch6 = {9021, 1017};
     const auto plan6 = controller.plan(batch6, kNoFutures);
     EXPECT_EQ(plan6.hits, 1u);
     EXPECT_EQ(plan6.misses, 1u);
@@ -127,10 +127,10 @@ TEST(PaperFigure11, HoldMaskProtectsInFlightBatches)
     // batches 3-5 (1017, 5382, 7089, 3010, 6547) as held; none of
     // them may ever be selected as the victim.
     ScratchPipeController controller(figure11Config());
-    const std::vector<std::vector<uint32_t>> batches = {
+    const std::vector<std::vector<uint64_t>> batches = {
         {7089, 2021}, {3010, 7089}, {1017, 5382}, {7089, 1017},
         {6547, 3010}};
-    std::vector<uint32_t> evicted;
+    std::vector<uint64_t> evicted;
     for (const auto &batch : batches) {
         for (const auto &evict : controller.plan(batch, kNoFutures).evictions)
             evicted.push_back(evict.id);

@@ -14,7 +14,7 @@ namespace sp::core
 namespace
 {
 
-constexpr std::span<const std::span<const uint32_t>> kNoFutures;
+constexpr std::span<const std::span<const uint64_t>> kNoFutures;
 
 ControllerConfig
 warmConfig(uint32_t slots)
@@ -40,7 +40,7 @@ TEST(WarmStart, HottestRanksResidentImmediately)
 TEST(WarmStart, FirstBatchOfHotIdsHitsEverything)
 {
     ScratchPipeController controller(warmConfig(100));
-    const std::vector<uint32_t> hot = {0, 3, 7, 42, 99};
+    const std::vector<uint64_t> hot = {0, 3, 7, 42, 99};
     const auto plan = controller.plan(hot, kNoFutures);
     EXPECT_EQ(plan.hits, hot.size());
     EXPECT_EQ(plan.misses, 0u);
@@ -52,7 +52,7 @@ TEST(WarmStart, ColdMissEvictsColdestRank)
     // Slot 0 is MRU, slot n-1 is LRU: a miss into a fully warm cache
     // must evict the highest (coldest) rank.
     ScratchPipeController controller(warmConfig(10));
-    const std::vector<uint32_t> ids = {1000};
+    const std::vector<uint64_t> ids = {1000};
     const auto plan = controller.plan(ids, kNoFutures);
     ASSERT_EQ(plan.evictions.size(), 1u);
     EXPECT_EQ(plan.evictions[0].id, 9u);
@@ -67,7 +67,7 @@ TEST(WarmStart, FillsEqualEvictionsFromTheStart)
     ScratchPipeController controller(warmConfig(64));
     tensor::Rng rng(3);
     for (int b = 0; b < 20; ++b) {
-        std::vector<uint32_t> ids(8);
+        std::vector<uint64_t> ids(8);
         for (auto &id : ids)
             id = static_cast<uint32_t>(rng.uniformInt(100000));
         controller.plan(ids, kNoFutures);
@@ -97,10 +97,10 @@ TEST(WarmStart, WindowProtectionStillApplies)
 {
     // Even from a warm cache, in-window rows must never be evicted.
     ScratchPipeController controller(warmConfig(8));
-    const std::vector<uint32_t> batch_a = {0, 1, 2, 3};
+    const std::vector<uint64_t> batch_a = {0, 1, 2, 3};
     controller.plan(batch_a, kNoFutures);
     // A burst of misses must spare batch_a's slots (past window = 3).
-    const std::vector<uint32_t> burst = {100, 101, 102, 103};
+    const std::vector<uint64_t> burst = {100, 101, 102, 103};
     const auto plan = controller.plan(burst, kNoFutures);
     for (const auto &evict : plan.evictions) {
         EXPECT_GE(evict.id, 4u)

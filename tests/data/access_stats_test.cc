@@ -11,7 +11,7 @@ namespace
 {
 
 MiniBatch
-batchWithIds(std::vector<std::vector<uint32_t>> ids)
+batchWithIds(std::vector<std::vector<uint64_t>> ids)
 {
     MiniBatch batch;
     batch.batch_size = 1;

@@ -84,7 +84,7 @@ TEST(Fingerprint, PinnedValueForDefaultConfig)
     // Guards the hash against accidental drift: a change here retires
     // every cache entry in the field, so it must only happen together
     // with a deliberate kTraceFormatVersion bump.
-    EXPECT_EQ(TraceConfig{}.fingerprint(), "e26a93c0bc6b7c03");
+    EXPECT_EQ(TraceConfig{}.fingerprint(), "2b042b75b5a30fe3");
 }
 
 TEST(Fingerprint, IsDeterministic)
@@ -95,7 +95,7 @@ TEST(Fingerprint, IsDeterministic)
 TEST(Fingerprint, EveryFieldChangesTheHash)
 {
     const TraceConfig base = smallConfig();
-    std::vector<TraceConfig> variants(9, base);
+    std::vector<TraceConfig> variants(18, base);
     variants[0].num_tables = 3;
     variants[1].rows_per_table = 401;
     variants[2].lookups_per_table = 4;
@@ -105,6 +105,18 @@ TEST(Fingerprint, EveryFieldChangesTheHash)
     variants[6].dense_features = 6;
     variants[7].per_table_exponents = {0.5, 0.9};
     variants[8].per_table_exponents = {0.5, 0.900001};
+    // Every workload field must feed the hash too: a cache entry
+    // generated with a burst overlay must never be served for the
+    // stationary config (or vice versa).
+    variants[9].workload.drift_amp = 0.25;
+    variants[10].workload.drift_period = 16;
+    variants[11].workload.churn_k = 32;
+    variants[12].workload.churn_period = 8;
+    variants[13].workload.burst_frac = 0.5;
+    variants[14].workload.burst_period = 12;
+    variants[15].workload.burst_len = 3;
+    variants[16].workload.burst_ranks = 64;
+    variants[17].workload.phase = 5;
 
     std::set<std::string> fingerprints = {base.fingerprint()};
     for (const auto &variant : variants)

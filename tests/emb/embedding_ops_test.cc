@@ -25,7 +25,7 @@ rampTable(uint32_t rows, size_t dim)
 TEST(EmbeddingOps, GatherCopiesRows)
 {
     auto table = rampTable(10, 3);
-    const std::vector<uint32_t> ids = {7, 0, 7, 3};
+    const std::vector<uint64_t> ids = {7, 0, 7, 3};
     tensor::Matrix out(4, 3);
     gather(table, ids, out);
     EXPECT_FLOAT_EQ(out(0, 0), 7.0f);
@@ -37,7 +37,7 @@ TEST(EmbeddingOps, GatherCopiesRows)
 TEST(EmbeddingOps, GatherShapeChecked)
 {
     auto table = rampTable(10, 3);
-    const std::vector<uint32_t> ids = {1, 2};
+    const std::vector<uint64_t> ids = {1, 2};
     tensor::Matrix wrong(3, 3);
     EXPECT_THROW(gather(table, ids, wrong), PanicError);
 }
@@ -64,7 +64,7 @@ TEST(EmbeddingOps, ReduceRequiresDivisibleRows)
 TEST(EmbeddingOps, GatherReduceMatchesTwoStep)
 {
     auto table = rampTable(20, 4);
-    const std::vector<uint32_t> ids = {3, 3, 9, 1, 0, 17};
+    const std::vector<uint64_t> ids = {3, 3, 9, 1, 0, 17};
     tensor::Matrix gathered(6, 4), two_step(2, 4), fused(2, 4);
     gather(table, ids, gathered);
     reduceSum(gathered, 3, two_step);
@@ -79,7 +79,7 @@ TEST(EmbeddingOps, PaperFigure2Example)
     // (Realised with equal lookup counts by padding sample 0 with a
     // repeat of row 0 -- the reduction semantics are what matters.)
     auto table = rampTable(6, 2);
-    const std::vector<uint32_t> ids = {0, 4, 0, 2, 5, 0};
+    const std::vector<uint64_t> ids = {0, 4, 0, 2, 5, 0};
     tensor::Matrix out(2, 2);
     gatherReduce(table, ids, 3, out);
     EXPECT_FLOAT_EQ(out(0, 0), 0.0f + 4.0f + 0.0f);
@@ -89,7 +89,7 @@ TEST(EmbeddingOps, PaperFigure2Example)
 TEST(EmbeddingOps, CoalesceSumsDuplicates)
 {
     // Two samples, two lookups each; row 5 used by both samples.
-    const std::vector<uint32_t> ids = {5, 1, 5, 2};
+    const std::vector<uint64_t> ids = {5, 1, 5, 2};
     tensor::Matrix grads(2, 2);
     grads(0, 0) = 1.0f;
     grads(0, 1) = 10.0f;
@@ -112,7 +112,7 @@ TEST(EmbeddingOps, CoalesceSumsDuplicates)
 TEST(EmbeddingOps, CoalesceWithinSampleDuplicates)
 {
     // The same row twice within one sample doubles its gradient.
-    const std::vector<uint32_t> ids = {3, 3};
+    const std::vector<uint64_t> ids = {3, 3};
     tensor::Matrix grads(1, 1);
     grads(0, 0) = 1.5f;
     const auto coalesced = duplicateAndCoalesce(ids, grads, 2);
@@ -125,7 +125,7 @@ TEST(EmbeddingOps, CoalesceMatchesNaiveScatterAdd)
     tensor::Rng rng(77);
     const size_t batch = 16, lookups = 5, dim = 3;
     const uint32_t rows = 12;
-    std::vector<uint32_t> ids(batch * lookups);
+    std::vector<uint64_t> ids(batch * lookups);
     for (auto &id : ids)
         id = static_cast<uint32_t>(rng.uniformInt(rows));
     tensor::Matrix grads(batch, dim);
@@ -152,7 +152,7 @@ TEST(EmbeddingOps, CoalesceMatchesNaiveScatterAdd)
 TEST(EmbeddingOps, CoalescedIdsStrictlyAscending)
 {
     tensor::Rng rng(78);
-    std::vector<uint32_t> ids(64);
+    std::vector<uint64_t> ids(64);
     for (auto &id : ids)
         id = static_cast<uint32_t>(rng.uniformInt(10));
     tensor::Matrix grads(8, 2);
@@ -182,7 +182,7 @@ TEST(EmbeddingOps, FullBackwardEquivalentToPerLookupSgd)
     // Fig. 2(b) pipeline relies on).
     auto table_a = rampTable(10, 2);
     auto table_b = rampTable(10, 2);
-    const std::vector<uint32_t> ids = {1, 5, 5, 9, 1, 1};
+    const std::vector<uint64_t> ids = {1, 5, 5, 9, 1, 1};
     tensor::Matrix grads(2, 2);
     grads(0, 0) = 0.5f;
     grads(0, 1) = -1.0f;
@@ -205,14 +205,14 @@ TEST(EmbeddingOps, FullBackwardEquivalentToPerLookupSgd)
 
 TEST(EmbeddingOps, CountUnique)
 {
-    const std::vector<uint32_t> ids = {4, 4, 1, 9, 1, 4};
+    const std::vector<uint64_t> ids = {4, 4, 1, 9, 1, 4};
     EXPECT_EQ(countUnique(ids), 3u);
-    EXPECT_EQ(countUnique(std::vector<uint32_t>{}), 0u);
+    EXPECT_EQ(countUnique(std::vector<uint64_t>{}), 0u);
 }
 
 TEST(EmbeddingOps, UniqueIdsSorted)
 {
-    const std::vector<uint32_t> ids = {9, 2, 9, 0};
+    const std::vector<uint64_t> ids = {9, 2, 9, 0};
     const auto unique = uniqueIds(ids);
     ASSERT_EQ(unique.size(), 3u);
     EXPECT_EQ(unique[0], 0u);
@@ -223,7 +223,7 @@ TEST(EmbeddingOps, UniqueIdsSorted)
 TEST(EmbeddingOps, MismatchedIdCountPanics)
 {
     tensor::Matrix grads(2, 2);
-    const std::vector<uint32_t> ids = {1, 2, 3};
+    const std::vector<uint64_t> ids = {1, 2, 3};
     EXPECT_THROW(duplicateAndCoalesce(ids, grads, 2), PanicError);
 }
 

@@ -19,6 +19,21 @@ cmake --build "$build" -j --target spsim bench_fig13_speedup
     --batch 64 --iterations 4 --warmup 2 --seed 7 --format json \
     > "$root"/tests/golden/spsim_small.json
 
+"$build"/spsim \
+    --system hybrid,static:cache=0.1,strawman,scratchpipe,multigpu \
+    --locality medium --tables 3 --rows 20000 --dim 16 --lookups 4 \
+    --batch 64 --iterations 4 --warmup 2 --seed 7 --jobs 4 \
+    --workload drift_amp=0.4,drift_period=3,phase=1 --format json \
+    > "$root"/tests/golden/spsim_drift.json
+
+"$build"/spsim \
+    --system hybrid,static:cache=0.1,strawman,scratchpipe,multigpu \
+    --locality medium --tables 3 --rows 20000 --dim 16 --lookups 4 \
+    --batch 64 --iterations 4 --warmup 2 --seed 7 \
+    --workload burst_frac=0.5,burst_period=4,burst_len=2,burst_ranks=64,churn_k=32,churn_period=2 \
+    --format json \
+    > "$root"/tests/golden/spsim_burst.json
+
 "$build"/bench_fig13_speedup --quick --json \
     > "$root"/tests/golden/fig13_quick.json
 

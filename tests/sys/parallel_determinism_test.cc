@@ -12,12 +12,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "data/dataset.h"
+#include "data/trace_store.h"
+#include "data/workload.h"
 #include "emb/embedding_ops.h"
 #include "sys/batch_stats.h"
 #include "sys/experiment.h"
@@ -60,7 +64,7 @@ TEST(ParallelDeterminism, PooledBatchStatsMatchSerialCounts)
     const ModelConfig model = testModel();
     const data::TraceDataset dataset(model.trace, 10);
     const BatchStats stats(dataset, 10);
-    std::vector<uint32_t> scratch;
+    std::vector<uint64_t> scratch;
     for (uint64_t b = 0; b < 10; ++b)
         for (size_t t = 0; t < model.trace.num_tables; ++t)
             ASSERT_EQ(stats.unique(b, t),
@@ -156,6 +160,71 @@ TEST(ParallelDeterminism, ProbeKernelMatrixBitIdentical)
             }
         }
     }
+}
+
+std::string
+shapedSweepJson(uint32_t jobs, const std::string &workload_text,
+                const std::string &engine_suffix = "")
+{
+    ExperimentOptions options;
+    options.iterations = 4;
+    options.warmup = 2;
+    options.jobs = jobs;
+    ModelConfig model = testModel();
+    model.trace.workload =
+        data::WorkloadSpec::parse(workload_text).config;
+    const ExperimentRunner runner(model, kHw, options);
+    return toJson(runner.runAll(sweepSpecs(engine_suffix)));
+}
+
+TEST(ParallelDeterminism, DriftingAlphaSweepBitIdenticalAcrossJobs)
+{
+    // The workload shaper joins the determinism matrix: a drifting
+    // Zipf exponent re-seeds nothing -- batch k's stream is still a
+    // pure function of (seed, table, k) -- so jobs and shard width
+    // must not move a byte.
+    if (common::ThreadPool::global().size() < 4)
+        common::ThreadPool::setGlobalThreads(4);
+    const std::string spec = "drift_amp=0.4,drift_period=3,phase=2";
+    const std::string serial = shapedSweepJson(1, spec);
+    EXPECT_EQ(serial, shapedSweepJson(4, spec));
+    EXPECT_EQ(serial, shapedSweepJson(4, spec, "overlap=1,shard=4"));
+    EXPECT_EQ(serial, shapedSweepJson(4, spec, "probe=native"));
+    // And the shaping is live, not a no-op that trivially matches.
+    EXPECT_NE(serial, sweepJson(1));
+}
+
+TEST(ParallelDeterminism, BurstOverlaySweepBitIdenticalColdAndWarmCache)
+{
+    // Flash-crowd overlay x trace cache: the cold run generates and
+    // publishes, the warm run mmaps the published file; both must
+    // serialise to the bytes of a cache-less serial sweep, at jobs 1
+    // and 4. This is the end-to-end proof that the new workload
+    // fields reached the fingerprint (a stale stationary entry would
+    // alias this config and change every number).
+    if (common::ThreadPool::global().size() < 4)
+        common::ThreadPool::setGlobalThreads(4);
+    const std::string spec =
+        "burst_frac=0.5,burst_period=4,burst_len=2,burst_ranks=64,"
+        "churn_k=32,churn_period=2";
+    const std::string baseline = shapedSweepJson(1, spec);
+
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(::testing::TempDir()) /
+                         "sp_parallel_determinism_cache";
+    fs::remove_all(dir);
+    ::setenv("SP_TRACE_CACHE", dir.string().c_str(), 1);
+    data::TraceStore::setCacheEnabled(true);
+    const std::string cold1 = shapedSweepJson(1, spec);
+    const std::string warm1 = shapedSweepJson(1, spec);
+    const std::string warm4 = shapedSweepJson(4, spec);
+    data::TraceStore::setCacheEnabled(false);
+    ::unsetenv("SP_TRACE_CACHE");
+    fs::remove_all(dir);
+
+    EXPECT_EQ(baseline, cold1);
+    EXPECT_EQ(baseline, warm1);
+    EXPECT_EQ(baseline, warm4);
 }
 
 TEST(ParallelDeterminism, AutoShardWidthBitIdentical)

@@ -138,7 +138,7 @@ TEST(PlanShardEquivalence, ControllerSchedulesIdenticalAtAnyShardWidth)
         std::uniform_int_distribution<uint32_t> id(0, 4'000);
         // 520-ID batches: big enough (> 2 * 64-ID shard minimum x 4)
         // that the sharded path really splits.
-        std::vector<std::vector<uint32_t>> batches(12);
+        std::vector<std::vector<uint64_t>> batches(12);
         for (auto &ids : batches) {
             ids.resize(520);
             for (auto &value : ids)
@@ -146,7 +146,7 @@ TEST(PlanShardEquivalence, ControllerSchedulesIdenticalAtAnyShardWidth)
         }
 
         for (size_t b = 0; b < batches.size(); ++b) {
-            std::vector<std::span<const uint32_t>> futures;
+            std::vector<std::span<const uint64_t>> futures;
             for (size_t d = 1; d <= 2 && b + d < batches.size(); ++d)
                 futures.emplace_back(batches[b + d]);
             const auto &expected = serial.plan(batches[b], futures);

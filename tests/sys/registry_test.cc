@@ -173,6 +173,24 @@ TEST(SystemSpec, RejectsMalformedInput)
                  FatalError);
 }
 
+TEST(SystemSpec, RejectsDuplicateKeysInsteadOfLastWin)
+{
+    // Pre-fix, policy=lfu,policy=lru silently simulated LRU -- a
+    // different system than the one on the screen. The diagnostic
+    // names the offending key.
+    try {
+        SystemSpec::parse("scratchpipe:policy=lfu,policy=lru");
+        FAIL() << "duplicate key accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate key"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("policy"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(SystemSpec::parse("static:cache=0.1,cache=0.2"),
+                 FatalError);
+}
+
 TEST(SystemSpec, RejectsCacheOnCachelessSystems)
 {
     // The legacy factory silently ignored cache_fraction for hybrid

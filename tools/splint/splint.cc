@@ -54,7 +54,8 @@ const std::vector<Rule> kRules = {
      "tests/cache/probe_kernel_equivalence_test.cc so the harness "
      "proves it bit-identical to scalar"},
     {"spec-doc", Severity::Error,
-     "spec key parsed in spec.cc but undocumented in README.md",
+     "spec key parsed in sys/spec.cc or data/workload.cc but "
+     "undocumented in README.md",
      "add the key to README.md's spec-key list (users discover the "
      "grammar there, not in the parser)"},
     {"allow-justification", Severity::Error,
@@ -345,39 +346,43 @@ lintKernelRegistration(const fs::path &root,
 }
 
 /**
- * spec-doc: every `key == "<k>"` comparison in spec.cc's parser must
- * have a matching `<k>=` in README.md.
+ * spec-doc: every `key == "<k>"` comparison in a spec parser (system
+ * specs in sys/spec.cc, workload specs in data/workload.cc) must have
+ * a matching `<k>=` in README.md.
  */
 void
 lintSpecDoc(const fs::path &root, std::vector<Diagnostic> &diagnostics)
 {
-    const fs::path spec = root / "src" / "sys" / "spec.cc";
-    const std::optional<std::string> spec_text = readFile(spec);
-    if (!spec_text.has_value())
-        return;
-
     const std::optional<std::string> readme =
         readFile(root / "README.md");
     const std::regex key_pattern(R"(\bkey\s*==\s*"([A-Za-z0-9_]+)\")");
 
-    // The key names live inside string literals, so this check reads
-    // the literal-preserving channel (comments still stripped: a
-    // commented-out `key == "old"` is not a parsed key).
-    const std::vector<ScannedLine> lines = scanLines(*spec_text);
-    for (size_t i = 0; i < lines.size(); ++i) {
-        auto begin =
-            std::sregex_iterator(lines[i].code_with_literals.begin(),
-                                 lines[i].code_with_literals.end(),
-                                 key_pattern);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-            const std::string key = (*it)[1].str();
-            if (!readme.has_value() ||
-                readme->find(key + "=") == std::string::npos) {
-                diagnostics.push_back(makeDiagnostic(
-                    relativePath(root, spec), i + 1, "spec-doc",
-                    "spec key '" + key +
-                        "=' is parsed here but not documented in "
-                        "README.md"));
+    const fs::path parsers[] = {root / "src" / "sys" / "spec.cc",
+                                root / "src" / "data" / "workload.cc"};
+    for (const fs::path &spec : parsers) {
+        const std::optional<std::string> spec_text = readFile(spec);
+        if (!spec_text.has_value())
+            continue;
+
+        // The key names live inside string literals, so this check
+        // reads the literal-preserving channel (comments still
+        // stripped: a commented-out `key == "old"` is not a parsed
+        // key).
+        const std::vector<ScannedLine> lines = scanLines(*spec_text);
+        for (size_t i = 0; i < lines.size(); ++i) {
+            auto begin = std::sregex_iterator(
+                lines[i].code_with_literals.begin(),
+                lines[i].code_with_literals.end(), key_pattern);
+            for (auto it = begin; it != std::sregex_iterator(); ++it) {
+                const std::string key = (*it)[1].str();
+                if (!readme.has_value() ||
+                    readme->find(key + "=") == std::string::npos) {
+                    diagnostics.push_back(makeDiagnostic(
+                        relativePath(root, spec), i + 1, "spec-doc",
+                        "spec key '" + key +
+                            "=' is parsed here but not documented in "
+                            "README.md"));
+                }
             }
         }
     }

@@ -82,12 +82,16 @@ class LruPolicy : public ReplacementPolicy
     {
         const uint32_t sentinel = num_slots_;
         uint32_t victim = kNoVictim;
+        // splint:allow(hot-path-transitive-alloc): std::vector::clear, not fault::clear -- severs the false edge
         skipped_.clear();
         for (uint32_t s = prev_[sentinel]; s != sentinel; s = prev_[s]) {
             if (eligible(s)) {
                 victim = s;
                 break;
             }
+            // skipped_ is cleared, never shrunk, so its capacity is
+            // retained across calls and bounded by num_slots_.
+            // splint:allow(hot-path-transitive-alloc): capacity retained, steady state allocation-free
             skipped_.push_back(s);
         }
         // Ineligible slots at the cold end are held by in-flight

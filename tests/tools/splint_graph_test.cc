@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Unit tests for splint's semantic layer: the channel lexer
+ * (raw strings, splices), the symbol index (qualified names, overload
+ * resolution), the call/include graphs (reachability, cycles), each
+ * transitive rule on its committed fixture tree, the --dump-graph
+ * serializers, and -- the gate that matters -- the real source tree
+ * passing the semantic pass clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "splint/graph.h"
+#include "splint/index.h"
+#include "splint/lexer.h"
+#include "splint/splint.h"
+
+namespace
+{
+
+using sp::splint::analyzeTree;
+using sp::splint::buildIndex;
+using sp::splint::CallGraph;
+using sp::splint::CallSite;
+using sp::splint::Diagnostic;
+using sp::splint::IncludeGraph;
+using sp::splint::scanLines;
+using sp::splint::ScannedLine;
+using sp::splint::SymbolIndex;
+
+std::string
+describe(const std::vector<Diagnostic> &diags)
+{
+    std::string out;
+    for (const Diagnostic &diag : diags)
+        out += diag.file + ":" + std::to_string(diag.line) + " [" +
+               diag.rule + "] " + diag.message + "\n";
+    return out.empty() ? "(no diagnostics)" : out;
+}
+
+const Diagnostic *
+findDiag(const std::vector<Diagnostic> &diags, const std::string &rule,
+         const std::string &file)
+{
+    for (const Diagnostic &diag : diags)
+        if (diag.rule == rule && diag.file == file)
+            return &diag;
+    return nullptr;
+}
+
+std::string
+joinCode(const std::vector<ScannedLine> &lines)
+{
+    std::string out;
+    for (const ScannedLine &line : lines)
+        out += line.code + "\n";
+    return out;
+}
+
+// ---- Lexer ---------------------------------------------------------
+
+TEST(SplintLexer, RawStringBodyStaysInLiteralChannel)
+{
+    const std::string text = "const char *t = R\"doc(\n"
+                             "std::thread banned; rand( too\n"
+                             "quote \" inside\n"
+                             ")doc\";\n"
+                             "int after = 0;\n";
+    const auto lines = scanLines(text);
+    const std::string code = joinCode(lines);
+    EXPECT_EQ(code.find("thread"), std::string::npos) << code;
+    EXPECT_EQ(code.find("rand"), std::string::npos) << code;
+    // Code after the literal closes is back in the code channel.
+    EXPECT_NE(code.find("int after = 0;"), std::string::npos) << code;
+    // The body is preserved for literal-reading checks.
+    EXPECT_NE(lines[1].code_with_literals.find("std::thread"),
+              std::string::npos);
+}
+
+TEST(SplintLexer, RawStringDelimiterWithEmbeddedParenQuote)
+{
+    // A ")" followed by a quote inside the body must not terminate a
+    // delimited raw string.
+    const std::string text = "auto s = R\"x(call(a)\" not the end\n"
+                             "still literal rand(\n"
+                             ")x\"; int tail = 1;\n";
+    const auto lines = scanLines(text);
+    const std::string code = joinCode(lines);
+    EXPECT_EQ(code.find("rand"), std::string::npos) << code;
+    EXPECT_NE(code.find("int tail = 1;"), std::string::npos) << code;
+}
+
+TEST(SplintLexer, SplicedStringLiteralStaysLiteral)
+{
+    const std::string text = "const char *b = \"spliced \\\n"
+                             "tail with rand( inside\";\n"
+                             "int after = 2;\n";
+    const auto lines = scanLines(text);
+    const std::string code = joinCode(lines);
+    EXPECT_EQ(code.find("rand"), std::string::npos) << code;
+    EXPECT_NE(code.find("int after = 2;"), std::string::npos) << code;
+}
+
+TEST(SplintLexer, SplicedLineCommentContinues)
+{
+    const std::string text = "int x = 0; // comment with a splice \\\n"
+                             "still comment: rand( here\n"
+                             "int y = 1;\n";
+    const auto lines = scanLines(text);
+    EXPECT_EQ(lines[1].code, "") << lines[1].code;
+    EXPECT_NE(lines[1].comment.find("rand("), std::string::npos);
+    EXPECT_NE(lines[2].code.find("int y = 1;"), std::string::npos);
+}
+
+// ---- Symbol index --------------------------------------------------
+
+SymbolIndex
+indexOf(const std::string &path, const std::string &text)
+{
+    SymbolIndex index;
+    index.addSource(path, text);
+    index.finalize();
+    return index;
+}
+
+TEST(SplintIndex, QualifiedNamesForNamespacesAndMethods)
+{
+    const SymbolIndex index = indexOf("src/core/x.cc",
+                                      "namespace sp::core {\n"
+                                      "class Controller {\n"
+                                      "  public:\n"
+                                      "    int inlineGet() { return 1; }\n"
+                                      "    int outOfLine(int v);\n"
+                                      "};\n"
+                                      "int\n"
+                                      "Controller::outOfLine(int v)\n"
+                                      "{\n"
+                                      "    return v;\n"
+                                      "}\n"
+                                      "int\n"
+                                      "freeFn()\n"
+                                      "{\n"
+                                      "    return 0;\n"
+                                      "}\n"
+                                      "} // namespace sp::core\n");
+    EXPECT_NE(index.findQualified("sp::core::Controller::inlineGet"),
+              SymbolIndex::npos);
+    EXPECT_NE(index.findQualified("sp::core::Controller::outOfLine"),
+              SymbolIndex::npos);
+    EXPECT_NE(index.findQualified("sp::core::freeFn"),
+              SymbolIndex::npos);
+    // The in-class prototype of outOfLine is a declaration, not a
+    // definition: exactly one entry carries the qualified name.
+    size_t count = 0;
+    for (const auto &fn : index.functions)
+        count += fn.qualified == "sp::core::Controller::outOfLine";
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(SplintIndex, ResolveCallNarrowsByQualifier)
+{
+    const SymbolIndex index =
+        indexOf("src/core/x.cc", "namespace sp::core {\n"
+                                 "struct A {\n"
+                                 "    int load(int v) { return v; }\n"
+                                 "};\n"
+                                 "struct B {\n"
+                                 "    int load(int v) { return -v; }\n"
+                                 "};\n"
+                                 "} // namespace sp::core\n");
+    CallSite bare;
+    bare.chain = "load";
+    bare.name = "load";
+    EXPECT_EQ(index.resolveCall(bare).size(), 2u)
+        << "bare names resolve to the whole overload set";
+
+    CallSite qualified;
+    qualified.chain = "B::load";
+    qualified.name = "load";
+    const auto narrowed = index.resolveCall(qualified);
+    ASSERT_EQ(narrowed.size(), 1u);
+    EXPECT_EQ(index.functions[narrowed[0]].qualified,
+              "sp::core::B::load");
+}
+
+TEST(SplintIndex, AttributesTokenHitsToEnclosingFunction)
+{
+    const SymbolIndex index =
+        indexOf("src/core/x.cc", "namespace sp::core {\n"
+                                 "void\n"
+                                 "grow(int n)\n"
+                                 "{\n"
+                                 "    int *p = new int[n];\n"
+                                 "    delete[] p;\n"
+                                 "}\n"
+                                 "} // namespace sp::core\n");
+    const size_t f = index.findQualified("sp::core::grow");
+    ASSERT_NE(f, SymbolIndex::npos);
+    ASSERT_EQ(index.functions[f].allocs.size(), 1u);
+    EXPECT_EQ(index.functions[f].allocs[0].line, 5u);
+    EXPECT_EQ(index.functions[f].allocs[0].token, "new");
+}
+
+// ---- Graphs --------------------------------------------------------
+
+TEST(SplintGraph, ReachabilityFollowsCallChain)
+{
+    SymbolIndex index;
+    index.addSource("src/core/a.cc", "namespace sp {\n"
+                                     "void c() {}\n"
+                                     "void b() { c(); }\n"
+                                     "void a() { b(); }\n"
+                                     "void lonely() {}\n"
+                                     "}\n");
+    index.finalize();
+    const CallGraph graph = CallGraph::build(index);
+
+    const size_t a = index.findQualified("sp::a");
+    const size_t c = index.findQualified("sp::c");
+    const size_t lonely = index.findQualified("sp::lonely");
+    ASSERT_NE(a, SymbolIndex::npos);
+    ASSERT_NE(c, SymbolIndex::npos);
+    ASSERT_NE(lonely, SymbolIndex::npos);
+
+    const CallGraph::Reach reach = graph.reach({a});
+    EXPECT_TRUE(reach.reached[c]);
+    EXPECT_FALSE(reach.reached[lonely]);
+    EXPECT_EQ(graph.trace(reach, c), "sp::a -> sp::b -> sp::c");
+}
+
+TEST(SplintGraph, IncludeCycleFoundOnThreeFileFixture)
+{
+    const SymbolIndex index =
+        buildIndex(std::string(SPLINT_FIXTURES_DIR) +
+                   "/tree_bad_layering");
+    const IncludeGraph includes = IncludeGraph::build(index);
+    const std::vector<std::string> cycle = includes.findCycle();
+    ASSERT_FALSE(cycle.empty());
+    EXPECT_EQ(cycle.front(), cycle.back());
+    EXPECT_EQ(cycle.size(), 4u) << "a -> b -> c -> a";
+    bool has_a = false;
+    for (const std::string &node : cycle)
+        has_a = has_a || node == "src/data/a.h";
+    EXPECT_TRUE(has_a);
+}
+
+// ---- Transitive rules on their fixture trees -----------------------
+
+std::vector<Diagnostic>
+analyzeFixture(const char *tree)
+{
+    return analyzeTree(std::string(SPLINT_FIXTURES_DIR) + "/" + tree);
+}
+
+TEST(SplintGraphRules, HotTransitiveAllocWithTrace)
+{
+    const auto diags = analyzeFixture("tree_bad_hot_transitive");
+    const Diagnostic *diag =
+        findDiag(diags, "hot-path-transitive-alloc",
+                 "src/common/scratch.cc");
+    ASSERT_NE(diag, nullptr) << describe(diags);
+    // The diagnostic names the hot call site and the full chain.
+    EXPECT_NE(diag->message.find("src/core/hot.cc:10"),
+              std::string::npos)
+        << diag->message;
+    EXPECT_NE(diag->message.find(
+                  "sp::common::helper -> sp::common::scratchGrow"),
+              std::string::npos)
+        << diag->message;
+}
+
+TEST(SplintGraphRules, DeterminismTaintAcrossModules)
+{
+    const auto diags = analyzeFixture("tree_bad_taint");
+    const Diagnostic *diag = findDiag(diags, "determinism-taint",
+                                      "src/metrics/entropy.cc");
+    ASSERT_NE(diag, nullptr) << describe(diags);
+    EXPECT_NE(diag->message.find("sp::sys::simulate"),
+              std::string::npos)
+        << diag->message;
+}
+
+TEST(SplintGraphRules, LayeringUpwardIncludeAndCycle)
+{
+    const auto diags = analyzeFixture("tree_bad_layering");
+    EXPECT_NE(findDiag(diags, "layering", "src/common/bad_up.cc"),
+              nullptr)
+        << describe(diags);
+    bool cycle_reported = false;
+    for (const Diagnostic &diag : diags)
+        cycle_reported =
+            cycle_reported ||
+            diag.message.find("include cycle") != std::string::npos;
+    EXPECT_TRUE(cycle_reported) << describe(diags);
+}
+
+TEST(SplintGraphRules, FaultRegistryForwardAndReverse)
+{
+    const auto diags = analyzeFixture("tree_bad_fault");
+    const Diagnostic *unregistered =
+        findDiag(diags, "fault-site-registry", "src/data/io.cc");
+    ASSERT_NE(unregistered, nullptr) << describe(diags);
+    EXPECT_NE(unregistered->message.find("io.unregistered"),
+              std::string::npos);
+    const Diagnostic *unexercised =
+        findDiag(diags, "fault-site-registry", "src/common/fault.cc");
+    ASSERT_NE(unexercised, nullptr) << describe(diags);
+    EXPECT_NE(unexercised->message.find("io.unexercised"),
+              std::string::npos);
+}
+
+TEST(SplintGraphRules, CleanFixtureTreeIsClean)
+{
+    const auto diags = analyzeFixture("tree_graph_clean");
+    EXPECT_TRUE(diags.empty()) << describe(diags);
+}
+
+// ---- Dumps ---------------------------------------------------------
+
+TEST(SplintGraphDump, JsonAndDotShapes)
+{
+    const SymbolIndex index =
+        buildIndex(std::string(SPLINT_FIXTURES_DIR) +
+                   "/tree_graph_clean");
+    const std::string json = sp::splint::dumpJson(index);
+    EXPECT_NE(json.find("\"tool\":\"splint-graph\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+    EXPECT_NE(json.find("sp::common::fill"), std::string::npos);
+    EXPECT_NE(json.find("\"site\":\"io.read\""), std::string::npos);
+
+    const std::string dot = sp::splint::dumpDot(index);
+    EXPECT_EQ(dot.rfind("digraph splint {", 0), 0u);
+    EXPECT_NE(dot.find("\"f:sp::core::classify\" -> "
+                       "\"f:sp::common::fill\""),
+              std::string::npos)
+        << dot;
+    EXPECT_NE(dot.find("\"i:src/core/hot.cc\" -> "
+                       "\"i:src/common/scratch.h\""),
+              std::string::npos)
+        << dot;
+}
+
+// ---- The real tree -------------------------------------------------
+
+TEST(SplintGraphTree, RealSourceTreePassesSemanticPass)
+{
+    const auto diags = analyzeTree(SPLINT_SOURCE_ROOT);
+    EXPECT_TRUE(diags.empty()) << describe(diags);
+}
+
+} // namespace

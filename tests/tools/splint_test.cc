@@ -269,6 +269,7 @@ TEST(SplintJson, SchemaFieldsAndEscaping)
     ASSERT_EQ(diags.size(), 1u);
     const std::string json = sp::splint::toJson(diags);
     EXPECT_NE(json.find("\"tool\":\"splint\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
     EXPECT_NE(json.find("\"count\":1"), std::string::npos);
     EXPECT_NE(json.find("\"file\":\"src/sys/x.cc\""), std::string::npos);
     EXPECT_NE(json.find("\"line\":1"), std::string::npos);

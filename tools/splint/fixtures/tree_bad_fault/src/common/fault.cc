@@ -1,0 +1,12 @@
+#include "common/fault.h"
+
+namespace sp::common
+{
+
+// Fixture registry: io.unexercised is registered (but no FaultMatrix
+// scenario covers it); io.unregistered is deliberately absent.
+const char *kRegisteredSites[] = {
+    "io.unexercised",
+};
+
+} // namespace sp::common

@@ -1,0 +1,14 @@
+#include "common/fault.h"
+
+namespace sp::data
+{
+
+int
+readBlock(int index)
+{
+    SP_FAULT_POINT("io.unregistered");
+    SP_FAULT_POINT("io.unexercised");
+    return index;
+}
+
+} // namespace sp::data

@@ -1,0 +1,3 @@
+// Fixture FaultMatrix test with no scenarios: every registered site
+// must therefore be reported as unexercised.
+int fault_matrix_placeholder = 0;

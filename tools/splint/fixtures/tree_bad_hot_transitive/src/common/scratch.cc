@@ -1,0 +1,23 @@
+#include "common/scratch.h"
+
+namespace sp::common
+{
+
+// Two hops from the hot region: classify -> helper -> scratchGrow.
+// The direct hot-path-alloc rule cannot see this allocation; the
+// transitive rule must.
+void
+scratchGrow(int n)
+{
+    int *block = new int[n];
+    block[0] = n;
+    delete[] block;
+}
+
+void
+helper(int n)
+{
+    scratchGrow(n);
+}
+
+} // namespace sp::common

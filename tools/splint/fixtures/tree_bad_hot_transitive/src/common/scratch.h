@@ -1,0 +1,6 @@
+namespace sp::common
+{
+
+void helper(int n);
+
+} // namespace sp::common

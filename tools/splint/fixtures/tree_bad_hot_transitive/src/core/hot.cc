@@ -1,0 +1,14 @@
+#include "common/scratch.h"
+
+namespace sp::core
+{
+
+// splint:hot-path-begin(classify)
+void
+classify(int n)
+{
+    sp::common::helper(n);
+}
+// splint:hot-path-end
+
+} // namespace sp::core

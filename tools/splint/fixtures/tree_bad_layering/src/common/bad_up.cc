@@ -1,0 +1,13 @@
+// src/common is layer 0: it may not include anything above itself.
+#include "sys/runner.h"
+
+namespace sp::common
+{
+
+int
+callUp()
+{
+    return sp::sys::runnerVersion();
+}
+
+} // namespace sp::common

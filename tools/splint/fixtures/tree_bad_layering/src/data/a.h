@@ -1,0 +1,12 @@
+// Part 1 of a three-file include cycle: a -> b -> c -> a.
+#include "data/b.h"
+
+namespace sp::data
+{
+
+struct A
+{
+    int value = 0;
+};
+
+} // namespace sp::data

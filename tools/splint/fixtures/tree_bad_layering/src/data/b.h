@@ -1,0 +1,12 @@
+// Part 2 of the cycle.
+#include "data/c.h"
+
+namespace sp::data
+{
+
+struct B
+{
+    int value = 0;
+};
+
+} // namespace sp::data

@@ -1,0 +1,12 @@
+// Part 3 of the cycle, closing the loop back to a.h.
+#include "data/a.h"
+
+namespace sp::data
+{
+
+struct C
+{
+    int value = 0;
+};
+
+} // namespace sp::data

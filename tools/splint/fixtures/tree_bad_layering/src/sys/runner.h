@@ -1,0 +1,6 @@
+namespace sp::sys
+{
+
+int runnerVersion();
+
+} // namespace sp::sys

@@ -1,0 +1,17 @@
+#include "metrics/entropy.h"
+
+#include <random>
+
+namespace sp::metrics
+{
+
+// src/metrics is outside the lexical no-nondeterminism scope, but
+// sys::simulate calls this -- the taint rule must follow the edge.
+int
+entropySeed()
+{
+    std::random_device device;
+    return static_cast<int>(device());
+}
+
+} // namespace sp::metrics

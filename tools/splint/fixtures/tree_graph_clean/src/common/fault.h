@@ -1,0 +1,7 @@
+// Fixture stand-in for the fault-injection macro header.
+namespace sp::common
+{
+
+void faultPoint(const char *site);
+
+} // namespace sp::common

@@ -1,0 +1,16 @@
+#include "common/scratch.h"
+
+namespace sp::common
+{
+
+// Allocation-free on purpose: reachable from the hot region in
+// core/hot.cc, so the transitive rule walks through here and must
+// find nothing.
+void
+fill(int *block, int n)
+{
+    for (int i = 0; i < n; ++i)
+        block[i] = i;
+}
+
+} // namespace sp::common

@@ -1,0 +1,6 @@
+namespace sp::common
+{
+
+void fill(int *block, int n);
+
+} // namespace sp::common

@@ -1,0 +1,13 @@
+#include "common/fault.h"
+
+namespace sp::data
+{
+
+int
+readBlock(int index)
+{
+    SP_FAULT_POINT("io.read");
+    return index;
+}
+
+} // namespace sp::data

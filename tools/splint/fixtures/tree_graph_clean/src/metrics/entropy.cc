@@ -1,0 +1,16 @@
+#include <random>
+
+namespace sp::metrics
+{
+
+// Nondeterministic, but nothing in src/{sys,cache,data} calls it:
+// determinism-taint must stay silent because the *reachability*
+// matters, not the token.
+int
+entropySeed()
+{
+    std::random_device device;
+    return static_cast<int>(device());
+}
+
+} // namespace sp::metrics

@@ -1,0 +1,24 @@
+// Lexer regression fixture: every banned token below lives inside a
+// string literal, so no rule may fire on this file.
+
+namespace sp::sys
+{
+
+// A multi-line raw string whose body name-drops banned tokens. A
+// lexer without raw-string support would reset to code mode at the
+// first newline and leak std::thread and rand( into the code channel.
+const char *
+reportTemplate()
+{
+    return R"doc(
+usage: std::thread is banned here, and so is rand( -- but this is
+prose inside a raw literal, with a quote " and a backslash \
+)doc";
+}
+
+// A line-continuation splice inside an ordinary literal: the second
+// physical line is still literal content.
+const char *kBanner = "spliced \
+literal mentioning rand( and std::thread";
+
+} // namespace sp::sys

@@ -1,0 +1,4 @@
+// Fixture FaultMatrix test: exercises the one registered site.
+const char *kScenarioSites[] = {
+    "io.read",
+};

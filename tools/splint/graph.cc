@@ -1,0 +1,327 @@
+#include "splint/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <sstream>
+
+namespace sp::splint
+{
+
+// ---- CallGraph -----------------------------------------------------
+
+CallGraph
+CallGraph::build(const SymbolIndex &index)
+{
+    CallGraph graph;
+    graph.index = &index;
+    graph.out.resize(index.functions.size());
+    for (size_t f = 0; f < index.functions.size(); ++f) {
+        std::set<size_t> seen;
+        for (const CallSite &call : index.functions[f].calls) {
+            for (const size_t callee : index.resolveCall(call)) {
+                if (callee == f || !seen.insert(callee).second)
+                    continue; // self-loops and duplicate edges
+                graph.out[f].push_back({callee, call.line});
+            }
+        }
+    }
+    return graph;
+}
+
+CallGraph::Reach
+CallGraph::reach(
+    const std::vector<size_t> &seeds,
+    const std::function<bool(size_t, const CallEdge &)> &skip) const
+{
+    Reach result;
+    const size_t n = out.size();
+    result.reached.assign(n, false);
+    result.parent.assign(n, SymbolIndex::npos);
+    result.parent_line.assign(n, 0);
+
+    std::deque<size_t> queue;
+    for (const size_t seed : seeds) {
+        if (seed >= n || result.reached[seed])
+            continue;
+        result.reached[seed] = true;
+        queue.push_back(seed);
+    }
+    while (!queue.empty()) {
+        const size_t f = queue.front();
+        queue.pop_front();
+        result.order.push_back(f);
+        for (const CallEdge &edge : out[f]) {
+            if (result.reached[edge.callee])
+                continue;
+            if (skip && skip(f, edge))
+                continue;
+            result.reached[edge.callee] = true;
+            result.parent[edge.callee] = f;
+            result.parent_line[edge.callee] = edge.line;
+            queue.push_back(edge.callee);
+        }
+    }
+    return result;
+}
+
+std::string
+CallGraph::trace(const Reach &reach, size_t target) const
+{
+    std::vector<size_t> path;
+    for (size_t f = target; f != SymbolIndex::npos;
+         f = reach.parent[f]) {
+        path.push_back(f);
+        if (path.size() > out.size())
+            break; // defensive: parent chains cannot cycle
+    }
+    std::reverse(path.begin(), path.end());
+    std::string text;
+    for (size_t i = 0; i < path.size(); ++i) {
+        if (i > 0)
+            text += " -> ";
+        text += index->functions[path[i]].qualified;
+    }
+    return text;
+}
+
+// ---- IncludeGraph --------------------------------------------------
+
+IncludeGraph
+IncludeGraph::build(const SymbolIndex &index)
+{
+    IncludeGraph graph;
+    for (const auto &[path, fi] : index.files)
+        graph.out[path] = fi.includes;
+    return graph;
+}
+
+std::vector<std::string>
+IncludeGraph::findCycle() const
+{
+    enum class Color
+    {
+        White,
+        Gray,
+        Black
+    };
+    std::map<std::string, Color> color;
+    for (const auto &[path, edges] : out)
+        color[path] = Color::White;
+
+    std::vector<std::string> path;
+    std::vector<std::string> cycle;
+
+    // Iterative DFS with an explicit path stack; on a gray back edge,
+    // the cycle is the path suffix from the gray node.
+    struct Frame
+    {
+        std::string node;
+        size_t next = 0;
+    };
+    for (const auto &[start, start_edges] : out) {
+        if (color[start] != Color::White)
+            continue;
+        std::vector<Frame> stack{{start, 0}};
+        color[start] = Color::Gray;
+        path.push_back(start);
+        while (!stack.empty()) {
+            Frame &frame = stack.back();
+            const auto it = out.find(frame.node);
+            const std::vector<IncludeEdge> &edges = it->second;
+            if (frame.next >= edges.size()) {
+                color[frame.node] = Color::Black;
+                path.pop_back();
+                stack.pop_back();
+                continue;
+            }
+            const std::string target = edges[frame.next++].target;
+            const auto target_color = color.find(target);
+            if (target_color == color.end())
+                continue; // edge into an unindexed file
+            if (target_color->second == Color::Gray) {
+                const auto at = std::find(path.begin(), path.end(),
+                                          target);
+                cycle.assign(at, path.end());
+                cycle.push_back(target);
+                return cycle;
+            }
+            if (target_color->second == Color::White) {
+                target_color->second = Color::Gray;
+                path.push_back(target);
+                stack.push_back({target, 0});
+            }
+        }
+    }
+    return cycle;
+}
+
+// ---- Layer map -----------------------------------------------------
+
+std::string
+moduleOf(const std::string &path)
+{
+    if (path.rfind("src/", 0) != 0)
+        return "";
+    const size_t slash = path.find('/', 4);
+    if (slash == std::string::npos)
+        return "";
+    return path.substr(4, slash - 4);
+}
+
+int
+layerOfModule(const std::string &module)
+{
+    if (module == "common")
+        return 0;
+    if (module == "cache" || module == "data" || module == "emb" ||
+        module == "tensor")
+        return 1;
+    if (module == "core" || module == "sim" || module == "nn" ||
+        module == "metrics")
+        return 2;
+    if (module == "sys")
+        return 3;
+    return -1;
+}
+
+const char *
+layerOrderText()
+{
+    return "common -> {cache,data,emb,tensor} -> "
+           "{core,sim,nn,metrics} -> sys";
+}
+
+// ---- Dumps ---------------------------------------------------------
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+dotEscape(const std::string &text)
+{
+    std::string out;
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+dumpDot(const SymbolIndex &index)
+{
+    const CallGraph calls = CallGraph::build(index);
+    std::ostringstream os;
+    os << "digraph splint {\n"
+       << "  rankdir=LR;\n"
+       << "  subgraph cluster_calls {\n"
+       << "    label=\"call graph\";\n";
+    for (size_t f = 0; f < index.functions.size(); ++f)
+        os << "    \"f:" << dotEscape(index.functions[f].qualified)
+           << "\";\n";
+    for (size_t f = 0; f < index.functions.size(); ++f)
+        for (const CallEdge &edge : calls.out[f])
+            os << "    \"f:" << dotEscape(index.functions[f].qualified)
+               << "\" -> \"f:"
+               << dotEscape(index.functions[edge.callee].qualified)
+               << "\";\n";
+    os << "  }\n"
+       << "  subgraph cluster_includes {\n"
+       << "    label=\"include graph\";\n";
+    for (const auto &[path, fi] : index.files) {
+        os << "    \"i:" << dotEscape(path) << "\";\n";
+        for (const IncludeEdge &edge : fi.includes)
+            os << "    \"i:" << dotEscape(path) << "\" -> \"i:"
+               << dotEscape(edge.target) << "\";\n";
+    }
+    os << "  }\n}\n";
+    return os.str();
+}
+
+std::string
+dumpJson(const SymbolIndex &index)
+{
+    const CallGraph calls = CallGraph::build(index);
+    std::ostringstream os;
+    os << "{\"tool\":\"splint-graph\",\"schema_version\":2,"
+       << "\"functions\":[";
+    for (size_t f = 0; f < index.functions.size(); ++f) {
+        const FunctionInfo &fn = index.functions[f];
+        if (f > 0)
+            os << ',';
+        os << "\n  {\"qualified\":\"" << jsonEscape(fn.qualified)
+           << "\",\"file\":\"" << jsonEscape(fn.file)
+           << "\",\"line\":" << fn.line << ",\"calls\":[";
+        for (size_t e = 0; e < calls.out[f].size(); ++e) {
+            const CallEdge &edge = calls.out[f][e];
+            os << (e > 0 ? "," : "") << "{\"to\":\""
+               << jsonEscape(
+                      index.functions[edge.callee].qualified)
+               << "\",\"line\":" << edge.line << '}';
+        }
+        os << "]}";
+    }
+    os << (index.functions.empty() ? "]," : "\n],") << "\"includes\":[";
+    bool first = true;
+    for (const auto &[path, fi] : index.files) {
+        for (const IncludeEdge &edge : fi.includes) {
+            os << (first ? "" : ",") << "\n  {\"from\":\""
+               << jsonEscape(path) << "\",\"to\":\""
+               << jsonEscape(edge.target) << "\",\"line\":" << edge.line
+               << '}';
+            first = false;
+        }
+    }
+    os << (first ? "]," : "\n],") << "\"fault_sites\":[";
+    first = true;
+    for (const auto &[path, fi] : index.files) {
+        for (const FaultPoint &point : fi.fault_points) {
+            os << (first ? "" : ",") << "\n  {\"site\":\""
+               << jsonEscape(point.site) << "\",\"file\":\""
+               << jsonEscape(path) << "\",\"line\":" << point.line
+               << '}';
+            first = false;
+        }
+    }
+    os << (first ? "]}" : "\n]}") << '\n';
+    return os.str();
+}
+
+} // namespace sp::splint

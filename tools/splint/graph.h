@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Pass 2 substrate: the call graph and include graph derived from the
+ * symbol index, plus reachability, cycle detection, the src/ layer
+ * map, and the --dump-graph serializers.
+ *
+ * Everything here is deterministic: graphs are built from the sorted
+ * index, BFS visits neighbors in index order, and the DFS for cycle
+ * detection walks nodes in path order -- so dumps and diagnostics are
+ * byte-stable across filesystem traversal orders.
+ */
+
+#ifndef SP_TOOLS_SPLINT_GRAPH_H
+#define SP_TOOLS_SPLINT_GRAPH_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "splint/index.h"
+
+namespace sp::splint
+{
+
+/** One resolved call edge out of a function. */
+struct CallEdge
+{
+    size_t callee = 0; //!< index into SymbolIndex::functions
+    size_t line = 0;   //!< call-site line in the caller
+};
+
+/** The resolved, overload-conservative call graph. */
+struct CallGraph
+{
+    const SymbolIndex *index = nullptr;
+    std::vector<std::vector<CallEdge>> out; //!< by caller function id
+
+    static CallGraph build(const SymbolIndex &index);
+
+    /** Result of a multi-seed BFS: parent edges for trace
+     *  reconstruction and the deterministic visit order. */
+    struct Reach
+    {
+        std::vector<bool> reached;
+        std::vector<size_t> parent;      //!< npos for seeds
+        std::vector<size_t> parent_line; //!< call line in the parent
+        std::vector<size_t> order;       //!< BFS visit order
+    };
+    /**
+     * Multi-seed BFS. `skip(caller, edge)` (optional) prunes an edge
+     * before traversal -- the transitive rules use it to honor a
+     * justified splint:allow placed on a *call-site* line, which
+     * severs that edge for the rule: the escape hatch for the
+     * name-based resolver mistaking e.g. an atomic's .load() for a
+     * project function named load.
+     */
+    Reach
+    reach(const std::vector<size_t> &seeds,
+          const std::function<bool(size_t, const CallEdge &)> &skip =
+              nullptr) const;
+
+    /** Qualified-name path from the seed that reached `target`,
+     *  e.g. "a::f -> b::g -> c::h". */
+    std::string trace(const Reach &reach, size_t target) const;
+};
+
+/** The resolved #include graph over src/ and tools/. */
+struct IncludeGraph
+{
+    //! includer path -> resolved edges (index order = include order)
+    std::map<std::string, std::vector<IncludeEdge>> out;
+
+    static IncludeGraph build(const SymbolIndex &index);
+
+    /** First include cycle, as a path that starts and ends with the
+     *  same file ("a.h -> b.h -> a.h"); empty when acyclic. The DFS
+     *  walks files in sorted order, so the answer is stable. */
+    std::vector<std::string> findCycle() const;
+};
+
+/** "src/<module>/..." -> "<module>"; empty for anything else. */
+std::string moduleOf(const std::string &path);
+
+/**
+ * Layer of a src/ module in the dependency order
+ *   common(0) -> cache,data,emb,tensor(1)
+ *             -> core,sim,nn,metrics(2) -> sys(3);
+ * -1 for unknown modules (never flagged).
+ */
+int layerOfModule(const std::string &module);
+
+/** Human-readable spelling of the layer order, for diagnostics. */
+const char *layerOrderText();
+
+/** Graphviz dump: call edges and include edges in one digraph. */
+std::string dumpDot(const SymbolIndex &index);
+
+/** JSON dump (schema_version 2): functions with resolved call edges,
+ *  include edges, hot regions and fault sites. */
+std::string dumpJson(const SymbolIndex &index);
+
+} // namespace sp::splint
+
+#endif // SP_TOOLS_SPLINT_GRAPH_H

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Pass 2 of the semantic analyzer: the transitive rules that run over
+ * the symbol index and its graphs.
+ *
+ *   hot-path-transitive-alloc  every function reachable from a call
+ *                              inside a splint:hot-path-begin region
+ *                              must be allocation-free; the diagnostic
+ *                              carries the reachability trace. Hits
+ *                              inside a hot region itself belong to
+ *                              the direct hot-path-alloc rule.
+ *   determinism-taint          nondeterminism sources must be
+ *                              unreachable from functions defined in
+ *                              the simulation dirs (src/sys, src/cache,
+ *                              src/data). Sources *inside* those dirs
+ *                              are the lexical no-nondeterminism
+ *                              rule's to report.
+ *   layering                   includes must follow the module order
+ *                              (see layerOrderText()) and the include
+ *                              graph must be acyclic.
+ *   fault-site-registry        every SP_FAULT_POINT("site") literal is
+ *                              registered in src/common/fault.cc,
+ *                              every registered site has a call site,
+ *                              and every registered site is exercised
+ *                              by the FaultMatrix chaos test.
+ *
+ * Suppression: a justified splint:allow on the diagnostic's anchor
+ * line (or the line above). The transitive alloc/nondet rules also
+ * honor allows for their direct counterparts, so one directive covers
+ * a site that both a lexical and a transitive rule would flag. An
+ * allow for a transitive rule placed on a *call-site* line severs
+ * that edge for the rule's traversal -- the escape hatch when the
+ * overload-conservative resolver mistakes e.g. an atomic's .load()
+ * for a project function named load, which would otherwise drag a
+ * whole false subtree into the reachable set.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "splint/graph.h"
+#include "splint/index.h"
+#include "splint/lexer.h"
+#include "splint/splint.h"
+
+namespace sp::splint
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+Diagnostic
+makeDiagnostic(const std::string &path, size_t line,
+               const std::string &rule_id, const std::string &message)
+{
+    const Rule *rule = findRule(rule_id);
+    Diagnostic diag;
+    diag.file = path;
+    diag.line = line;
+    diag.rule = rule_id;
+    diag.severity = rule != nullptr ? rule->severity : Severity::Error;
+    diag.message = message;
+    diag.fixit = rule != nullptr ? rule->fixit : "";
+    return diag;
+}
+
+std::optional<std::string>
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+bool
+simulationDir(const std::string &path)
+{
+    return path.rfind("src/sys/", 0) == 0 ||
+           path.rfind("src/cache/", 0) == 0 ||
+           path.rfind("src/data/", 0) == 0;
+}
+
+/** Allow check that accepts either the transitive rule or its direct
+ *  counterpart, so one directive suppresses both views of a site. */
+bool
+allowedEither(const FileIndex &fi, size_t line, const char *rule,
+              const char *counterpart)
+{
+    return fi.allowedAt(line, rule) ||
+           (counterpart != nullptr && fi.allowedAt(line, counterpart));
+}
+
+/** Edge filter for reach(): a justified allow for `rule` on the
+ *  call-site line severs the edge (see the file comment). */
+std::function<bool(size_t, const CallEdge &)>
+severedBy(const SymbolIndex &index, const char *rule)
+{
+    return [&index, rule](size_t caller, const CallEdge &edge) {
+        const FileIndex &fi =
+            index.files.at(index.functions[caller].file);
+        return fi.allowedAt(edge.line, rule);
+    };
+}
+
+// ---- hot-path-transitive-alloc -------------------------------------
+
+void
+ruleHotPathTransitiveAlloc(const SymbolIndex &index,
+                           const CallGraph &graph,
+                           std::vector<Diagnostic> &diagnostics)
+{
+    struct Origin
+    {
+        std::string file; //!< file holding the hot region
+        size_t line = 0;  //!< hot call site
+    };
+    std::vector<size_t> seeds;
+    std::map<size_t, Origin> origins;
+    for (size_t f = 0; f < index.functions.size(); ++f) {
+        const FunctionInfo &fn = index.functions[f];
+        for (const CallSite &call : fn.calls) {
+            if (!call.in_hot_region)
+                continue;
+            // A justified allow on the hot call site severs the seed,
+            // same as it severs interior edges.
+            if (index.files.at(fn.file).allowedAt(
+                    call.line, "hot-path-transitive-alloc"))
+                continue;
+            for (const size_t callee : index.resolveCall(call)) {
+                if (origins.count(callee) != 0)
+                    continue;
+                origins[callee] = {fn.file, call.line};
+                seeds.push_back(callee);
+            }
+        }
+    }
+    if (seeds.empty())
+        return;
+
+    const CallGraph::Reach reach = graph.reach(
+        seeds, severedBy(index, "hot-path-transitive-alloc"));
+    std::set<std::pair<std::string, size_t>> reported;
+    for (const size_t f : reach.order) {
+        const FunctionInfo &fn = index.functions[f];
+        const FileIndex &fi = index.files.at(fn.file);
+        for (const TokenHit &hit : fn.allocs) {
+            if (fi.inHotRegion(hit.line))
+                continue; // the direct hot-path-alloc rule owns it
+            if (allowedEither(fi, hit.line, "hot-path-transitive-alloc",
+                              "hot-path-alloc"))
+                continue;
+            if (!reported.insert({fn.file, hit.line}).second)
+                continue;
+            // Walk the parent chain to the seed to name the region.
+            size_t seed = f;
+            while (reach.parent[seed] != SymbolIndex::npos)
+                seed = reach.parent[seed];
+            const Origin &origin = origins.at(seed);
+            diagnostics.push_back(makeDiagnostic(
+                fn.file, hit.line, "hot-path-transitive-alloc",
+                "'" + hit.token + "' in " + fn.qualified +
+                    " is reachable from the hot-path call at " +
+                    origin.file + ":" + std::to_string(origin.line) +
+                    " via " + graph.trace(reach, f)));
+        }
+    }
+}
+
+// ---- determinism-taint ---------------------------------------------
+
+void
+ruleDeterminismTaint(const SymbolIndex &index, const CallGraph &graph,
+                     std::vector<Diagnostic> &diagnostics)
+{
+    std::vector<size_t> entries;
+    for (size_t f = 0; f < index.functions.size(); ++f)
+        if (simulationDir(index.functions[f].file))
+            entries.push_back(f);
+    if (entries.empty())
+        return;
+
+    const CallGraph::Reach reach =
+        graph.reach(entries, severedBy(index, "determinism-taint"));
+    std::set<std::pair<std::string, size_t>> reported;
+    for (const size_t f : reach.order) {
+        const FunctionInfo &fn = index.functions[f];
+        if (simulationDir(fn.file))
+            continue; // the lexical no-nondeterminism rule's scope
+        const FileIndex &fi = index.files.at(fn.file);
+        for (const TokenHit &hit : fn.nondet) {
+            if (allowedEither(fi, hit.line, "determinism-taint",
+                              "no-nondeterminism"))
+                continue;
+            if (!reported.insert({fn.file, hit.line}).second)
+                continue;
+            // Walk up to the entry function that reached this one.
+            size_t entry = f;
+            while (reach.parent[entry] != SymbolIndex::npos)
+                entry = reach.parent[entry];
+            diagnostics.push_back(makeDiagnostic(
+                fn.file, hit.line, "determinism-taint",
+                "'" + hit.token + "' in " + fn.qualified +
+                    " is reachable from simulation entry " +
+                    index.functions[entry].qualified + " (" +
+                    index.functions[entry].file + ") via " +
+                    graph.trace(reach, f)));
+        }
+    }
+}
+
+// ---- layering ------------------------------------------------------
+
+void
+ruleLayering(const SymbolIndex &index, std::vector<Diagnostic> &diagnostics)
+{
+    for (const auto &[path, fi] : index.files) {
+        const std::string module = moduleOf(path);
+        const int layer = layerOfModule(module);
+        if (layer < 0)
+            continue;
+        for (const IncludeEdge &edge : fi.includes) {
+            const std::string target_module = moduleOf(edge.target);
+            if (target_module.empty() || target_module == module)
+                continue;
+            const int target_layer = layerOfModule(target_module);
+            if (target_layer <= layer)
+                continue; // downward or same-layer peer: fine
+            if (fi.allowedAt(edge.line, "layering"))
+                continue;
+            diagnostics.push_back(makeDiagnostic(
+                path, edge.line, "layering",
+                "include of " + edge.target + " (module '" +
+                    target_module + "', layer " +
+                    std::to_string(target_layer) + ") from module '" +
+                    module + "' (layer " + std::to_string(layer) +
+                    ") points up the dependency order " +
+                    layerOrderText()));
+        }
+    }
+
+    const IncludeGraph includes = IncludeGraph::build(index);
+    const std::vector<std::string> cycle = includes.findCycle();
+    if (cycle.empty())
+        return;
+    // Anchor the diagnostic at the first file's edge into the cycle.
+    const FileIndex &fi = index.files.at(cycle[0]);
+    size_t line = 0;
+    for (const IncludeEdge &edge : fi.includes)
+        if (edge.target == cycle[1])
+            line = edge.line;
+    if (fi.allowedAt(line, "layering"))
+        return;
+    std::string text;
+    for (size_t i = 0; i < cycle.size(); ++i)
+        text += (i > 0 ? " -> " : "") + cycle[i];
+    diagnostics.push_back(makeDiagnostic(
+        cycle[0], line, "layering", "include cycle: " + text));
+}
+
+// ---- fault-site-registry -------------------------------------------
+
+void
+ruleFaultSiteRegistry(const fs::path &root, const SymbolIndex &index,
+                      std::vector<Diagnostic> &diagnostics)
+{
+    const char *registry_path = "src/common/fault.cc";
+    const char *matrix_path = "tests/common/fault_injection_test.cc";
+    const std::optional<std::string> registry_text =
+        readFile(root / registry_path);
+    if (!registry_text.has_value())
+        return; // no registry in this tree: nothing to cross-check
+
+    // Site names are dotted lowercase literals; nothing else in the
+    // registry file (messages, qualified names) matches the shape.
+    static const std::regex site_pattern(
+        R"re("([a-z0-9_]+(?:\.[a-z0-9_]+)+)")re");
+    std::map<std::string, size_t> registry; // site -> line in fault.cc
+    const std::vector<ScannedLine> lines = scanLines(*registry_text);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &text = lines[i].code_with_literals;
+        auto begin =
+            std::sregex_iterator(text.begin(), text.end(), site_pattern);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            registry.emplace((*it)[1].str(), i + 1);
+    }
+
+    const std::optional<std::string> matrix_text =
+        readFile(root / matrix_path);
+    const auto exercised = [&](const std::string &site) {
+        return matrix_text.has_value() &&
+               matrix_text->find('"' + site + '"') != std::string::npos;
+    };
+
+    // Forward check: every call site names a registered site.
+    std::set<std::string> used;
+    for (const auto &[path, fi] : index.files) {
+        if (path == registry_path)
+            continue;
+        for (const FaultPoint &point : fi.fault_points) {
+            used.insert(point.site);
+            if (registry.count(point.site) != 0)
+                continue;
+            if (fi.allowedAt(point.line, "fault-site-registry"))
+                continue;
+            diagnostics.push_back(makeDiagnostic(
+                path, point.line, "fault-site-registry",
+                "SP_FAULT_POINT(\"" + point.site +
+                    "\") is not registered in " + registry_path));
+        }
+    }
+
+    // Reverse checks: a registered site must have a call site and be
+    // exercised by the FaultMatrix test.
+    const auto registry_index = index.files.find(registry_path);
+    const auto allowed_in_registry = [&](size_t line) {
+        return registry_index != index.files.end() &&
+               registry_index->second.allowedAt(line,
+                                                "fault-site-registry");
+    };
+    for (const auto &[site, line] : registry) {
+        if (allowed_in_registry(line))
+            continue;
+        if (used.count(site) == 0)
+            diagnostics.push_back(makeDiagnostic(
+                registry_path, line, "fault-site-registry",
+                "registered fault site '" + site +
+                    "' has no SP_FAULT_POINT call site in src/"));
+        if (!exercised(site))
+            diagnostics.push_back(makeDiagnostic(
+                registry_path, line, "fault-site-registry",
+                "registered fault site '" + site +
+                    "' is not exercised by the FaultMatrix scenarios "
+                    "in " +
+                    matrix_path));
+    }
+}
+
+} // namespace
+
+// ---- Entry point ---------------------------------------------------
+
+std::vector<Diagnostic>
+analyzeIndex(const fs::path &root, const SymbolIndex &index)
+{
+    std::vector<Diagnostic> diagnostics;
+    const CallGraph graph = CallGraph::build(index);
+    ruleHotPathTransitiveAlloc(index, graph, diagnostics);
+    ruleDeterminismTaint(index, graph, diagnostics);
+    ruleLayering(index, diagnostics);
+    ruleFaultSiteRegistry(root, index, diagnostics);
+    sortDiagnostics(diagnostics);
+    return diagnostics;
+}
+
+std::vector<Diagnostic>
+analyzeTree(const fs::path &root)
+{
+    return analyzeIndex(root, buildIndex(root));
+}
+
+} // namespace sp::splint

@@ -1,0 +1,790 @@
+#include "splint/index.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <regex>
+#include <sstream>
+
+#include "splint/lexer.h"
+
+namespace sp::splint
+{
+
+namespace fs = std::filesystem;
+
+// Shared token sets: the transitive graph rules and the direct
+// lexical rules must agree on what counts as an allocation or a
+// nondeterminism source, so both read these patterns.
+const std::regex &
+allocTokenPattern()
+{
+    static const std::regex pattern(
+        R"(\bstd\s*::\s*(cout|cerr|clog)\b|\bf?printf\s*\()"
+        R"(|\bnew\b|\bmalloc\s*\(|\bcalloc\s*\()"
+        R"(|\bmake_(shared|unique)\b)"
+        R"(|\b(push_back|emplace_back|resize|reserve)\s*\()"
+        R"(|\bSP_FAULT_POINT\s*\()");
+    return pattern;
+}
+
+const std::regex &
+nondetTokenPattern()
+{
+    static const std::regex pattern(
+        R"(\bstd\s*::\s*random_device\b|\brandom_device\s*\{)"
+        R"(|\bs?rand\s*\(|\btime\s*\(\s*(nullptr|NULL|0)?\s*\))"
+        R"(|\b(steady|system|high_resolution)_clock\b)");
+    return pattern;
+}
+
+namespace
+{
+
+// ---- Tokenizer -----------------------------------------------------
+
+struct Tok
+{
+    std::string text;
+    size_t line = 0; //!< 1-based
+    bool ident = false;
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** First non-space char of `s`, or '\0'. */
+char
+firstChar(const std::string &s)
+{
+    for (const char c : s)
+        if (c != ' ' && c != '\t')
+            return c;
+    return '\0';
+}
+
+bool
+endsWithBackslash(const std::string &s)
+{
+    for (size_t i = s.size(); i > 0; --i) {
+        const char c = s[i - 1];
+        if (c == ' ' || c == '\t')
+            continue;
+        return c == '\\';
+    }
+    return false;
+}
+
+/**
+ * Tokenize the code channel: identifiers, `::` and `->` as single
+ * tokens, everything else one char at a time. Preprocessor lines
+ * (and their backslash continuations) produce no tokens -- macro
+ * bodies are not code the compiler runs here -- but `#include "..."`
+ * targets are captured into `fi`.
+ */
+std::vector<Tok>
+tokenize(const std::vector<ScannedLine> &lines, FileIndex &fi,
+         bool record_includes)
+{
+    static const std::regex include_pattern(
+        R"re(^\s*#\s*include\s*"([^"]+)")re");
+
+    std::vector<Tok> toks;
+    bool in_preproc = false;
+    for (size_t li = 0; li < lines.size(); ++li) {
+        const std::string &code = lines[li].code;
+        const bool continues = endsWithBackslash(code);
+        if (in_preproc) {
+            in_preproc = continues;
+            continue;
+        }
+        if (firstChar(code) == '#') {
+            std::smatch match;
+            if (record_includes &&
+                std::regex_search(lines[li].code_with_literals, match,
+                                  include_pattern))
+                fi.includes.push_back({match[1].str(), li + 1});
+            in_preproc = continues;
+            continue;
+        }
+        for (size_t i = 0; i < code.size();) {
+            const char c = code[i];
+            if (c == ' ' || c == '\t' || c == '\r') {
+                ++i;
+            } else if (isIdentStart(c)) {
+                size_t j = i + 1;
+                while (j < code.size() && isIdentChar(code[j]))
+                    ++j;
+                toks.push_back({code.substr(i, j - i), li + 1, true});
+                i = j;
+            } else if (std::isdigit(static_cast<unsigned char>(c))) {
+                // Numbers (incl. hex floats like 0x1.0p-53): consumed
+                // and dropped; nothing downstream reads them.
+                size_t j = i + 1;
+                while (j < code.size() &&
+                       (isIdentChar(code[j]) || code[j] == '.' ||
+                        ((code[j] == '+' || code[j] == '-') &&
+                         (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+                          code[j - 1] == 'p' || code[j - 1] == 'P'))))
+                    ++j;
+                i = j;
+            } else if (c == ':' && i + 1 < code.size() &&
+                       code[i + 1] == ':') {
+                toks.push_back({"::", li + 1, false});
+                i += 2;
+            } else if (c == '-' && i + 1 < code.size() &&
+                       code[i + 1] == '>') {
+                toks.push_back({"->", li + 1, false});
+                i += 2;
+            } else {
+                toks.push_back({std::string(1, c), li + 1, false});
+                ++i;
+            }
+        }
+    }
+    return toks;
+}
+
+// ---- Directive and literal scanning --------------------------------
+
+void
+scanDirectives(const std::vector<ScannedLine> &lines, FileIndex &fi)
+{
+    static const std::regex allow_pattern(
+        R"(splint:allow\(([A-Za-z0-9_-]+)\)(:\s*(\S.*))?)");
+    static const std::regex begin_pattern(
+        R"(splint:hot-path-begin(\(([A-Za-z0-9_-]+)\))?)");
+    static const std::regex end_pattern(R"(splint:hot-path-end\b)");
+
+    bool in_hot = false;
+    HotRegion open;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &comment = lines[i].comment;
+        std::smatch match;
+        if (std::regex_search(comment, match, allow_pattern))
+            fi.allows[i + 1] = {match[1].str(), match[3].matched};
+        if (std::regex_search(comment, match, begin_pattern)) {
+            // Imbalance is the lexical hot-path-marker rule's job;
+            // the index just keeps the outermost open region.
+            if (!in_hot) {
+                in_hot = true;
+                open.name = match[2].matched ? match[2].str() : "";
+                open.begin_line = i + 1;
+            }
+        } else if (std::regex_search(comment, match, end_pattern)) {
+            if (in_hot) {
+                open.end_line = i + 1;
+                fi.hot_regions.push_back(open);
+                in_hot = false;
+            }
+        }
+    }
+    if (in_hot) {
+        open.end_line = lines.size();
+        fi.hot_regions.push_back(open);
+    }
+}
+
+void
+scanFaultPoints(const std::vector<ScannedLine> &lines, FileIndex &fi)
+{
+    static const std::regex point_pattern(
+        R"re(\bSP_FAULT_POINT\s*\(\s*"([^"\\]+)"\s*\))re");
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &text = lines[i].code_with_literals;
+        auto begin =
+            std::sregex_iterator(text.begin(), text.end(), point_pattern);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            fi.fault_points.push_back({(*it)[1].str(), i + 1});
+    }
+}
+
+// ---- Scope-tracking definition/call parser -------------------------
+
+bool
+isControlKeyword(const std::string &name)
+{
+    static const std::vector<std::string> keywords = {
+        "if",       "for",     "while",    "switch",        "catch",
+        "return",   "sizeof",  "alignof",  "decltype",      "defined",
+        "assert",   "throw",   "alignas",  "static_assert", "typeid",
+        "noexcept", "explicit"};
+    return std::find(keywords.begin(), keywords.end(), name) !=
+           keywords.end();
+}
+
+bool
+isAttributeWord(const std::string &name)
+{
+    static const std::vector<std::string> words = {
+        "final",      "alignas",    "nodiscard", "maybe_unused",
+        "deprecated", "noreturn",   "packed",    "aligned",
+        "likely",     "unlikely"};
+    return std::find(words.begin(), words.end(), name) != words.end();
+}
+
+class FileParser
+{
+  public:
+    FileParser(SymbolIndex &ix, FileIndex &fi, std::string path,
+               std::vector<Tok> toks)
+        : ix_(ix), fi_(fi), path_(std::move(path)), toks_(std::move(toks))
+    {
+    }
+
+    void
+    run()
+    {
+        for (size_t i = 0; i < toks_.size(); ++i) {
+            const Tok &t = toks_[i];
+            if (t.ident) {
+                handleIdent(t);
+                continue;
+            }
+            if (t.text == "::" && pending_ns_) {
+                pending_ns_name_ += "::";
+            } else if (t.text == "[") {
+                ++bracket_depth_;
+            } else if (t.text == "]") {
+                if (bracket_depth_ > 0)
+                    --bracket_depth_;
+            } else if (t.text == "(") {
+                i = handleOpenParen(i);
+            } else if (t.text == "{") {
+                pushBrace(t.line);
+            } else if (t.text == "}") {
+                popBrace(t.line);
+            } else if (t.text == ";") {
+                clearPending();
+            }
+        }
+        // Force-close anything left open (truncated fixture files).
+        const size_t last =
+            toks_.empty() ? 1 : toks_.back().line;
+        for (const Scope &scope : stack_)
+            if (scope.kind == Scope::Fn &&
+                ix_.functions[scope.fn].end_line == 0)
+                ix_.functions[scope.fn].end_line = last;
+    }
+
+  private:
+    struct Scope
+    {
+        enum Kind
+        {
+            Ns,
+            Cls,
+            Fn,
+            Blk
+        } kind;
+        std::string name;
+        size_t fn = SymbolIndex::npos;
+    };
+
+    void
+    handleIdent(const Tok &t)
+    {
+        const std::string &w = t.text;
+        if (w == "class" || w == "struct" || w == "union" ||
+            w == "enum") {
+            pending_class_ = true;
+            return;
+        }
+        if (w == "namespace") {
+            pending_ns_ = true;
+            pending_ns_name_.clear();
+            return;
+        }
+        if (pending_ns_) {
+            pending_ns_name_ += w;
+            return;
+        }
+        if (pending_class_ && pending_class_name_.empty() &&
+            bracket_depth_ == 0 && !isAttributeWord(w))
+            pending_class_name_ = w;
+    }
+
+    /** Returns the index to resume the main loop from. */
+    size_t
+    handleOpenParen(size_t open)
+    {
+        std::string chain;
+        std::string name;
+        if (!lookBackChain(open, chain, name))
+            return open;
+        if (isControlKeyword(name))
+            return open;
+        const size_t fn = currentFunction();
+        if (fn != SymbolIndex::npos) {
+            ix_.functions[fn].calls.push_back(
+                {chain, name, toks_[open].line,
+                 fi_.inHotRegion(toks_[open].line)});
+            return open;
+        }
+        // Namespace/class scope: a candidate definition header.
+        const size_t close = matchParen(open);
+        if (close == SymbolIndex::npos)
+            return open;
+        const size_t brace = findBody(close);
+        if (brace == SymbolIndex::npos)
+            return close; // declaration: skip the parameter list
+        // Definition: register and enter the body.
+        FunctionInfo info;
+        info.qualified = qualifiedName(chain);
+        info.name = name;
+        info.file = path_;
+        info.line = toks_[open].line;
+        const size_t id = ix_.functions.size();
+        ix_.functions.push_back(std::move(info));
+        clearPending();
+        stack_.push_back({Scope::Fn, name, id});
+        return brace; // its matching '}' pops the scope
+    }
+
+    /**
+     * Walk back from the `(` at `open` over the identifier chain that
+     * names the call or definition: `ident(::ident)*`, a possible
+     * template argument list directly before the paren, `operator`
+     * followed by its symbol spelling, and a destructor tilde.
+     */
+    bool
+    lookBackChain(size_t open, std::string &chain, std::string &name)
+    {
+        if (open == 0)
+            return false;
+        size_t j = open - 1;
+        // Skip one balanced template argument list: foo<T>(...)
+        if (toks_[j].text == ">") {
+            int depth = 1;
+            size_t steps = 0;
+            while (j > 0 && depth > 0 && ++steps < 64) {
+                --j;
+                if (toks_[j].text == ">")
+                    ++depth;
+                else if (toks_[j].text == "<")
+                    --depth;
+            }
+            if (depth != 0 || j == 0)
+                return false;
+            --j;
+        }
+        std::vector<std::string> parts;
+        if (toks_[j].ident) {
+            parts.push_back(toks_[j].text);
+        } else {
+            // operator==, operator[], operator new...
+            std::string syms;
+            size_t k = j;
+            size_t steps = 0;
+            while (k > 0 && !toks_[k].ident && ++steps <= 3) {
+                syms = toks_[k].text + syms;
+                --k;
+            }
+            if (!(k < j && toks_[k].ident &&
+                  toks_[k].text == "operator"))
+                return false;
+            parts.push_back("operator" + syms);
+            j = k;
+        }
+        if (j > 0 && toks_[j - 1].text == "~") {
+            parts.back() = "~" + parts.back();
+            --j;
+        }
+        while (j >= 2 && toks_[j - 1].text == "::" &&
+               toks_[j - 2].ident) {
+            parts.insert(parts.begin(), toks_[j - 2].text);
+            j -= 2;
+        }
+        name = parts.back();
+        for (size_t k = 0; k < parts.size(); ++k)
+            chain += (k > 0 ? "::" : "") + parts[k];
+        return true;
+    }
+
+    /** Index of the `)` matching the `(` at `open`; npos if absent. */
+    size_t
+    matchParen(size_t open)
+    {
+        int depth = 0;
+        for (size_t j = open; j < toks_.size(); ++j) {
+            if (toks_[j].text == "(")
+                ++depth;
+            else if (toks_[j].text == ")" && --depth == 0)
+                return j;
+        }
+        return SymbolIndex::npos;
+    }
+
+    /**
+     * After a definition header's closing `)`: accept cv-qualifiers,
+     * noexcept(...), a trailing return type and a member-initializer
+     * list, looking for the body `{`. Returns its index, or npos when
+     * this is a declaration (`;`, `= default`, a comma in a
+     * declarator list...).
+     */
+    size_t
+    findBody(size_t close)
+    {
+        static const std::vector<std::string> modifiers = {
+            "const", "noexcept", "override", "final",
+            "mutable", "volatile", "requires", "try"};
+        size_t k = close + 1;
+        bool in_trailer = false; // past `->` or `:`: scan to the brace
+        int depth = 0;           // parens inside noexcept()/init list
+        while (k < toks_.size()) {
+            const Tok &t = toks_[k];
+            if (t.text == "(") {
+                ++depth;
+            } else if (t.text == ")") {
+                --depth;
+            } else if (depth == 0) {
+                if (t.text == "{") {
+                    // Braced member init (`: a{0} {`) only occurs
+                    // after an identifier; the body brace follows
+                    // `)`, `}` or a type token. This codebase
+                    // initializes with parens, so treat a `{` that
+                    // directly follows an identifier inside a trailer
+                    // as an init and skip it.
+                    if (in_trailer && k > 0 && toks_[k - 1].ident &&
+                        toks_[k - 1].text != "const" &&
+                        toks_[k - 1].text != "noexcept") {
+                        const size_t end = matchBrace(k);
+                        if (end == SymbolIndex::npos)
+                            return SymbolIndex::npos;
+                        k = end;
+                    } else {
+                        return k;
+                    }
+                } else if (t.text == ";" || t.text == "=" ||
+                           t.text == ",") {
+                    return SymbolIndex::npos;
+                } else if (t.text == "->" || t.text == ":") {
+                    in_trailer = true;
+                } else if (!in_trailer && t.ident &&
+                           std::find(modifiers.begin(), modifiers.end(),
+                                     t.text) == modifiers.end()) {
+                    return SymbolIndex::npos;
+                }
+            }
+            ++k;
+        }
+        return SymbolIndex::npos;
+    }
+
+    size_t
+    matchBrace(size_t open)
+    {
+        int depth = 0;
+        for (size_t j = open; j < toks_.size(); ++j) {
+            if (toks_[j].text == "{")
+                ++depth;
+            else if (toks_[j].text == "}" && --depth == 0)
+                return j;
+        }
+        return SymbolIndex::npos;
+    }
+
+    void
+    pushBrace(size_t)
+    {
+        if (pending_ns_) {
+            stack_.push_back({Scope::Ns,
+                              pending_ns_name_.empty() ? "(anonymous)"
+                                                       : pending_ns_name_,
+                              SymbolIndex::npos});
+        } else if (pending_class_ && !pending_class_name_.empty()) {
+            stack_.push_back(
+                {Scope::Cls, pending_class_name_, SymbolIndex::npos});
+        } else {
+            stack_.push_back({Scope::Blk, "", SymbolIndex::npos});
+        }
+        clearPending();
+    }
+
+    void
+    popBrace(size_t line)
+    {
+        if (stack_.empty())
+            return;
+        const Scope top = stack_.back();
+        stack_.pop_back();
+        if (top.kind == Scope::Fn)
+            ix_.functions[top.fn].end_line = line;
+        clearPending();
+    }
+
+    size_t
+    currentFunction() const
+    {
+        for (size_t i = stack_.size(); i > 0; --i)
+            if (stack_[i - 1].kind == Scope::Fn)
+                return stack_[i - 1].fn;
+        return SymbolIndex::npos;
+    }
+
+    std::string
+    qualifiedName(const std::string &chain) const
+    {
+        std::string out;
+        for (const Scope &scope : stack_) {
+            if (scope.kind != Scope::Ns && scope.kind != Scope::Cls)
+                continue;
+            if (scope.name == "(anonymous)")
+                continue;
+            out += scope.name + "::";
+        }
+        return out + chain;
+    }
+
+    void
+    clearPending()
+    {
+        pending_ns_ = false;
+        pending_ns_name_.clear();
+        pending_class_ = false;
+        pending_class_name_.clear();
+    }
+
+    SymbolIndex &ix_;
+    FileIndex &fi_;
+    std::string path_;
+    std::vector<Tok> toks_;
+    std::vector<Scope> stack_;
+    bool pending_ns_ = false;
+    std::string pending_ns_name_;
+    bool pending_class_ = false;
+    std::string pending_class_name_;
+    int bracket_depth_ = 0;
+};
+
+/** Attribute per-line regex hits to the innermost covering function. */
+void
+attributeTokenHits(SymbolIndex &ix, const std::string &path,
+                   const std::vector<ScannedLine> &lines,
+                   size_t first_fn)
+{
+    std::vector<std::pair<size_t, size_t>> spans; // fn id, by start line
+    for (size_t f = first_fn; f < ix.functions.size(); ++f)
+        if (ix.functions[f].file == path)
+            spans.emplace_back(ix.functions[f].line, f);
+    if (spans.empty())
+        return;
+    std::sort(spans.begin(), spans.end());
+
+    const auto covering = [&](size_t line) -> size_t {
+        size_t found = SymbolIndex::npos;
+        for (const auto &[start, f] : spans) {
+            if (start > line)
+                break;
+            if (ix.functions[f].end_line >= line)
+                found = f;
+        }
+        return found;
+    };
+
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &code = lines[i].code;
+        if (code.empty())
+            continue;
+        for (const auto *pattern :
+             {&allocTokenPattern(), &nondetTokenPattern()}) {
+            auto begin =
+                std::sregex_iterator(code.begin(), code.end(), *pattern);
+            if (begin == std::sregex_iterator())
+                continue;
+            const size_t f = covering(i + 1);
+            if (f == SymbolIndex::npos)
+                continue;
+            for (auto it = begin; it != std::sregex_iterator(); ++it) {
+                TokenHit hit{i + 1, it->str()};
+                if (pattern == &allocTokenPattern())
+                    ix.functions[f].allocs.push_back(hit);
+                else
+                    ix.functions[f].nondet.push_back(hit);
+            }
+        }
+    }
+}
+
+std::optional<std::string>
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace
+
+// ---- FileIndex -----------------------------------------------------
+
+bool
+FileIndex::inHotRegion(size_t line) const
+{
+    for (const HotRegion &region : hot_regions)
+        if (line >= region.begin_line && line <= region.end_line)
+            return true;
+    return false;
+}
+
+bool
+FileIndex::allowedAt(size_t line, const std::string &rule) const
+{
+    for (const size_t candidate : {line, line - 1}) {
+        if (candidate == 0 || candidate > line)
+            continue;
+        const auto it = allows.find(candidate);
+        if (it != allows.end() && it->second.rule == rule &&
+            it->second.justified)
+            return true;
+    }
+    return false;
+}
+
+// ---- SymbolIndex ---------------------------------------------------
+
+void
+SymbolIndex::addSource(const std::string &path, const std::string &text)
+{
+    known_files.push_back(path);
+    FileIndex &fi = files[path];
+    fi.path = path;
+
+    const std::vector<ScannedLine> lines = scanLines(text);
+    const bool in_src = path.rfind("src/", 0) == 0;
+    const bool in_tools = path.rfind("tools/", 0) == 0;
+
+    scanDirectives(lines, fi);
+    std::vector<Tok> toks = tokenize(lines, fi, in_src || in_tools);
+    if (!in_src)
+        return; // tools/: include edges only
+
+    scanFaultPoints(lines, fi);
+    const size_t first_fn = functions.size();
+    FileParser(*this, fi, path, std::move(toks)).run();
+    attributeTokenHits(*this, path, lines, first_fn);
+}
+
+void
+SymbolIndex::finalize()
+{
+    by_name.clear();
+    for (size_t f = 0; f < functions.size(); ++f)
+        by_name[functions[f].name].push_back(f);
+
+    std::vector<std::string> sorted = known_files;
+    std::sort(sorted.begin(), sorted.end());
+    const auto exists = [&](const std::string &p) {
+        return std::binary_search(sorted.begin(), sorted.end(), p);
+    };
+
+    for (auto &[path, fi] : files) {
+        const size_t slash = path.find_last_of('/');
+        const std::string dir =
+            slash == std::string::npos ? "" : path.substr(0, slash + 1);
+        std::vector<IncludeEdge> resolved;
+        for (IncludeEdge edge : fi.includes) {
+            const std::string candidates[] = {
+                "src/" + edge.target, "tools/" + edge.target,
+                edge.target, dir + edge.target};
+            bool found = false;
+            for (const std::string &candidate : candidates) {
+                if (exists(candidate)) {
+                    edge.target = candidate;
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                resolved.push_back(std::move(edge));
+            // Unresolved targets are system/third-party headers.
+        }
+        fi.includes = std::move(resolved);
+    }
+}
+
+size_t
+SymbolIndex::findQualified(const std::string &qualified) const
+{
+    for (size_t f = 0; f < functions.size(); ++f)
+        if (functions[f].qualified == qualified)
+            return f;
+    return npos;
+}
+
+std::vector<size_t>
+SymbolIndex::resolveCall(const CallSite &call) const
+{
+    const auto it = by_name.find(call.name);
+    if (it == by_name.end())
+        return {};
+    if (call.chain == call.name)
+        return it->second; // bare name: the whole overload set
+    // Qualified call: narrow to definitions whose qualified name ends
+    // with the written chain (component-aligned).
+    std::vector<size_t> out;
+    for (const size_t f : it->second) {
+        const std::string &q = functions[f].qualified;
+        if (q == call.chain ||
+            (q.size() > call.chain.size() + 2 &&
+             q.compare(q.size() - call.chain.size(), std::string::npos,
+                       call.chain) == 0 &&
+             q.compare(q.size() - call.chain.size() - 2, 2, "::") == 0))
+            out.push_back(f);
+    }
+    // A chain that matches nothing (e.g. an external namespace) still
+    // resolves conservatively to the overload set by bare name.
+    return out.empty() ? it->second : out;
+}
+
+SymbolIndex
+buildIndex(const fs::path &root)
+{
+    SymbolIndex index;
+    std::vector<fs::path> sources;
+    for (const char *subtree : {"src", "tools"}) {
+        const fs::path dir = root / subtree;
+        if (!fs::is_directory(dir))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(dir);
+             it != fs::recursive_directory_iterator(); ++it) {
+            // Fixture trees under tools/ are lint *test data*, not
+            // sources of this tree; indexing them would graft their
+            // hot regions and helpers onto the real graphs.
+            if (it->is_directory() &&
+                it->path().filename() == "fixtures") {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext == ".cc" || ext == ".h" || ext == ".cpp")
+                sources.push_back(it->path());
+        }
+    }
+    std::sort(sources.begin(), sources.end());
+    for (const fs::path &file : sources) {
+        const std::optional<std::string> text = readFile(file);
+        if (!text.has_value())
+            continue;
+        index.addSource(fs::relative(file, root).generic_string(),
+                        *text);
+    }
+    index.finalize();
+    return index;
+}
+
+} // namespace sp::splint

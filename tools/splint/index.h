@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Pass 1 of the semantic analyzer: a tree-wide symbol index built
+ * from the lexer channels alone (no libclang).
+ *
+ * The index records, per translation unit:
+ *
+ *   - function and method *definitions* with qualified names
+ *     (namespace and class scopes tracked by a brace-matching token
+ *     parser over the comment-stripped code channel),
+ *   - call sites inside each definition (the identifier chain before
+ *     a `(`, control-flow keywords excluded), flagged when they sit
+ *     inside a `splint:hot-path-begin/end` region,
+ *   - allocation/stream-IO/fault-site token hits and nondeterminism
+ *     token hits per definition (the same token sets the lexical
+ *     rules use, so the transitive rules agree with the direct ones),
+ *   - resolved `#include "..."` edges (src/ and tools/ scope),
+ *   - `SP_FAULT_POINT("site")` literals,
+ *   - hot-path regions and `splint:allow` directives, so graph rules
+ *     honor suppressions at their anchor lines.
+ *
+ * Parsing is heuristic by design: it understands this codebase's
+ * idiom (definitions open a brace; preprocessor lines are skipped;
+ * lambdas attribute their bodies to the enclosing function). Known
+ * blind spots -- operator() definitions, constructor calls spelled
+ * only through make_unique<T> -- err conservative for the rules
+ * built on top: a missed edge can only suppress a finding the direct
+ * lexical rules still police at the definition site.
+ */
+
+#ifndef SP_TOOLS_SPLINT_INDEX_H
+#define SP_TOOLS_SPLINT_INDEX_H
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace sp::splint
+{
+
+/** The allocation/stream-IO/fault-site token set. Shared between the
+ *  lexical hot-path-alloc rule and the transitive index so the two
+ *  views of "allocates" cannot drift apart. */
+const std::regex &allocTokenPattern();
+
+/** The nondeterminism token set, shared the same way between
+ *  no-nondeterminism and the determinism-taint index. */
+const std::regex &nondetTokenPattern();
+
+/** A rule token hit (allocation or nondeterminism source). */
+struct TokenHit
+{
+    size_t line = 0; //!< 1-based
+    std::string token;
+};
+
+/** One call site inside a function definition. */
+struct CallSite
+{
+    std::string chain; //!< as written, e.g. "common::ThreadPool::global"
+    std::string name;  //!< last chain component, e.g. "global"
+    size_t line = 0;   //!< 1-based
+    bool in_hot_region = false;
+};
+
+/** One indexed function/method definition. */
+struct FunctionInfo
+{
+    std::string qualified; //!< e.g. "sp::core::ScratchPipeController::plan"
+    std::string name;      //!< unqualified, e.g. "plan"
+    std::string file;      //!< root-relative path
+    size_t line = 0;       //!< 1-based line of the definition
+    size_t end_line = 0;   //!< 1-based line of the closing brace
+    std::vector<CallSite> calls;
+    std::vector<TokenHit> allocs;
+    std::vector<TokenHit> nondet;
+};
+
+/** A parsed `splint:allow(rule): why` directive. */
+struct AllowSite
+{
+    std::string rule;
+    bool justified = false;
+};
+
+/** A resolved include edge. */
+struct IncludeEdge
+{
+    std::string target; //!< root-relative path of the included file
+    size_t line = 0;    //!< 1-based line of the #include
+};
+
+/** One SP_FAULT_POINT("site") literal. */
+struct FaultPoint
+{
+    std::string site;
+    size_t line = 0; //!< 1-based
+};
+
+/** A `splint:hot-path-begin(name)` ... `end` region. */
+struct HotRegion
+{
+    std::string name;
+    size_t begin_line = 0; //!< 1-based, inclusive
+    size_t end_line = 0;   //!< 1-based, inclusive
+};
+
+/** Per-file facts that are not tied to one function. */
+struct FileIndex
+{
+    std::string path;
+    std::vector<IncludeEdge> includes;
+    std::vector<FaultPoint> fault_points;
+    std::vector<HotRegion> hot_regions;
+    std::map<size_t, AllowSite> allows; //!< 1-based line -> directive
+
+    /** True if `line` (1-based) lies inside a hot-path region. */
+    bool inHotRegion(size_t line) const;
+    /** True if a justified allow for `rule` sits on `line` or the
+     *  line above (the same placement the lexical rules honor). */
+    bool allowedAt(size_t line, const std::string &rule) const;
+};
+
+/** The whole-tree index. */
+struct SymbolIndex
+{
+    std::vector<FunctionInfo> functions;
+    //! unqualified name -> indices into `functions`
+    std::map<std::string, std::vector<size_t>> by_name;
+    //! root-relative path -> per-file facts
+    std::map<std::string, FileIndex> files;
+    //! every repo-relative source path seen (for include resolution)
+    std::vector<std::string> known_files;
+
+    /**
+     * Index one source file. `path` is root-relative with forward
+     * slashes; it scopes which facts are recorded (functions/calls/
+     * token hits and fault points from src/ only; includes from src/
+     * and tools/). Call finalize() after the last addSource.
+     */
+    void addSource(const std::string &path, const std::string &text);
+
+    /** Build by_name and resolve include targets against known_files. */
+    void finalize();
+
+    /** Find a definition by exact qualified name; npos when absent. */
+    size_t findQualified(const std::string &qualified) const;
+
+    /**
+     * Resolve a call: a multi-component chain matches definitions
+     * whose qualified name ends with the chain (method/namespace
+     * qualifiers narrow the overload set); a bare name matches every
+     * definition with that unqualified name (overload-conservative).
+     */
+    std::vector<size_t> resolveCall(const CallSite &call) const;
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+};
+
+/**
+ * Walk `root` and index every .cc/.h/.cpp under src/ and tools/
+ * (sorted traversal, so the index -- and everything derived from it
+ * -- is byte-stable across filesystem orders). Missing subtrees are
+ * skipped: fixture trees are partial.
+ */
+SymbolIndex buildIndex(const std::filesystem::path &root);
+
+} // namespace sp::splint
+
+#endif // SP_TOOLS_SPLINT_INDEX_H

@@ -1,0 +1,164 @@
+#include "splint/lexer.h"
+
+#include <cctype>
+
+namespace sp::splint
+{
+
+namespace
+{
+
+/** True if `code` ends with a raw-string prefix (R, u8R, uR, UR, LR)
+ *  that is not the tail of a longer identifier -- i.e. the `"` that
+ *  follows opens a raw string literal. */
+bool
+endsWithRawPrefix(const std::string &code)
+{
+    size_t n = code.size();
+    if (n == 0 || code[n - 1] != 'R')
+        return false;
+    size_t start = n - 1; // first char of the prefix
+    if (start > 0) {
+        const char p = code[start - 1];
+        if (p == 'u' || p == 'U' || p == 'L') {
+            start -= 1;
+        } else if (p == '8' && start > 1 && code[start - 2] == 'u') {
+            start -= 2;
+        }
+    }
+    if (start == 0)
+        return true;
+    const char before = code[start - 1];
+    return !(std::isalnum(static_cast<unsigned char>(before)) ||
+             before == '_');
+}
+
+} // namespace
+
+std::vector<ScannedLine>
+scanLines(const std::string &text)
+{
+    enum class Mode
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawStringDelim, //!< between R" and the opening (
+        RawString,      //!< inside the raw body, until )delim"
+    };
+
+    std::vector<ScannedLine> lines;
+    ScannedLine current;
+    Mode mode = Mode::Code;
+    bool escaped = false;
+    std::string raw_delim;      // delimiter of the open raw string
+    std::string raw_terminator; // ")" + raw_delim + "\""
+    std::string raw_tail;       // rolling suffix matched vs terminator
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            const bool comment_spliced =
+                mode == Mode::LineComment && !current.comment.empty() &&
+                current.comment.back() == '\\';
+            const bool literal_spliced =
+                (mode == Mode::String || mode == Mode::Char) && escaped;
+            lines.push_back(std::move(current));
+            current = {};
+            if (mode == Mode::LineComment && !comment_spliced)
+                mode = Mode::Code;
+            // An unterminated non-raw literal does not occur in code
+            // that compiles (a splice keeps it open legitimately);
+            // reset so one bad fixture line cannot swallow the file.
+            if ((mode == Mode::String || mode == Mode::Char) &&
+                !literal_spliced)
+                mode = Mode::Code;
+            if (mode == Mode::RawStringDelim)
+                mode = Mode::Code; // malformed: delimiters cannot wrap
+            escaped = false;
+            raw_tail.clear(); // the terminator never spans lines
+            continue;
+        }
+        switch (mode) {
+        case Mode::Code:
+            if (c == '/' && next == '/') {
+                mode = Mode::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                mode = Mode::BlockComment;
+                ++i;
+            } else if (c == '"' && endsWithRawPrefix(current.code)) {
+                mode = Mode::RawStringDelim;
+                raw_delim.clear();
+                current.code.push_back('"');
+                current.code_with_literals.push_back('"');
+            } else if (c == '"') {
+                mode = Mode::String;
+                current.code.push_back('"');
+                current.code_with_literals.push_back('"');
+            } else if (c == '\'') {
+                mode = Mode::Char;
+                current.code.push_back('\'');
+                current.code_with_literals.push_back('\'');
+            } else {
+                current.code.push_back(c);
+                current.code_with_literals.push_back(c);
+            }
+            break;
+        case Mode::LineComment:
+            current.comment.push_back(c);
+            break;
+        case Mode::BlockComment:
+            if (c == '*' && next == '/') {
+                mode = Mode::Code;
+                ++i;
+            } else {
+                current.comment.push_back(c);
+            }
+            break;
+        case Mode::String:
+        case Mode::Char:
+            current.code_with_literals.push_back(c);
+            if (escaped) {
+                escaped = false;
+            } else if (c == '\\') {
+                escaped = true;
+            } else if ((mode == Mode::String && c == '"') ||
+                       (mode == Mode::Char && c == '\'')) {
+                current.code.push_back(c);
+                mode = Mode::Code;
+            }
+            break;
+        case Mode::RawStringDelim:
+            current.code_with_literals.push_back(c);
+            if (c == '(') {
+                mode = Mode::RawString;
+                raw_terminator = ")" + raw_delim + "\"";
+                raw_tail.clear();
+            } else if (raw_delim.size() >= 16 || c == '"' ||
+                       c == '\\') {
+                mode = Mode::Code; // malformed per the grammar
+            } else {
+                raw_delim.push_back(c);
+            }
+            break;
+        case Mode::RawString:
+            current.code_with_literals.push_back(c);
+            raw_tail.push_back(c);
+            if (raw_tail.size() > raw_terminator.size())
+                raw_tail.erase(0, raw_tail.size() - raw_terminator.size());
+            if (raw_tail == raw_terminator) {
+                current.code.push_back('"');
+                mode = Mode::Code;
+            }
+            break;
+        }
+    }
+    lines.push_back(std::move(current));
+    return lines;
+}
+
+} // namespace sp::splint

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The splint source lexer: splits C++ source into per-line channels
+ * so rules and the symbol index never confuse code with prose.
+ *
+ * Three channels per physical line:
+ *
+ *   code                real tokens only -- comments dropped, the
+ *                       contents of string/char literals blanked
+ *                       (the delimiting quotes remain). Rule regexes
+ *                       and the symbol-index parser read this.
+ *   comment             the comment text. splint directives
+ *                       (splint:allow, hot-path markers) are honored
+ *                       here and nowhere else.
+ *   code_with_literals  code plus the literal contents (comments
+ *                       still dropped) -- for checks that must read
+ *                       strings: #include targets, spec keys,
+ *                       SP_FAULT_POINT site names.
+ *
+ * The lexer understands raw string literals (R"delim(...)delim",
+ * including multi-line bodies and embedded quotes/backslashes) and
+ * line-continuation splices (a trailing backslash continues a //
+ * comment or an ordinary string literal onto the next physical
+ * line), so neither can leak literal content into the code channel.
+ */
+
+#ifndef SP_TOOLS_SPLINT_LEXER_H
+#define SP_TOOLS_SPLINT_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace sp::splint
+{
+
+/** One scanned source line, split into the three channels. */
+struct ScannedLine
+{
+    std::string code;
+    std::string comment;
+    std::string code_with_literals;
+};
+
+/** Lex `text` into per-line channel splits. Block-comment, raw-string
+ *  and spliced-line state carries across physical lines. */
+std::vector<ScannedLine> scanLines(const std::string &text);
+
+} // namespace sp::splint
+
+#endif // SP_TOOLS_SPLINT_LEXER_H

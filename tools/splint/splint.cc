@@ -1,5 +1,8 @@
 #include "splint/splint.h"
 
+#include "splint/index.h"
+#include "splint/lexer.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -64,6 +67,32 @@ const std::vector<Rule> kRules = {
     {"allow-unknown-rule", Severity::Error,
      "splint:allow naming a rule that does not exist",
      "use a rule id from `splint --list-rules`"},
+    {"hot-path-transitive-alloc", Severity::Error,
+     "allocation, stream IO or fault site in a function reachable "
+     "from a hot-path region",
+     "hoist the allocation out of the callee into scratch that "
+     "retains capacity, or break the call chain out of the hot "
+     "region; if the degradation is deliberate (one-time setup, "
+     "capacity-retaining resize), justify it with a splint:allow at "
+     "the allocation site"},
+    {"determinism-taint", Severity::Error,
+     "nondeterminism source reachable from a simulation entry point "
+     "in src/{sys,cache,data}",
+     "thread an explicit seed through the config (tensor/rng.h); "
+     "anything the simulation can call must be a pure function of "
+     "the spec"},
+    {"layering", Severity::Error,
+     "include edge that points up the module dependency order, or an "
+     "include cycle",
+     "depend downward only (common -> {cache,data,emb,tensor} -> "
+     "{core,sim,nn,metrics} -> sys); break cycles by moving the "
+     "shared declaration into the lower layer"},
+    {"fault-site-registry", Severity::Error,
+     "SP_FAULT_POINT site missing from the fault.cc registry, "
+     "unreferenced, or not exercised by the FaultMatrix test",
+     "register the site (with its degradation contract) in "
+     "src/common/fault.cc sites() and add a FaultMatrix scenario in "
+     "tests/common/fault_injection_test.cc"},
 };
 
 // ---- Line-scoped rule patterns -------------------------------------
@@ -117,18 +146,12 @@ lineRules()
          std::regex(R"(\bstd\s*::\s*(thread|jthread|async)\b)"
                     R"(|\bpthread_(create|join|detach)\b)"),
          outsideThreadPool, false},
-        {"no-nondeterminism",
-         std::regex(R"(\bstd\s*::\s*random_device\b|\brandom_device\s*\{)"
-                    R"(|\bs?rand\s*\(|\btime\s*\(\s*(nullptr|NULL|0)?\s*\))"
-                    R"(|\b(steady|system|high_resolution)_clock\b)"),
-         simulationPath, false},
-        {"hot-path-alloc",
-         std::regex(R"(\bstd\s*::\s*(cout|cerr|clog)\b|\bf?printf\s*\()"
-                    R"(|\bnew\b|\bmalloc\s*\(|\bcalloc\s*\()"
-                    R"(|\bmake_(shared|unique)\b)"
-                    R"(|\b(push_back|emplace_back|resize|reserve)\s*\()"
-                    R"(|\bSP_FAULT_POINT\s*\()"),
-         anyPath, true},
+        // The nondeterminism and allocation token sets are shared
+        // with the symbol index (splint/index.h) so the lexical and
+        // transitive rules cannot drift apart.
+        {"no-nondeterminism", nondetTokenPattern(), simulationPath,
+         false},
+        {"hot-path-alloc", allocTokenPattern(), anyPath, true},
         // io-status, facet 1: process-killing calls on IO paths. A
         // panic in src/data is presumed wrong (environmental failures
         // must come back as sp::Status) unless a splint:allow argues
@@ -159,109 +182,9 @@ lineRules()
 
 // ---- Source text scanning ------------------------------------------
 
-/**
- * One scanned source line, split by the lexer below: `code` keeps
- * real tokens only (comments dropped, string/char literal contents
- * blanked) so rule regexes never fire on prose; `comment` keeps the
- * comment text, which is the only place splint directives are
- * honored -- a directive spelled inside a string literal (e.g. in
- * splint's own tests) is file *content*, not a marker.
- */
-struct ScannedLine
-{
-    std::string code;
-    std::string comment;
-    //! `code` plus the string/char literal contents (comments still
-    //! dropped) -- for checks that must read literals, like the
-    //! spec-doc key extraction.
-    std::string code_with_literals;
-};
-
-/** Lex `text` into per-line code/comment splits. Block-comment state
- *  carries across lines. */
-std::vector<ScannedLine>
-scanLines(const std::string &text)
-{
-    enum class Mode
-    {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-    };
-
-    std::vector<ScannedLine> lines;
-    ScannedLine current;
-    Mode mode = Mode::Code;
-    bool escaped = false;
-
-    for (size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        if (c == '\n') {
-            lines.push_back(std::move(current));
-            current = {};
-            if (mode == Mode::LineComment)
-                mode = Mode::Code;
-            // Unterminated literals do not occur in code that
-            // compiles; reset so one bad fixture line cannot swallow
-            // the rest of the file.
-            if (mode == Mode::String || mode == Mode::Char)
-                mode = Mode::Code;
-            escaped = false;
-            continue;
-        }
-        switch (mode) {
-        case Mode::Code:
-            if (c == '/' && next == '/') {
-                mode = Mode::LineComment;
-                ++i;
-            } else if (c == '/' && next == '*') {
-                mode = Mode::BlockComment;
-                ++i;
-            } else if (c == '"') {
-                mode = Mode::String;
-                current.code.push_back('"');
-                current.code_with_literals.push_back('"');
-            } else if (c == '\'') {
-                mode = Mode::Char;
-                current.code.push_back('\'');
-                current.code_with_literals.push_back('\'');
-            } else {
-                current.code.push_back(c);
-                current.code_with_literals.push_back(c);
-            }
-            break;
-        case Mode::LineComment:
-            current.comment.push_back(c);
-            break;
-        case Mode::BlockComment:
-            if (c == '*' && next == '/') {
-                mode = Mode::Code;
-                ++i;
-            } else {
-                current.comment.push_back(c);
-            }
-            break;
-        case Mode::String:
-        case Mode::Char:
-            current.code_with_literals.push_back(c);
-            if (escaped) {
-                escaped = false;
-            } else if (c == '\\') {
-                escaped = true;
-            } else if ((mode == Mode::String && c == '"') ||
-                       (mode == Mode::Char && c == '\'')) {
-                current.code.push_back(c);
-                mode = Mode::Code;
-            }
-            break;
-        }
-    }
-    lines.push_back(std::move(current));
-    return lines;
-}
+// The lexer lives in splint/lexer.h: per-line code/comment/
+// code_with_literals channels, with raw-string and line-splice
+// handling, shared with the symbol index.
 
 /** A parsed `splint:allow(rule): justification` directive. */
 struct Allow
@@ -511,12 +434,18 @@ lintSource(const std::string &path, const std::string &text)
         }
     }
 
+    sortDiagnostics(diagnostics);
+    return diagnostics;
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diagnostics)
+{
     std::sort(diagnostics.begin(), diagnostics.end(),
               [](const Diagnostic &a, const Diagnostic &b) {
-                  return std::tie(a.line, a.rule) <
-                         std::tie(b.line, b.rule);
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
               });
-    return diagnostics;
 }
 
 std::vector<Diagnostic>
@@ -552,6 +481,7 @@ lintTree(const fs::path &root)
 
     lintKernelRegistration(root, diagnostics);
     lintSpecDoc(root, diagnostics);
+    sortDiagnostics(diagnostics);
     return diagnostics;
 }
 
@@ -624,8 +554,8 @@ std::string
 toJson(const std::vector<Diagnostic> &diagnostics)
 {
     std::ostringstream os;
-    os << "{\"tool\":\"splint\",\"count\":" << diagnostics.size()
-       << ",\"violations\":[";
+    os << "{\"tool\":\"splint\",\"schema_version\":2,\"count\":"
+       << diagnostics.size() << ",\"violations\":[";
     for (size_t i = 0; i < diagnostics.size(); ++i) {
         const Diagnostic &diag = diagnostics[i];
         if (i > 0)
@@ -711,6 +641,43 @@ selfTest(const fs::path &fixtures, std::ostream &log)
     for (const Diagnostic &diag : clean)
         fail("clean tree produced " + diag.rule + " at " + diag.file +
              ":" + std::to_string(diag.line) + ": " + diag.message);
+
+    // Graph fixtures: each transitive rule fires on its violating
+    // tree under the semantic pass...
+    const auto expectGraphRule = [&](const char *tree,
+                                     const char *rule) {
+        const std::vector<Diagnostic> diagnostics =
+            analyzeTree(fixtures / tree);
+        bool found = false;
+        for (const Diagnostic &diag : diagnostics) {
+            fired.insert(diag.rule);
+            if (diag.rule == rule)
+                found = true;
+        }
+        if (!found)
+            fail(std::string("rule ") + rule + " did not fire on " +
+                 tree);
+    };
+    expectGraphRule("tree_bad_hot_transitive", "hot-path-transitive-alloc");
+    expectGraphRule("tree_bad_taint", "determinism-taint");
+    expectGraphRule("tree_bad_layering", "layering");
+    expectGraphRule("tree_bad_fault", "fault-site-registry");
+
+    // ... and the clean graph tree -- which exercises a hot region
+    // with an alloc-free callee chain, an *unreachable* entropy
+    // source, peer includes, a registered+exercised fault site, and
+    // the raw-string/line-splice lexer regressions -- reports nothing
+    // under either pass.
+    for (const char *pass : {"lexical", "semantic"}) {
+        const std::vector<Diagnostic> graph_clean =
+            pass == std::string("lexical")
+                ? lintTree(fixtures / "tree_graph_clean")
+                : analyzeTree(fixtures / "tree_graph_clean");
+        for (const Diagnostic &diag : graph_clean)
+            fail("tree_graph_clean produced " + diag.rule + " (" +
+                 pass + " pass) at " + diag.file + ":" +
+                 std::to_string(diag.line) + ": " + diag.message);
+    }
 
     for (const Rule &rule : kRules) {
         if (fired.find(rule.id) == fired.end())

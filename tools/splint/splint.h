@@ -38,13 +38,37 @@
  *   spec-doc            every spec key parsed in src/sys/spec.cc must
  *                       be documented in README.md.
  *
+ * On top of the lexical rules, analyzeTree() runs the semantic pass:
+ * a tree-wide symbol index (splint/index.h) feeds a call graph and an
+ * include graph (splint/graph.h), and four transitive rules reason
+ * across translation units:
+ *
+ *   hot-path-transitive-alloc  functions reachable from a call inside
+ *                       a hot-path region must be allocation-free;
+ *                       diagnostics carry the reachability trace.
+ *   determinism-taint   nondeterminism sources outside the simulation
+ *                       dirs must be unreachable from functions
+ *                       defined in src/{sys,cache,data}.
+ *   layering            includes follow the module dependency order
+ *                       common -> {cache,data,emb,tensor} ->
+ *                       {core,sim,nn,metrics} -> sys, and the include
+ *                       graph is acyclic.
+ *   fault-site-registry every SP_FAULT_POINT("site") literal is
+ *                       registered in src/common/fault.cc, has a call
+ *                       site, and is exercised by the FaultMatrix
+ *                       chaos test.
+ *
  * Violations are suppressed per line with
  * `// splint:allow(<rule>): <justification>` on the same or the
  * preceding line; the justification is mandatory (allow-justification
  * fires otherwise) and the rule id must exist (allow-unknown-rule).
+ * The transitive alloc/nondet rules also accept an allow for their
+ * direct counterpart (hot-path-alloc, no-nondeterminism), so one
+ * directive covers both views of a site.
  *
  * The rule table is data (id, severity, summary, fixit); the scanner
- * strips comments and string literals before matching so prose about
+ * (splint/lexer.h) strips comments and string literals -- including
+ * raw strings and line splices -- before matching so prose about
  * std::thread never trips the lint.
  */
 
@@ -58,6 +82,8 @@
 
 namespace sp::splint
 {
+
+struct SymbolIndex; // splint/index.h
 
 enum class Severity
 {
@@ -110,6 +136,24 @@ std::vector<Diagnostic> lintSource(const std::string &path,
  */
 std::vector<Diagnostic> lintTree(const std::filesystem::path &root);
 
+/**
+ * Run the semantic pass over the tree rooted at `root`: build the
+ * symbol index (splint/index.h) and evaluate the transitive rules
+ * (hot-path-transitive-alloc, determinism-taint, layering,
+ * fault-site-registry) over its graphs.
+ */
+std::vector<Diagnostic> analyzeTree(const std::filesystem::path &root);
+
+/** Same, over an index the caller already built (shared with
+ *  --dump-graph so one invocation indexes the tree once). */
+std::vector<Diagnostic> analyzeIndex(const std::filesystem::path &root,
+                                     const SymbolIndex &index);
+
+/** Canonical report order: (file, line, rule, message). Applied by
+ *  lintTree/analyzeTree so output is byte-stable across filesystem
+ *  traversal orders. */
+void sortDiagnostics(std::vector<Diagnostic> &diagnostics);
+
 /** True if any diagnostic is an error (the gate condition). */
 bool hasErrors(const std::vector<Diagnostic> &diagnostics);
 
@@ -118,8 +162,9 @@ std::string toText(const std::vector<Diagnostic> &diagnostics);
 
 /**
  * Machine-readable report:
- * {"tool":"splint","count":N,"violations":[{file,line,rule,severity,
- * message,fixit}...]} -- the schema asserted by the JSON report test.
+ * {"tool":"splint","schema_version":2,"count":N,"violations":
+ * [{file,line,rule,severity,message,fixit}...]} -- the schema
+ * asserted by the JSON report test.
  */
 std::string toJson(const std::vector<Diagnostic> &diagnostics);
 

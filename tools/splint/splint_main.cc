@@ -3,6 +3,11 @@
  * splint CLI.
  *
  *   sp_splint --root DIR [--format text|json]   lint a source tree
+ *                                               (lexical + semantic)
+ *   sp_splint --root DIR --lexical-only         line rules only
+ *   sp_splint --root DIR --graph-only           transitive rules only
+ *   sp_splint --root DIR --dump-graph=dot|json  dump the call/include
+ *                                               graphs, no linting
  *   sp_splint --self-test --fixtures DIR        prove every rule fires
  *   sp_splint --list-rules                      dump the rule table
  *
@@ -13,6 +18,8 @@
 #include <iostream>
 #include <string>
 
+#include "splint/graph.h"
+#include "splint/index.h"
 #include "splint/splint.h"
 
 namespace
@@ -22,7 +29,10 @@ int
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " [--root DIR] [--format text|json]\n"
+              << " [--root DIR] [--format text|json]"
+              << " [--lexical-only|--graph-only]\n"
+              << "       " << argv0 << " [--root DIR]"
+              << " --dump-graph=dot|json\n"
               << "       " << argv0 << " --self-test --fixtures DIR\n"
               << "       " << argv0 << " --list-rules\n";
     return 2;
@@ -36,8 +46,11 @@ main(int argc, char **argv)
     std::string root = ".";
     std::string format = "text";
     std::string fixtures;
+    std::string dump_graph;
     bool self_test = false;
     bool list_rules = false;
+    bool lexical_only = false;
+    bool graph_only = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -61,6 +74,14 @@ main(int argc, char **argv)
             if (v == nullptr)
                 return usage(argv[0]);
             fixtures = v;
+        } else if (arg.rfind("--dump-graph=", 0) == 0) {
+            dump_graph = arg.substr(std::strlen("--dump-graph="));
+            if (dump_graph != "dot" && dump_graph != "json")
+                return usage(argv[0]);
+        } else if (arg == "--lexical-only") {
+            lexical_only = true;
+        } else if (arg == "--graph-only") {
+            graph_only = true;
         } else if (arg == "--self-test") {
             self_test = true;
         } else if (arg == "--list-rules") {
@@ -71,6 +92,8 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+    if (lexical_only && graph_only)
+        return usage(argv[0]);
 
     if (list_rules) {
         for (const sp::splint::Rule &rule : sp::splint::rules()) {
@@ -91,8 +114,26 @@ main(int argc, char **argv)
         return sp::splint::selfTest(fixtures, std::cerr) ? 0 : 1;
     }
 
-    const std::vector<sp::splint::Diagnostic> diagnostics =
-        sp::splint::lintTree(root);
+    if (!dump_graph.empty()) {
+        const sp::splint::SymbolIndex index =
+            sp::splint::buildIndex(root);
+        std::cout << (dump_graph == "dot"
+                          ? sp::splint::dumpDot(index)
+                          : sp::splint::dumpJson(index));
+        return 0;
+    }
+
+    std::vector<sp::splint::Diagnostic> diagnostics;
+    if (!graph_only)
+        diagnostics = sp::splint::lintTree(root);
+    if (!lexical_only) {
+        std::vector<sp::splint::Diagnostic> semantic =
+            sp::splint::analyzeTree(root);
+        diagnostics.insert(diagnostics.end(),
+                           std::make_move_iterator(semantic.begin()),
+                           std::make_move_iterator(semantic.end()));
+        sp::splint::sortDiagnostics(diagnostics);
+    }
     std::cout << (format == "json" ? sp::splint::toJson(diagnostics)
                                    : sp::splint::toText(diagnostics));
     return sp::splint::hasErrors(diagnostics) ? 1 : 0;

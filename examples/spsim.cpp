@@ -116,6 +116,41 @@ printDetailed(const sys::RunResult &result, const std::string &spec_name,
     }
     if (!result.bottleneck.empty())
         table.addRow({"bottleneck", result.bottleneck});
+    if (result.serving.enabled) {
+        const auto &serving = result.serving;
+        table.addRow({"requests served",
+                      std::to_string(serving.requests)});
+        if (serving.dropped > 0)
+            table.addRow({"requests dropped",
+                          std::to_string(serving.dropped)});
+        table.addRow({"offered rate (req/s)",
+                      metrics::TablePrinter::num(serving.offered_rate,
+                                                 0)});
+        table.addRow({"achieved rate (req/s)",
+                      metrics::TablePrinter::num(serving.achieved_rate,
+                                                 0)});
+        table.addRow({"latency p50 (ms)",
+                      metrics::TablePrinter::num(1e3 * serving.p50, 3)});
+        table.addRow({"latency p99 (ms)",
+                      metrics::TablePrinter::num(1e3 * serving.p99, 3)});
+        table.addRow({"latency p999 (ms)",
+                      metrics::TablePrinter::num(1e3 * serving.p999,
+                                                 3)});
+        table.addRow({"latency mean (ms)",
+                      metrics::TablePrinter::num(1e3 * serving.mean,
+                                                 3)});
+        table.addRow({"latency max (ms)",
+                      metrics::TablePrinter::num(1e3 * serving.max, 3)});
+        table.addRow({"queue depth mean",
+                      metrics::TablePrinter::num(
+                          serving.mean_queue_depth, 2)});
+        table.addRow({"queue depth max",
+                      metrics::TablePrinter::num(serving.max_queue_depth,
+                                                 0)});
+        table.addRow({"batch fill mean",
+                      metrics::TablePrinter::num(serving.mean_batch_fill,
+                                                 2)});
+    }
     table.addRow({"GPU bytes (GB)",
                   metrics::TablePrinter::num(result.gpu_bytes / 1e9, 2)});
 

@@ -239,6 +239,10 @@ sites()
         {"experiment.run",
          "the spec's error is recorded in RunResult/JSON; the rest of "
          "the sweep completes"},
+        {"serve.request.drop",
+         "the arriving request is counted dropped and excluded from "
+         "latency/queue accounting; the stream continues and the run "
+         "completes with drops in RunResult::serving.dropped"},
         {"thread_pool.task",
          "the exception surfaces exactly once at join/wait/future; "
          "remaining indices drain"},

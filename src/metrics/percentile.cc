@@ -1,0 +1,63 @@
+#include "metrics/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sp::metrics
+{
+
+void
+PercentileReservoir::reserve(size_t expected)
+{
+    samples_.reserve(expected);
+}
+
+void
+PercentileReservoir::add(double value)
+{
+    samples_.push_back(value);
+    sorted_valid_ = false;
+}
+
+double
+PercentileReservoir::mean() const
+{
+    fatalIf(samples_.empty(), "percentile reservoir: mean of nothing");
+    double sum = 0.0;
+    for (const double v : samples_)
+        sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+PercentileReservoir::maxValue() const
+{
+    fatalIf(samples_.empty(), "percentile reservoir: max of nothing");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+PercentileReservoir::percentile(double q) const
+{
+    fatalIf(samples_.empty(),
+            "percentile reservoir: percentile of nothing");
+    // Written as !(in range) so NaN is rejected too.
+    fatalIf(!(q > 0.0 && q <= 1.0),
+            "percentile quantile must be in (0, 1], got ", q);
+    if (!sorted_valid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_valid_ = true;
+    }
+    // Nearest rank: 1-based rank ceil(q*N), clamped into [1, N] (the
+    // ceil can land at 0 for denormal-small q, and floating error on
+    // q*N can overshoot N for q=1).
+    const double n = static_cast<double>(sorted_.size());
+    size_t rank = static_cast<size_t>(std::ceil(q * n));
+    rank = std::clamp<size_t>(rank, 1, sorted_.size());
+    return sorted_[rank - 1];
+}
+
+} // namespace sp::metrics

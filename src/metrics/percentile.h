@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Exact nearest-rank percentile reservoir for SLO reporting.
+ *
+ * The serving engine records one latency sample per measured request
+ * and reports p50/p99/p999 next to the throughput metrics. Sample
+ * counts are bounded (iterations x batch size), so the reservoir keeps
+ * every sample and computes *exact* nearest-rank percentiles instead
+ * of a sketch: percentiles are then a pure function of the inserted
+ * values, which is what lets sweep JSON stay byte-identical across
+ * --jobs widths.
+ *
+ * Nearest-rank definition: for quantile q in (0, 1], the percentile is
+ * the value at 1-based rank ceil(q * N) of the sorted samples. This is
+ * the smallest sample v such that at least a q-fraction of the samples
+ * are <= v (so p50 of {1} is 1, p999 of 100 samples is the maximum).
+ */
+
+#ifndef SP_METRICS_PERCENTILE_H
+#define SP_METRICS_PERCENTILE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sp::metrics
+{
+
+/** Stores every sample; serves exact nearest-rank percentiles. */
+class PercentileReservoir
+{
+  public:
+    /** Pre-size for `expected` samples (keeps add() realloc-free). */
+    void reserve(size_t expected);
+
+    /** Record one sample (seconds, bytes, anything ordered). */
+    void add(double value);
+
+    /** Number of recorded samples. */
+    size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean; fatal() when empty. */
+    double mean() const;
+
+    /** Largest sample; fatal() when empty. */
+    double maxValue() const;
+
+    /**
+     * Nearest-rank percentile for quantile `q` in (0, 1], e.g.
+     * q=0.5 -> p50, q=0.999 -> p999. fatal() on an empty reservoir or
+     * an out-of-range q.
+     */
+    double percentile(double q) const;
+
+  private:
+    std::vector<double> samples_;
+    /** Sorted copy, rebuilt lazily on the first percentile() after an
+     *  add(); keeps repeated percentile queries O(1) after one sort. */
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+};
+
+} // namespace sp::metrics
+
+#endif // SP_METRICS_PERCENTILE_H

@@ -89,4 +89,15 @@ dlrmIterationFlops(const DlrmConfig &config, size_t batch)
     return flops;
 }
 
+double
+dlrmForwardFlops(const DlrmConfig &config, size_t batch)
+{
+    double flops = 0.0;
+    flops += mlpForwardFlops(bottomDims(config), batch);
+    flops += mlpForwardFlops(topDims(config), batch);
+    flops += interactionForwardFlops(config.num_tables,
+                                     config.embedding_dim, batch);
+    return flops;
+}
+
 } // namespace sp::nn

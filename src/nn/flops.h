@@ -33,6 +33,9 @@ double interactionBackwardFlops(size_t num_tables, size_t dim,
 /** Total DLRM backend FLOPs for one iteration (fwd + bwd). */
 double dlrmIterationFlops(const DlrmConfig &config, size_t batch);
 
+/** Forward-only DLRM backend FLOPs (inference serving). */
+double dlrmForwardFlops(const DlrmConfig &config, size_t batch);
+
 } // namespace sp::nn
 
 #endif // SP_NN_FLOPS_H

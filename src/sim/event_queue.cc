@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
@@ -10,6 +11,11 @@ namespace sp::sim
 void
 EventQueue::schedule(double when, Callback fn)
 {
+    // A NaN timestamp passes any `when < now_` style guard (every
+    // comparison with NaN is false) and then poisons the heap's strict
+    // weak ordering, so non-finite times are rejected explicitly
+    // before the ordering check.
+    panicIf(!std::isfinite(when), "non-finite event time: ", when);
     panicIf(when < now_, "scheduling into the past: ", when, " < ", now_);
     heap_.push(Event{when, next_sequence_++, std::move(fn)});
 }
@@ -17,6 +23,8 @@ EventQueue::schedule(double when, Callback fn)
 void
 EventQueue::scheduleAfter(double delay, Callback fn)
 {
+    // Same NaN trap as schedule(): `delay < 0.0` is false for NaN.
+    panicIf(!std::isfinite(delay), "non-finite delay: ", delay);
     panicIf(delay < 0.0, "negative delay ", delay);
     schedule(now_ + delay, std::move(fn));
 }
@@ -26,8 +34,11 @@ EventQueue::runNext()
 {
     if (heap_.empty())
         return false;
-    // Copy out before pop: the callback may schedule new events.
-    Event event = heap_.top();
+    // Move out before pop: the callback may schedule new events, and a
+    // copy would deep-copy the std::function (one heap allocation per
+    // event). top() is const-qualified, but the element is popped on
+    // the next line before the heap can observe its moved-from state.
+    Event event = std::move(const_cast<Event &>(heap_.top()));
     heap_.pop();
     now_ = event.when;
     ++executed_;

@@ -72,6 +72,13 @@ struct HardwareConfig
     double cpu_stage_overhead = 1.0e-3;
     /** Per-pipeline-stage synchronisation overhead (s). */
     double pipeline_stage_overhead = 0.5e-3;
+    /** Per-batch GPU overhead of a compiled inference engine: kernel
+     *  launches on a pre-built graph, no Python dispatch or optimizer
+     *  sync -- orders of magnitude below gpu_iteration_overhead (s). */
+    double gpu_serve_overhead = 40e-6;
+    /** Per-batch CPU overhead of the serving parameter-server path:
+     *  request decode + response encode on a compiled server (s). */
+    double cpu_serve_overhead = 20e-6;
 
     // ----- Multi-GPU system (Table I comparison) -------------------
     /** GPUs in the model-parallel system. */

@@ -104,6 +104,7 @@ registerHybridSystem(Registry &registry)
         {"hybrid", HybridCpuGpu::kDescription,
          /*uses_cache_fraction=*/false,
          /*uses_scratchpipe_options=*/false,
+         /*uses_serve_options=*/false,
          [](const ModelConfig &model, const sim::HardwareConfig &hw,
             const SystemSpec &) -> std::unique_ptr<System> {
              return std::make_unique<HybridCpuGpu>(model, hw);

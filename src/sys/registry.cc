@@ -17,6 +17,7 @@ void registerHybridSystem(Registry &registry);
 void registerStaticCacheSystem(Registry &registry);
 void registerScratchPipeSystems(Registry &registry);
 void registerMultiGpuSystem(Registry &registry);
+void registerServingSystem(Registry &registry);
 
 Registry &
 Registry::instance()
@@ -29,6 +30,7 @@ Registry::instance()
         registerStaticCacheSystem(built);
         registerScratchPipeSystems(built);
         registerMultiGpuSystem(built);
+        registerServingSystem(built);
         return built;
     }();
     return registry;

@@ -56,6 +56,9 @@ class Registry
         bool uses_cache_fraction = false;
         /** Do the scratchpad-only keys (policy/windows/...) apply? */
         bool uses_scratchpipe_options = false;
+        /** Do the serving-only keys (rate/arrival/budget_us/...)
+         *  apply? */
+        bool uses_serve_options = false;
         Builder build;
     };
 

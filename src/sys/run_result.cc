@@ -80,6 +80,32 @@ RunResult::toJson() const
         os << "null";
     os << ",\"gpu_bytes\":";
     emitNumber(os, gpu_bytes);
+    if (serving.enabled) {
+        os << ",\"serving\":{\"requests\":" << serving.requests
+           << ",\"dropped\":" << serving.dropped
+           << ",\"batches\":" << serving.batches
+           << ",\"offered_rate\":";
+        emitNumber(os, serving.offered_rate);
+        os << ",\"achieved_rate\":";
+        emitNumber(os, serving.achieved_rate);
+        os << ",\"latency\":{\"p50\":";
+        emitNumber(os, serving.p50);
+        os << ",\"p99\":";
+        emitNumber(os, serving.p99);
+        os << ",\"p999\":";
+        emitNumber(os, serving.p999);
+        os << ",\"mean\":";
+        emitNumber(os, serving.mean);
+        os << ",\"max\":";
+        emitNumber(os, serving.max);
+        os << "},\"queue_depth\":{\"mean\":";
+        emitNumber(os, serving.mean_queue_depth);
+        os << ",\"max\":";
+        emitNumber(os, serving.max_queue_depth);
+        os << "},\"mean_batch_fill\":";
+        emitNumber(os, serving.mean_batch_fill);
+        os << "}";
+    }
     if (!bottleneck.empty())
         os << ",\"bottleneck\":\"" << escape(bottleneck) << "\"";
     if (!error.empty())

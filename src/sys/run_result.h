@@ -16,6 +16,35 @@
 namespace sp::sys
 {
 
+/** SLO-facing outcome of a serving run (ServingSystem only). */
+struct ServingMetrics
+{
+    /** False for training systems: the "serving" JSON object is
+     *  omitted entirely so their output stays byte-identical. */
+    bool enabled = false;
+    /** Measured requests served (completed, latency recorded). */
+    uint64_t requests = 0;
+    /** Measured requests dropped (serve.request.drop injection). */
+    uint64_t dropped = 0;
+    /** Admission batches dispatched in the measured window. */
+    uint64_t batches = 0;
+    /** Configured open-loop arrival rate (requests/second). */
+    double offered_rate = 0.0;
+    /** Served requests / measured span (requests/second). */
+    double achieved_rate = 0.0;
+    /** Nearest-rank request-latency percentiles (seconds). */
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+    /** Admission-queue depth sampled at each measured arrival. */
+    double mean_queue_depth = 0.0;
+    double max_queue_depth = 0.0;
+    /** Served requests per dispatched batch. */
+    double mean_batch_fill = 0.0;
+};
+
 /** Averaged per-iteration outcome of simulating one system. */
 struct RunResult
 {
@@ -31,6 +60,8 @@ struct RunResult
     double hit_rate = -1.0;
     /** Provisioned GPU-side bytes (caches + metadata), 0 if none. */
     double gpu_bytes = 0.0;
+    /** Request-latency/queue metrics; enabled for serving runs only. */
+    ServingMetrics serving;
     /** Binding pipeline constraint (ScratchPipe only). */
     std::string bottleneck;
     /** Why this spec's simulation failed; empty on success. A failed

@@ -257,6 +257,7 @@ registerScratchPipeSystems(Registry &registry)
         {"scratchpipe", ScratchPipeSystem::kDescriptionPipelined,
          /*uses_cache_fraction=*/true,
          /*uses_scratchpipe_options=*/true,
+         /*uses_serve_options=*/false,
          [](const ModelConfig &model, const sim::HardwareConfig &hw,
             const SystemSpec &spec) -> std::unique_ptr<System> {
              return std::make_unique<ScratchPipeSystem>(
@@ -266,6 +267,7 @@ registerScratchPipeSystems(Registry &registry)
         {"strawman", ScratchPipeSystem::kDescriptionStrawman,
          /*uses_cache_fraction=*/true,
          /*uses_scratchpipe_options=*/true,
+         /*uses_serve_options=*/false,
          [](const ModelConfig &model, const sim::HardwareConfig &hw,
             const SystemSpec &spec) -> std::unique_ptr<System> {
              return std::make_unique<ScratchPipeSystem>(

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Online inference serving: open-loop arrivals, latency-budget
+ * admission batching, and a two-tier GPU-cache -> host parameter
+ * server.
+ *
+ * This is the production counterpart of the training sweeps -- the
+ * HugeCTR-HPS / Triton-backend shape: a host-resident parameter
+ * server holds every embedding table, a GPU-resident embedding cache
+ * holds the hot fraction, and batched inference requests hit the GPU
+ * tier first and fall through to the host for misses. Requests arrive
+ * open-loop (the stream does not slow down when the server falls
+ * behind), so queueing delay and SLO tails are first-class outputs:
+ * the system reports p50/p99/p999 request latency and queue depth in
+ * RunResult::serving next to the usual throughput metrics.
+ *
+ * The simulation is driven by sim::EventQueue in virtual time:
+ *
+ *   arrival   each request's arrival event enqueues it and schedules
+ *             the next arrival (data::ArrivalProcess)
+ *   admission a batch dispatches when it reaches `batch_max` requests
+ *             OR when the oldest queued request has waited
+ *             `latency_budget` seconds (a deadline event armed when
+ *             the queue goes nonempty)
+ *   dispatch  the admitted batch is classified against the GPU tier,
+ *             missed rows are gathered on the host PS and shipped
+ *             over PCIe, and the DLRM forward pass runs on the GPU;
+ *             the (single, FIFO) server serializes batches
+ *
+ * Request -> ID mapping: request r plays sample r % batch_size of
+ * trace batch r / batch_size, so the serving stream reuses the exact
+ * Zipf/workload-zoo ID space of the training sweeps, including every
+ * shaping overlay.
+ *
+ * GPU-tier refresh: `refresh=static` pins the hottest ranks
+ * (synthetic IDs are rank-ordered, as in StaticCacheSystem);
+ * lru/lfu/fifo/random run a dynamic cache (cache::HitMap +
+ * cache::ReplacementPolicy) that admits every missed row, evicting
+ * the policy's victim.
+ *
+ * Fault site "serve.request.drop": when armed, the arriving request
+ * is counted dropped and excluded from latency/queue accounting; the
+ * stream continues and the run completes with drops reported in
+ * RunResult::serving.dropped.
+ */
+
+#ifndef SP_SYS_SERVING_H
+#define SP_SYS_SERVING_H
+
+#include <cstdint>
+#include <string>
+
+#include "cache/replacement.h"
+#include "data/arrival.h"
+#include "sim/latency_model.h"
+#include "sys/system.h"
+#include "sys/system_config.h"
+
+namespace sp::sys
+{
+
+/** Tunables of the serve: system family (see sys/spec.h grammar). */
+struct ServeOptions
+{
+    /** Open-loop request stream (kind, rate, burst shape). */
+    data::ArrivalConfig arrival;
+    /** Admission batch cap: dispatch as soon as this many requests
+     *  are queued (>= 1). */
+    uint32_t batch_max = 32;
+    /** Admission latency budget, microseconds: dispatch a partial
+     *  batch rather than let its oldest request wait longer than
+     *  this. Stored in the spec's unit so the grammar round-trips. */
+    double budget_us = 200.0;
+    /** False: the GPU tier statically pins the hottest ranks. True:
+     *  it refreshes dynamically under `policy`. */
+    bool dynamic_refresh = false;
+    /** Victim policy of the dynamic GPU tier. */
+    cache::PolicyKind policy = cache::PolicyKind::Lru;
+    /** GPU-tier capacity as a fraction of each table, in (0, 1]. */
+    double cache_fraction = 0.05;
+
+    /** Why this config is invalid, or "" (ArrivalConfig contract). */
+    std::string validationError() const;
+};
+
+/** Two-tier online inference server over the trace's request stream. */
+class ServingSystem : public System
+{
+  public:
+    static constexpr const char *kDescription =
+        "online inference serving: open-loop arrivals, latency-budget "
+        "admission batching, GPU embedding cache over a host parameter "
+        "server (HugeCTR-HPS-style), SLO percentiles";
+
+    ServingSystem(const ModelConfig &model,
+                  const sim::HardwareConfig &hardware,
+                  const ServeOptions &options);
+
+    /**
+     * Serve (warmup + iterations) * batch_size requests; the first
+     * warmup * batch_size warm the GPU tier and the server without
+     * being measured. Deterministic per (model, options, seed).
+     */
+    RunResult simulate(const data::TraceDataset &dataset,
+                       const BatchStats &stats, uint64_t iterations,
+                       uint64_t warmup = 0) const override;
+
+    std::string name() const override { return "Serving"; }
+    std::string description() const override { return kDescription; }
+
+    uint64_t cachedRows() const { return cached_rows_; }
+
+  private:
+    ModelConfig model_;
+    sim::LatencyModel latency_;
+    ServeOptions options_;
+    uint64_t cached_rows_ = 0;
+};
+
+} // namespace sp::sys
+
+#endif // SP_SYS_SERVING_H

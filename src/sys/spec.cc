@@ -49,6 +49,17 @@ parseBool(const std::string &key, const std::string &value)
     fatal("system spec: '", key, "' expects 0/1, got '", value, "'");
 }
 
+/** Shortest representation that round-trips through parse(). */
+std::string
+shortDouble(double value)
+{
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    return ec == std::errc() ? std::string(buffer, end)
+                             : std::to_string(value);
+}
+
 } // namespace
 
 SystemSpec
@@ -105,10 +116,50 @@ SystemSpec::parse(const std::string &text)
         } else if (key == "probe") {
             spec.scratchpipe.probe = cache::probeModeFromName(value);
             spec.scratchpipe_tuned = true;
+        } else if (key == "arrival") {
+            spec.serve.arrival.kind = data::arrivalKindFromName(value);
+            spec.serve_tuned = true;
+        } else if (key == "rate") {
+            spec.serve.arrival.rate = parseDouble(key, value);
+            // Diagnosed here, not at build time: rate=0 would divide
+            // every Poisson inter-arrival gap by zero.
+            fatalIf(!(spec.serve.arrival.rate > 0.0) ||
+                        !std::isfinite(spec.serve.arrival.rate),
+                    "system spec: 'rate' must be a positive, finite "
+                    "request rate (requests/second), got '", value,
+                    "'");
+            spec.serve_tuned = true;
+        } else if (key == "batch_max") {
+            spec.serve.batch_max = parseWindow(key, value);
+            fatalIf(spec.serve.batch_max == 0,
+                    "system spec: 'batch_max' must be at least 1");
+            spec.serve_tuned = true;
+        } else if (key == "budget_us") {
+            spec.serve.budget_us = parseDouble(key, value);
+            spec.serve_tuned = true;
+        } else if (key == "refresh") {
+            if (value == "static") {
+                spec.serve.dynamic_refresh = false;
+            } else {
+                spec.serve.dynamic_refresh = true;
+                spec.serve.policy = cache::policyFromName(value);
+            }
+            spec.serve_tuned = true;
+        } else if (key == "burst_x") {
+            spec.serve.arrival.burst_x = parseDouble(key, value);
+            spec.serve_tuned = true;
+        } else if (key == "burst_on_us") {
+            spec.serve.arrival.burst_on_us = parseDouble(key, value);
+            spec.serve_tuned = true;
+        } else if (key == "burst_off_us") {
+            spec.serve.arrival.burst_off_us = parseDouble(key, value);
+            spec.serve_tuned = true;
         } else {
             fatal("system spec: unknown key '", key, "' in '", text,
                   "' (cache/policy/past/future/warm/bound/overlap/"
-                  "shard/probe)");
+                  "shard/probe or serving keys arrival/rate/batch_max/"
+                  "budget_us/refresh/burst_x/burst_on_us/"
+                  "burst_off_us)");
         }
     }
     return spec;
@@ -135,12 +186,7 @@ SystemSpec::summary() const
     };
     if (cache_fraction.has_value()) {
         // Shortest round-trip representation ("0.02", not "0.020000").
-        char buffer[32];
-        const auto [end, ec] = std::to_chars(
-            buffer, buffer + sizeof(buffer), *cache_fraction);
-        emit("cache", ec == std::errc()
-                          ? std::string(buffer, end)
-                          : std::to_string(*cache_fraction));
+        emit("cache", shortDouble(*cache_fraction));
     }
     if (scratchpipe_tuned) {
         emit("policy", cache::policyName(scratchpipe.policy));
@@ -151,6 +197,18 @@ SystemSpec::summary() const
         emit("overlap", scratchpipe.overlap_planning ? "1" : "0");
         emit("shard", std::to_string(scratchpipe.plan_shards));
         emit("probe", cache::probeModeName(scratchpipe.probe));
+    }
+    if (serve_tuned) {
+        emit("arrival", data::arrivalKindName(serve.arrival.kind));
+        emit("rate", shortDouble(serve.arrival.rate));
+        emit("batch_max", std::to_string(serve.batch_max));
+        emit("budget_us", shortDouble(serve.budget_us));
+        emit("refresh", serve.dynamic_refresh
+                            ? cache::policyName(serve.policy)
+                            : "static");
+        emit("burst_x", shortDouble(serve.arrival.burst_x));
+        emit("burst_on_us", shortDouble(serve.arrival.burst_on_us));
+        emit("burst_off_us", shortDouble(serve.arrival.burst_off_us));
     }
     return os.str();
 }
@@ -172,6 +230,14 @@ SystemSpec::validate() const
             "system '", name, "' has no scratchpad; "
             "policy/past/future/warm/bound/overlap/shard/probe do not "
             "apply");
+    fatalIf(serve_tuned && !entry.uses_serve_options,
+            "system '", name, "' does not serve requests; "
+            "arrival/rate/batch_max/budget_us/refresh/burst_x/"
+            "burst_on_us/burst_off_us do not apply");
+    if (entry.uses_serve_options) {
+        const std::string problem = serveOptions().validationError();
+        fatalIf(!problem.empty(), "system '", name, "': ", problem);
+    }
 }
 
 ScratchPipeOptions
@@ -179,6 +245,15 @@ SystemSpec::scratchPipeOptions(bool pipelined) const
 {
     ScratchPipeOptions options = scratchpipe;
     options.pipelined = pipelined;
+    if (cache_fraction.has_value())
+        options.cache_fraction = *cache_fraction;
+    return options;
+}
+
+ServeOptions
+SystemSpec::serveOptions() const
+{
+    ServeOptions options = serve;
     if (cache_fraction.has_value())
         options.cache_fraction = *cache_fraction;
     return options;

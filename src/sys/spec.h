@@ -19,10 +19,17 @@
  *   "scratchpipe:probe=scalar"        (pin the batched Hit-Map probe
  *                                      kernel: auto|scalar|native;
  *                                      bit-identical, perf only)
+ *   "serve:rate=500000,arrival=bursty,batch_max=16,budget_us=300,
+ *    refresh=lru"                     (online serving: open-loop
+ *                                      arrivals, admission batching,
+ *                                      two-tier cache; see
+ *                                      sys/serving.h)
  *
  * validate() is registry-aware: setting `cache=` on a system that has
  * no cache (hybrid, multigpu) is a hard error, not a silent no-op --
- * the exact footgun the positional factory shipped with.
+ * the exact footgun the positional factory shipped with. Serving keys
+ * on a training system (and vice versa for scratchpad keys on serve)
+ * are rejected the same way.
  */
 
 #ifndef SP_SYS_SPEC_H
@@ -32,6 +39,7 @@
 #include <string>
 
 #include "sys/scratchpipe_sys.h"
+#include "sys/serving.h"
 
 namespace sp::sys
 {
@@ -58,10 +66,22 @@ struct SystemSpec
      *  validate() reject them on systems that have no scratchpad. */
     bool scratchpipe_tuned = false;
 
+    /** Serving tunables for the serve system family. `cache_fraction`
+     *  inside is superseded by the field above when that is set. */
+    ServeOptions serve;
+
+    /** True when any serving-only key (arrival/rate/batch_max/
+     *  budget_us/refresh/burst_x/burst_on_us/burst_off_us) was
+     *  explicitly given; lets validate() reject them on systems that
+     *  do not serve requests. */
+    bool serve_tuned = false;
+
     /**
      * Parse "name[:key=value,...]". Keys: cache, policy, past, future,
-     * warm, bound, overlap, shard. fatal() on unknown keys or
-     * malformed values; the system name itself is checked by
+     * warm, bound, overlap, shard, probe, and the serving keys
+     * arrival, rate, batch_max, budget_us, refresh, burst_x,
+     * burst_on_us, burst_off_us. fatal() on unknown keys or malformed
+     * values; the system name itself is checked by
      * validate()/Registry::build.
      */
     static SystemSpec parse(const std::string &text);
@@ -89,6 +109,9 @@ struct SystemSpec
 
     /** ScratchPipeOptions with the spec's cache fraction folded in. */
     ScratchPipeOptions scratchPipeOptions(bool pipelined) const;
+
+    /** ServeOptions with the spec's cache fraction folded in. */
+    ServeOptions serveOptions() const;
 };
 
 } // namespace sp::sys

@@ -363,6 +363,47 @@ experimentRunScenario()
     EXPECT_EQ(sys::sweepExitCode(results), 3);
 }
 
+/** Serving degradation: armed, every third arriving request is
+ *  dropped and excluded from latency/queue accounting; the stream
+ *  continues and the run completes with drops reported. Disarmed,
+ *  the same spec serves every request. */
+void
+servingDropScenario()
+{
+    sys::ModelConfig model = sys::ModelConfig::functionalScale();
+    model.trace.locality = data::Locality::Medium;
+    model.trace.seed = 4321;
+    sys::ExperimentOptions options;
+    options.iterations = 4;
+    options.warmup = 1;
+    options.jobs = 1;
+    const sys::ExperimentRunner runner(
+        model, sim::HardwareConfig::paperTestbed(), options);
+    const std::vector<sys::SystemSpec> specs = {
+        sys::SystemSpec::parse("serve:rate=500000,batch_max=8")};
+    const uint64_t measured =
+        options.iterations * model.trace.batch_size;
+    {
+        FaultGuard guard("serve.request.drop:every=3");
+        const std::vector<sys::RunResult> results =
+            runner.runAll(specs);
+        ASSERT_EQ(results.size(), 1u);
+        EXPECT_FALSE(results[0].failed()) << results[0].error;
+        EXPECT_GT(firedCount("serve.request.drop"), 0u);
+        EXPECT_GT(results[0].serving.dropped, 0u);
+        // Every measured request is either served or dropped.
+        EXPECT_EQ(results[0].serving.requests +
+                      results[0].serving.dropped,
+                  measured);
+        EXPECT_GT(results[0].serving.requests, 0u);
+    }
+    const std::vector<sys::RunResult> clean = runner.runAll(specs);
+    ASSERT_EQ(clean.size(), 1u);
+    EXPECT_FALSE(clean[0].failed()) << clean[0].error;
+    EXPECT_EQ(clean[0].serving.dropped, 0u);
+    EXPECT_EQ(clean[0].serving.requests, measured);
+}
+
 /** Pool isolation: the injected task fault surfaces exactly once on
  *  the documented channel (future / parallelFor join). */
 void
@@ -423,6 +464,7 @@ TEST(FaultMatrix, EveryRegisteredSiteDegradesAsDocumented)
         {"dataset.save.write",
          [] { publishFaultScenario("dataset.save.write", false); }},
         {"experiment.run", experimentRunScenario},
+        {"serve.request.drop", servingDropScenario},
         {"thread_pool.task", threadPoolTaskScenario},
         {"trace_store.load",
          [] { loadFaultScenario("trace_store.load", true); }},

@@ -34,6 +34,12 @@ cmake --build "$build" -j --target spsim bench_fig13_speedup
     --format json \
     > "$root"/tests/golden/spsim_burst.json
 
+"$build"/spsim \
+    --system "serve:rate=500000,arrival=bursty,batch_max=16,budget_us=300,refresh=lru" \
+    --locality medium --tables 3 --rows 20000 --dim 16 --lookups 4 \
+    --batch 64 --iterations 4 --warmup 2 --seed 7 --format json \
+    > "$root"/tests/golden/spsim_serve.json
+
 "$build"/bench_fig13_speedup --quick --json \
     > "$root"/tests/golden/fig13_quick.json
 

@@ -1,0 +1,133 @@
+/** @file Exact nearest-rank percentile tests against a brute-force
+ *  sorted reference, including the off-by-one-prone sizes around the
+ *  rank boundaries (N = 1, 2, 99, 100, 101). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+#include "metrics/percentile.h"
+
+namespace sp::metrics
+{
+namespace
+{
+
+/** Independent nearest-rank definition: the smallest value such that
+ *  at least ceil(q * N) of the N samples are <= it. */
+double
+bruteForcePercentile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    size_t rank =
+        static_cast<size_t>(std::ceil(q * double(values.size())));
+    rank = std::clamp<size_t>(rank, 1, values.size());
+    return values[rank - 1];
+}
+
+/** Deterministic, unsorted, duplicate-bearing sample of size n. */
+std::vector<double>
+sample(size_t n)
+{
+    std::vector<double> values;
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        // Shuffled residues with repeats; values in [0, 97).
+        values.push_back(double((i * 37 + 11) % 97));
+    }
+    return values;
+}
+
+TEST(Percentile, MatchesBruteForceAtBoundarySizes)
+{
+    for (size_t n : {size_t(1), size_t(2), size_t(99), size_t(100),
+                     size_t(101)}) {
+        const std::vector<double> values = sample(n);
+        PercentileReservoir reservoir;
+        reservoir.reserve(n);
+        for (double v : values)
+            reservoir.add(v);
+        ASSERT_EQ(reservoir.count(), n);
+        for (double q : {0.5, 0.99, 0.999, 0.25, 0.75, 1.0}) {
+            EXPECT_EQ(reservoir.percentile(q),
+                      bruteForcePercentile(values, q))
+                << "n=" << n << " q=" << q;
+        }
+    }
+}
+
+TEST(Percentile, RankBoundariesExact)
+{
+    // With 100 samples 1..100, nearest-rank is fully predictable:
+    // p50 = ceil(50) = 50th value, p99 = 99th, p999 = ceil(99.9) =
+    // 100th. Insert in descending order to exercise the sort.
+    PercentileReservoir reservoir;
+    for (int i = 100; i >= 1; --i)
+        reservoir.add(double(i));
+    EXPECT_EQ(reservoir.percentile(0.50), 50.0);
+    EXPECT_EQ(reservoir.percentile(0.99), 99.0);
+    EXPECT_EQ(reservoir.percentile(0.999), 100.0);
+    EXPECT_EQ(reservoir.percentile(1.0), 100.0);
+    // 101 samples: p50 rank = ceil(50.5) = 51.
+    reservoir.add(101.0);
+    EXPECT_EQ(reservoir.percentile(0.50), 51.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile)
+{
+    PercentileReservoir reservoir;
+    reservoir.add(42.0);
+    for (double q : {0.001, 0.5, 0.99, 0.999, 1.0})
+        EXPECT_EQ(reservoir.percentile(q), 42.0) << q;
+    EXPECT_EQ(reservoir.mean(), 42.0);
+    EXPECT_EQ(reservoir.maxValue(), 42.0);
+}
+
+TEST(Percentile, DuplicatesCollapse)
+{
+    PercentileReservoir reservoir;
+    for (int i = 0; i < 10; ++i)
+        reservoir.add(7.0);
+    for (double q : {0.5, 0.99, 0.999})
+        EXPECT_EQ(reservoir.percentile(q), 7.0) << q;
+}
+
+TEST(Percentile, AddAfterQueryInvalidatesCache)
+{
+    PercentileReservoir reservoir;
+    reservoir.add(1.0);
+    EXPECT_EQ(reservoir.percentile(0.999), 1.0);
+    reservoir.add(5.0); // must re-sort before the next query
+    EXPECT_EQ(reservoir.percentile(0.999), 5.0);
+    EXPECT_EQ(reservoir.percentile(0.5), 1.0);
+}
+
+TEST(Percentile, MeanAndMaxAccumulate)
+{
+    PercentileReservoir reservoir;
+    reservoir.add(2.0);
+    reservoir.add(4.0);
+    reservoir.add(9.0);
+    EXPECT_DOUBLE_EQ(reservoir.mean(), 5.0);
+    EXPECT_EQ(reservoir.maxValue(), 9.0);
+    EXPECT_EQ(reservoir.count(), 3u);
+}
+
+TEST(Percentile, EmptyAndOutOfRangeAreFatal)
+{
+    PercentileReservoir reservoir;
+    EXPECT_THROW(reservoir.percentile(0.5), FatalError);
+    reservoir.add(1.0);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(reservoir.percentile(0.0), FatalError);
+    EXPECT_THROW(reservoir.percentile(-0.1), FatalError);
+    EXPECT_THROW(reservoir.percentile(1.1), FatalError);
+    EXPECT_THROW(reservoir.percentile(nan), FatalError);
+}
+
+} // namespace
+} // namespace sp::metrics

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
@@ -86,6 +87,28 @@ TEST(EventQueue, SchedulingIntoPastPanics)
     queue.runAll();
     EXPECT_THROW(queue.schedule(1.0, [] {}), PanicError);
     EXPECT_THROW(queue.scheduleAfter(-0.5, [] {}), PanicError);
+}
+
+TEST(EventQueue, NonFiniteTimesPanic)
+{
+    // Regression: NaN slipped past `when < now_` (every comparison
+    // with NaN is false) and poisoned the priority queue's ordering;
+    // +/-inf never fires / fires everything. All three must be
+    // rejected at the door, for both entry points.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EventQueue queue;
+    EXPECT_THROW(queue.schedule(nan, [] {}), PanicError);
+    EXPECT_THROW(queue.schedule(inf, [] {}), PanicError);
+    EXPECT_THROW(queue.schedule(-inf, [] {}), PanicError);
+    EXPECT_THROW(queue.scheduleAfter(nan, [] {}), PanicError);
+    EXPECT_THROW(queue.scheduleAfter(inf, [] {}), PanicError);
+    EXPECT_THROW(queue.scheduleAfter(-inf, [] {}), PanicError);
+    // The queue stays usable after the rejections.
+    int fired = 0;
+    queue.schedule(1.0, [&] { ++fired; });
+    queue.runAll();
+    EXPECT_EQ(fired, 1);
 }
 
 TEST(EventQueue, ExecutedCountAccumulates)

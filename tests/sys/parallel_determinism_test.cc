@@ -227,6 +227,37 @@ TEST(ParallelDeterminism, BurstOverlaySweepBitIdenticalColdAndWarmCache)
     EXPECT_EQ(baseline, warm4);
 }
 
+TEST(ParallelDeterminism, ServingSweepJsonBitIdenticalAcrossJobs)
+{
+    // The serving system joins the determinism matrix: its SLO
+    // percentiles (p50/p99/p999), queue depths and every other
+    // serving field must be byte-for-byte identical between --jobs 1
+    // and --jobs 4 for a fixed seed -- the event-driven server, the
+    // arrival stream and the dynamic GPU tier are pure functions of
+    // (spec, model, seed), never of scheduling.
+    if (common::ThreadPool::global().size() < 4)
+        common::ThreadPool::setGlobalThreads(4);
+    const auto servingSweepJson = [](uint32_t jobs) {
+        ExperimentOptions options;
+        options.iterations = 4;
+        options.warmup = 2;
+        options.jobs = jobs;
+        const ExperimentRunner runner(testModel(), kHw, options);
+        return toJson(runner.runAll(
+            {SystemSpec::parse("serve:rate=400000"),
+             SystemSpec::parse(
+                 "serve:rate=400000,refresh=lru,batch_max=16,"
+                 "budget_us=250"),
+             SystemSpec::parse(
+                 "serve:arrival=bursty,rate=250000,burst_x=4,"
+                 "burst_on_us=250,burst_off_us=2000,refresh=lfu"),
+             SystemSpec::parse("static:cache=0.1")}));
+    };
+    const std::string serial = servingSweepJson(1);
+    EXPECT_NE(serial.find("\"p999\""), std::string::npos);
+    EXPECT_EQ(serial, servingSweepJson(4));
+}
+
 TEST(ParallelDeterminism, AutoShardWidthBitIdentical)
 {
     // shard=0 resolves to the pool width on whatever host runs the

@@ -220,12 +220,12 @@ TEST(SystemSpec, RejectsOutOfRangeCache)
     }
 }
 
-TEST(Registry, KnowsTheFivePaperSystems)
+TEST(Registry, KnowsTheFivePaperSystemsPlusServing)
 {
-    for (const char *name :
-         {"hybrid", "static", "strawman", "scratchpipe", "multigpu"})
+    for (const char *name : {"hybrid", "static", "strawman",
+                             "scratchpipe", "multigpu", "serve"})
         EXPECT_TRUE(Registry::contains(name)) << name;
-    EXPECT_EQ(Registry::names().size(), 5u);
+    EXPECT_EQ(Registry::names().size(), 6u);
 }
 
 TEST(Registry, SuggestsNearestName)
